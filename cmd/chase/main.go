@@ -1,0 +1,113 @@
+// Command chase runs the chase procedure over a database or a frozen
+// query and prints the result, derivation statistics and whether the
+// input dependencies are satisfied at the fixpoint.
+//
+// Usage:
+//
+//	chase -db 'R(a,b). R(b,c).' -deps 'R(x,y) -> S(y).'
+//	chase -query 'q :- P(x1), P(x2).' -deps 'P(x), P(y) -> R(x,y).'
+//
+// Database syntax: one ground atom per statement, '.'-terminated;
+// arguments are constants (quotes optional).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	semacyclic "semacyclic"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		dbText    = flag.String("db", "", "ground atoms, '.'-separated, e.g. 'R(a,b). S(b).'")
+		dbFile    = flag.String("db-file", "", "file containing ground atoms")
+		queryText = flag.String("query", "", "chase a query instead of a database (Lemma 1 freezing)")
+		depsText  = flag.String("deps", "", "dependencies, one per line")
+		depsFile  = flag.String("deps-file", "", "file containing the dependencies")
+		maxSteps  = flag.Int("max-steps", 0, "tgd application budget")
+		maxDepth  = flag.Int("max-depth", 0, "derivation depth budget (for non-terminating chases)")
+		oblivious = flag.Bool("oblivious", false, "use the oblivious chase")
+		trace     = flag.Bool("trace", false, "print every chase step")
+	)
+	flag.Parse()
+
+	src := *depsText
+	if *depsFile != "" {
+		b, err := os.ReadFile(*depsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chase:", err)
+			return 1
+		}
+		src = string(b)
+	}
+	set, err := semacyclic.ParseDependencies(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chase:", err)
+		return 1
+	}
+
+	opt := semacyclic.ChaseOptions{MaxSteps: *maxSteps, MaxDepth: *maxDepth, Oblivious: *oblivious, Trace: *trace}
+
+	var res *semacyclic.ChaseResult
+	switch {
+	case *queryText != "":
+		q, err := semacyclic.ParseQuery(*queryText)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chase:", err)
+			return 1
+		}
+		var frozen []semacyclic.Term
+		res, frozen, err = semacyclic.ChaseQuery(q, set, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chase:", err)
+			return 1
+		}
+		fmt.Printf("frozen head: %v\n", frozen)
+	case *dbText != "" || *dbFile != "":
+		src := *dbText
+		if *dbFile != "" {
+			b, err := os.ReadFile(*dbFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chase:", err)
+				return 1
+			}
+			src = string(b)
+		}
+		db, err := semacyclic.ParseDatabase(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chase:", err)
+			return 1
+		}
+		res, err = semacyclic.Chase(db, set, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chase:", err)
+			return 1
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "chase: give -db or -query")
+		return 1
+	}
+
+	if *trace {
+		for i, step := range res.Trace {
+			if step.TGD >= 0 {
+				fmt.Printf("step %d: tgd #%d added %v\n", i+1, step.TGD+1, step.Added)
+			} else {
+				fmt.Printf("step %d: egd merged %s into %s\n", i+1, step.Merged[0], step.Merged[1])
+			}
+		}
+		fmt.Println("--")
+	}
+	for _, a := range res.Instance.Atoms() {
+		fmt.Println(a)
+	}
+	fmt.Printf("-- atoms: %d, tgd steps: %d, complete: %v, satisfied: %v\n",
+		res.Instance.Len(), res.Steps, res.Complete, semacyclic.Satisfies(res.Instance, set))
+	return 0
+}

@@ -1,0 +1,146 @@
+package semacyclic_test
+
+import (
+	"fmt"
+
+	semacyclic "semacyclic"
+)
+
+// The paper's Example 1: a cyclic core with an acyclic equivalent
+// under the compulsive-collector constraint.
+func ExampleDecide() {
+	q := semacyclic.MustParseQuery(
+		"q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y).")
+	sigma := semacyclic.MustParseDependencies(
+		"Interest(x,z), Class(y,z) -> Owns(x,y).")
+
+	res, err := semacyclic.Decide(q, sigma, semacyclic.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Verdict)
+	fmt.Println(res.Witness)
+	// Output:
+	// yes
+	// q(x,y) :- Interest(x,z), Class(y,z)
+}
+
+func ExampleIsAcyclic() {
+	triangle := semacyclic.MustParseQuery("q :- E(x,y), E(y,z), E(z,x).")
+	path := semacyclic.MustParseQuery("q :- E(x,y), E(y,z).")
+	fmt.Println(semacyclic.IsAcyclic(triangle), semacyclic.IsAcyclic(path))
+	// Output: false true
+}
+
+func ExampleChaseQuery() {
+	// Lemma 1: chase the frozen query; the tgd materializes Owns.
+	q := semacyclic.MustParseQuery("q(x,y) :- Interest(x,z), Class(y,z).")
+	sigma := semacyclic.MustParseDependencies(
+		"Interest(x,z), Class(y,z) -> Owns(x,y).")
+	res, _, err := semacyclic.ChaseQuery(q, sigma, semacyclic.ChaseOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Instance.Len(), res.Complete)
+	// Output: 3 true
+}
+
+func ExampleRewriteUCQ() {
+	sigma := semacyclic.MustParseDependencies("A(x) -> B(x).")
+	q := semacyclic.MustParseQuery("q(x) :- B(x).")
+	rw, err := semacyclic.RewriteUCQ(q, sigma, semacyclic.RewriteOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rw.UCQ)
+	// Output:
+	// q(x) :- B(x)
+	// q(x) :- A(x)
+}
+
+func ExampleEvaluateAcyclic() {
+	db, err := semacyclic.ParseDatabase("E(a,b). E(b,c). E(b,d).")
+	if err != nil {
+		panic(err)
+	}
+	q := semacyclic.MustParseQuery("q(x,z) :- E(x,y), E(y,z).")
+	answers, err := semacyclic.EvaluateAcyclic(q, db)
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range answers {
+		fmt.Println(t[0].Name, t[1].Name)
+	}
+	// Output:
+	// a c
+	// a d
+}
+
+func ExampleApproximate() {
+	// The triangle has no acyclic equivalent; §8.2 still yields a
+	// maximally contained acyclic query for quick answers.
+	tri := semacyclic.MustParseQuery("q :- E(x,y), E(y,z), E(z,x).")
+	ap, err := semacyclic.Approximate(tri, &semacyclic.Dependencies{}, semacyclic.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ap.Equivalent)
+	fmt.Println(ap.Query)
+	// Output:
+	// false
+	// q() :- E(x,x)
+}
+
+func ExampleClasses() {
+	sigma := semacyclic.MustParseDependencies("R(x,y) -> S(y,z).")
+	for _, c := range semacyclic.Classes(sigma) {
+		fmt.Println(c)
+	}
+	// Output:
+	// guarded
+	// linear
+	// inclusion
+	// non-recursive
+	// sticky
+	// weakly-acyclic
+	// weakly-guarded
+	// weakly-sticky
+}
+
+func ExampleCore() {
+	q := semacyclic.MustParseQuery("q(x) :- E(x,y), E(x,z).")
+	fmt.Println(semacyclic.Core(q).Size())
+	// Output: 1
+}
+
+func ExampleDecideUCQ() {
+	// §8.1: the cyclic triangle disjunct is redundant (every triangle
+	// has an edge), so the union is semantically acyclic.
+	u, _ := semacyclic.ParseUCQ("q :- E(x,y), E(y,z), E(z,x).\nq :- E(x,y).")
+	res, err := semacyclic.DecideUCQ(u, &semacyclic.Dependencies{}, semacyclic.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Verdict)
+	fmt.Println(res.Redundant)
+	// Output:
+	// yes
+	// [true false]
+}
+
+func ExampleExplain() {
+	q := semacyclic.MustParseQuery(
+		"q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y).")
+	sigma := semacyclic.MustParseDependencies(
+		"Interest(x,z), Class(y,z) -> Owns(x,y).")
+	res, _ := semacyclic.Decide(q, sigma, semacyclic.Options{})
+	cert, err := semacyclic.Explain(q, sigma, res, semacyclic.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cert.Witness)
+	fmt.Println(cert.JoinTree.Verify() == nil)
+	// Output:
+	// q(x,y) :- Interest(x,z), Class(y,z)
+	// true
+}

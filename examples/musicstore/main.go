@@ -1,0 +1,69 @@
+// Musicstore: Example 1 at database scale. Generates synthetic stores
+// satisfying the compulsive-collector constraint and compares three
+// evaluation strategies for the (cyclic) query:
+//
+//   - generic backtracking join on the original query,
+//
+//   - Yannakakis on the acyclic reformulation (Prop. 24 pipeline),
+//
+//   - a reusable Evaluator amortizing the reformulation.
+//
+//     go run ./examples/musicstore [-scale 400]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	semacyclic "semacyclic"
+	"semacyclic/internal/gen"
+)
+
+func main() {
+	scale := flag.Int("scale", 200, "customers and records per store")
+	steps := flag.Int("steps", 4, "number of doubling steps")
+	flag.Parse()
+
+	q := gen.Example1Query()
+	sigma := gen.Example1TGD()
+
+	start := time.Now()
+	ev, err := semacyclic.NewEvaluator(q, sigma, semacyclic.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reformulated once in %v: %s\n\n", time.Since(start), ev.Witness)
+
+	fmt.Printf("%-10s %-9s %-14s %-14s\n", "|D|", "answers", "generic join", "yannakakis")
+	r := rand.New(rand.NewSource(7))
+	n := *scale
+	for i := 0; i < *steps; i++ {
+		db := gen.Example1DB(r, n, n, 12)
+		if !semacyclic.Satisfies(db, sigma) {
+			log.Fatal("generator produced a violating store")
+		}
+
+		t0 := time.Now()
+		direct := semacyclic.Evaluate(q, db)
+		tGeneric := time.Since(t0)
+
+		t0 = time.Now()
+		fast, err := ev.Evaluate(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tFast := time.Since(t0)
+
+		if len(direct) != len(fast) {
+			log.Fatalf("strategies disagree: %d vs %d answers", len(direct), len(fast))
+		}
+		fmt.Printf("%-10d %-9d %-14v %-14v\n", db.Len(), len(fast), tGeneric, tFast)
+		n *= 2
+	}
+	fmt.Println("\nboth strategies agree on every store; the acyclic")
+	fmt.Println("reformulation is evaluated by a full semijoin reducer and")
+	fmt.Println("scales linearly in the database (Prop. 24).")
+}

@@ -1,0 +1,120 @@
+package semacyclic
+
+import "testing"
+
+func TestParseDatabase(t *testing.T) {
+	db, err := ParseDatabase("R(a,b). R(b,c). S('quoted'). T().")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 4 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	if !db.Has(NewAtom("S", Const("quoted"))) {
+		t.Error("quoted constant lost")
+	}
+	if !db.Has(NewAtom("T")) {
+		t.Error("nullary atom lost")
+	}
+
+	bad := []string{
+		"",
+		"R(a,b",
+		"noparens.",
+		"(a).",
+		"R(a,,b).",
+		"R(a). R(a,b).", // arity conflict
+	}
+	for _, in := range bad {
+		if _, err := ParseDatabase(in); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestFacadeContainmentViaSemAc(t *testing.T) {
+	sigma := MustParseDependencies("E(x,y), E(y,z) -> F(x,z).")
+	loop := MustParseQuery("q :- E(v,v).")
+	triangle := MustParseQuery("q :- E(a,b), E(b,c), E(c,a).")
+	res, err := ContainmentViaSemAc(loop, triangle, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Yes {
+		t.Errorf("Prop 5 bridge = %+v", res)
+	}
+}
+
+func TestFacadeWeakClasses(t *testing.T) {
+	full := MustParseDependencies("E(x,y), E(y,z) -> E(x,z).")
+	found := map[Class]bool{}
+	for _, c := range Classes(full) {
+		found[c] = true
+	}
+	if !found[ClassWeaklyGuarded] || !found[ClassWeaklySticky] {
+		t.Errorf("Classes = %v", Classes(full))
+	}
+}
+
+func TestFacadeUCQHelpers(t *testing.T) {
+	set := MustParseDependencies("A(x) -> B(x).")
+	q, err := ParseUCQ("q(x) :- A(x).\nq(x) :- B(x).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := ParseUCQ("q(x) :- B(x).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := EquivalentUCQ(q, qp, set, ContainmentOptions{})
+	if err != nil || !dec.Holds {
+		t.Errorf("EquivalentUCQ = %+v, %v", dec, err)
+	}
+	sub, err := ContainsUCQ(qp, q, set, ContainmentOptions{})
+	if err != nil || !sub.Holds {
+		t.Errorf("ContainsUCQ = %+v, %v", sub, err)
+	}
+
+	db, err := ParseDatabase("A(a). B(b).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := EvaluateUCQ(q, db)
+	if len(got) != 2 {
+		t.Errorf("EvaluateUCQ = %v", got)
+	}
+	// Deduplication across disjuncts.
+	q2, _ := ParseUCQ("q(x) :- A(x).\nq(x) :- A(x), B(y).")
+	if got := EvaluateUCQ(q2, db); len(got) != 1 {
+		t.Errorf("EvaluateUCQ dedup = %v", got)
+	}
+}
+
+func TestFacadeTreewidth(t *testing.T) {
+	tri := MustParseQuery("q :- E(x,y), E(y,z), E(z,x).")
+	if got := TreewidthUpperBound(tri); got != 2 {
+		t.Errorf("triangle treewidth bound = %d", got)
+	}
+	path := MustParseQuery("q :- E(x,y), E(y,z).")
+	if got := TreewidthUpperBound(path); got != 1 {
+		t.Errorf("path treewidth bound = %d", got)
+	}
+}
+
+func TestFormatDatabaseRoundTrip(t *testing.T) {
+	db, err := ParseDatabase("R(a,b). S(c). T(a, 'x y').")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := FormatDatabase(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDatabase(out)
+	if err != nil {
+		t.Fatalf("re-parse of %q failed: %v", out, err)
+	}
+	if !db.Equal(back) {
+		t.Errorf("round trip changed database:\n%s\nvs\n%s", db, back)
+	}
+}

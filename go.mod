@@ -1,0 +1,3 @@
+module semacyclic
+
+go 1.22

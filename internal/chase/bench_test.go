@@ -1,0 +1,80 @@
+package chase
+
+import (
+	"fmt"
+	"testing"
+
+	"semacyclic/internal/deps"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+func benchChain(n int) *instance.Instance {
+	db := instance.New()
+	for i := 0; i < n; i++ {
+		db.Add(instance.NewAtom("L0",
+			term.Const(fmt.Sprintf("a%d", i)), term.Const(fmt.Sprintf("a%d", i+1))))
+	}
+	return db
+}
+
+func BenchmarkChaseStratified(b *testing.B) {
+	set := deps.MustParse(`
+L0(x,y) -> L1(x,y).
+L1(x,y), L1(y,z) -> L2(x,z).
+L2(x,y) -> L3(x,w).
+`)
+	for _, n := range []int{10, 50, 200} {
+		db := benchChain(n)
+		b.Run(fmt.Sprintf("facts=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Run(db, set, Options{})
+				if err != nil || !res.Complete {
+					b.Fatalf("%v %v", res, err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEGDChaseKeys(b *testing.B) {
+	set := deps.MustParse("R(x,y), R(x,z) -> y = z.")
+	for _, n := range []int{10, 50} {
+		db := instance.New()
+		for i := 0; i < n; i++ {
+			db.Add(instance.NewAtom("R", term.Const("hub"), term.NullTerm(fmt.Sprintf("n%d", i))))
+		}
+		b.Run(fmt.Sprintf("violations=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Run(db, set, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Instance.Len() != 1 {
+					b.Fatalf("merge incomplete: %d atoms", res.Instance.Len())
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSatisfies(b *testing.B) {
+	set := deps.MustParse("Interest(x,z), Class(y,z) -> Owns(x,y).")
+	db := instance.New()
+	for i := 0; i < 100; i++ {
+		c := term.Const(fmt.Sprintf("c%d", i))
+		s := term.Const(fmt.Sprintf("s%d", i%10))
+		r := term.Const(fmt.Sprintf("r%d", i))
+		db.Add(instance.NewAtom("Interest", c, s))
+		db.Add(instance.NewAtom("Class", r, s))
+		for j := 0; j < 100; j++ {
+			if (i+j)%10 == i%10 {
+				db.Add(instance.NewAtom("Owns", c, term.Const(fmt.Sprintf("r%d", j))))
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Satisfies(db, set)
+	}
+}

@@ -1,0 +1,439 @@
+// Package chase implements the chase procedure for tgds and egds
+// (Section 2 of the paper): the restricted (standard) and oblivious
+// tgd chase with fresh labelled nulls, the egd chase with null
+// identification and failure, chasing a query via freezing (Lemma 1),
+// and derivation-depth tracking used to budget non-terminating chases
+// (e.g. under guarded tgds).
+package chase
+
+import (
+	"errors"
+	"fmt"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/hom"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// ErrFailed reports a failing egd chase: an egd tried to equate two
+// distinct rigid constants.
+var ErrFailed = errors.New("chase: egd chase failed (constant clash)")
+
+// Options tunes a chase run. The zero value picks safe defaults.
+type Options struct {
+	// MaxSteps caps the number of tgd applications (default 100000).
+	MaxSteps int
+	// MaxAtoms caps the instance size (default 1000000).
+	MaxAtoms int
+	// MaxDepth, when positive, skips tgd applications whose derived
+	// atoms would exceed this derivation depth. Initial atoms have
+	// depth 0. This is the budget that makes the guarded (possibly
+	// infinite) chase usable: homomorphism witnesses for containment
+	// live in a bounded-depth prefix (see DESIGN.md §2).
+	MaxDepth int
+	// Oblivious applies tgds even when their head is already satisfied
+	// (each body homomorphism fires at most once). The default is the
+	// restricted chase.
+	Oblivious bool
+	// FreezeAsNulls treats frozen query constants (cq.FrozenConst) as
+	// identifiable by egds, per the paper's convention for chase(q,Σ)
+	// under egds ("special constants, treated as nulls during the
+	// chase"). Query enables it automatically when the set has egds.
+	FreezeAsNulls bool
+	// Trace records every chase step in Result.Trace. Off by default:
+	// long chases produce long traces.
+	Trace bool
+}
+
+// Step records one chase step for tracing: either a tgd application
+// (TGD ≥ 0, Added lists the new atoms) or an egd merge (TGD = -1,
+// Merged holds the identified pair, old then new).
+type Step struct {
+	TGD    int
+	Added  []instance.Atom
+	Merged [2]term.Term
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 100000
+	}
+	if o.MaxAtoms <= 0 {
+		o.MaxAtoms = 1000000
+	}
+	return o
+}
+
+// Result is the outcome of a chase run.
+type Result struct {
+	// Instance is the chased instance (shared with no caller input; Run
+	// clones its input database).
+	Instance *instance.Instance
+	// Complete reports that a fixpoint was reached: every tgd and egd
+	// is satisfied. False means a budget (steps, atoms or depth)
+	// truncated the run.
+	Complete bool
+	// Steps counts tgd applications performed.
+	Steps int
+	// Merges records the term identifications performed by egds, as a
+	// substitution from replaced terms to their replacements (fully
+	// resolved).
+	Merges term.Subst
+	// Depth maps each atom key to its derivation depth.
+	Depth map[string]int
+	// Trace lists the chase steps in order when Options.Trace was set.
+	Trace []Step
+}
+
+// Run chases db with the dependency set under the given options. The
+// input database is not modified. An egd clash of rigid constants
+// returns ErrFailed (wrapped), per the paper's "failure" outcome.
+func Run(db *instance.Instance, set *deps.Set, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	st := &state{
+		inst:   db.Clone(),
+		set:    set,
+		opt:    opt,
+		merges: term.NewSubst(),
+		depth:  make(map[string]int),
+	}
+	for _, a := range st.inst.AtomsUnordered() {
+		st.depth[a.Key()] = 0
+	}
+	if err := st.run(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Instance: st.inst,
+		Complete: st.complete,
+		Steps:    st.steps,
+		Merges:   st.merges,
+		Depth:    st.depth,
+		Trace:    st.trace,
+	}, nil
+}
+
+// Query chases the query q per Lemma 1: variables are frozen to the
+// constants c(x), the resulting database is chased, and the frozen head
+// tuple — adjusted for any egd merges — is returned with the result.
+// When the set contains egds the frozen constants are treated as nulls,
+// per the paper's convention.
+func Query(q *cq.CQ, set *deps.Set, opt Options) (*Result, []term.Term, error) {
+	db, frozen := q.Freeze()
+	if len(set.EGDs) > 0 {
+		opt.FreezeAsNulls = true
+	}
+	res, err := Run(db, set, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, res.Merges.ResolveTuple(frozen), nil
+}
+
+type state struct {
+	inst     *instance.Instance
+	set      *deps.Set
+	opt      Options
+	steps    int
+	complete bool
+	merges   term.Subst
+	depth    map[string]int
+	trace    []Step
+	// fired remembers body-homomorphism fingerprints for the oblivious
+	// chase so each trigger fires at most once.
+	fired map[string]bool
+}
+
+func (s *state) run() error {
+	if s.opt.Oblivious {
+		s.fired = make(map[string]bool)
+	}
+	truncated := false
+	for {
+		if err := s.egdFixpoint(); err != nil {
+			return err
+		}
+		progressed, trunc, err := s.tgdPass()
+		if err != nil {
+			return err
+		}
+		truncated = truncated || trunc
+		if !progressed {
+			s.complete = !truncated
+			return nil
+		}
+	}
+}
+
+// tgdPass applies every currently applicable tgd trigger once. It
+// reports whether anything fired and whether any application was
+// suppressed by a budget.
+func (s *state) tgdPass() (progressed, truncated bool, err error) {
+	for ti, t := range s.set.TGDs {
+		triggers := s.collectTriggers(t)
+		for _, trig := range triggers {
+			if s.steps >= s.opt.MaxSteps || s.inst.Len() >= s.opt.MaxAtoms {
+				return progressed, true, nil
+			}
+			// Re-check against the current (mutated) instance.
+			if !s.opt.Oblivious && s.headSatisfied(t, trig.frontier) {
+				continue
+			}
+			if s.opt.Oblivious {
+				fp := fmt.Sprintf("%d|%s", ti, substKey(trig.body, t.BodyVars()))
+				if s.fired[fp] {
+					continue
+				}
+				s.fired[fp] = true
+			}
+			newDepth := trig.depth + 1
+			if s.opt.MaxDepth > 0 && newDepth > s.opt.MaxDepth {
+				truncated = true
+				continue
+			}
+			s.fire(t, trig.frontier, newDepth)
+			progressed = true
+		}
+	}
+	return progressed, truncated, nil
+}
+
+type trigger struct {
+	frontier term.Subst // bindings of the tgd's frontier (body∩head) variables
+	body     term.Subst // full body-variable bindings (oblivious dedup)
+	depth    int        // max derivation depth over the body image
+}
+
+// collectTriggers snapshots the homomorphisms from t's body into the
+// current instance, keeping the frontier bindings and body-image depth.
+func (s *state) collectTriggers(t *deps.TGD) []trigger {
+	var out []trigger
+	frontier := t.FrontierVars()
+	bodyVars := t.BodyVars()
+	hom.Enumerate(t.Body, s.inst, nil, func(h term.Subst) bool {
+		f := term.NewSubst()
+		for _, v := range frontier {
+			f[v] = h.Resolve(v)
+		}
+		var full term.Subst
+		if s.opt.Oblivious {
+			full = term.NewSubst()
+			for _, v := range bodyVars {
+				full[v] = h.Resolve(v)
+			}
+		}
+		d := 0
+		for _, b := range t.Body {
+			k := b.Apply(h).Key()
+			if dep, ok := s.depth[k]; ok && dep > d {
+				d = dep
+			}
+		}
+		out = append(out, trigger{frontier: f, body: full, depth: d})
+		return true
+	})
+	return out
+}
+
+// headSatisfied reports whether the head already holds under the
+// frontier bindings (the restricted-chase applicability test).
+func (s *state) headSatisfied(t *deps.TGD, frontier term.Subst) bool {
+	return hom.Exists(t.Head, s.inst, frontier)
+}
+
+// fire adds the head atoms with fresh nulls for existential variables.
+func (s *state) fire(t *deps.TGD, frontier term.Subst, depth int) {
+	sub := frontier.Clone()
+	for _, z := range t.ExistentialVars() {
+		sub[z] = term.FreshNull()
+	}
+	var step *Step
+	if s.opt.Trace {
+		ti := -1
+		for i, cand := range s.set.TGDs {
+			if cand == t {
+				ti = i
+				break
+			}
+		}
+		step = &Step{TGD: ti}
+	}
+	for _, h := range t.Head {
+		a := h.Apply(sub)
+		added, err := s.inst.AddReport(a)
+		if err != nil {
+			panic(fmt.Sprintf("chase: internal error adding %s: %v", a, err))
+		}
+		if added {
+			s.depth[a.Key()] = depth
+			if step != nil {
+				step.Added = append(step.Added, a)
+			}
+		}
+	}
+	if step != nil {
+		s.trace = append(s.trace, *step)
+	}
+	s.steps++
+}
+
+// egdFixpoint applies egds until none is applicable, identifying terms.
+func (s *state) egdFixpoint() error {
+	for {
+		applied, err := s.egdStep()
+		if err != nil {
+			return err
+		}
+		if !applied {
+			return nil
+		}
+	}
+}
+
+// soft reports whether t may be renamed by an egd: nulls always, frozen
+// query constants when FreezeAsNulls is set.
+func (s *state) soft(t term.Term) bool {
+	if t.IsNull() {
+		return true
+	}
+	return s.opt.FreezeAsNulls && cq.IsFrozenConst(t)
+}
+
+func (s *state) egdStep() (bool, error) {
+	for _, e := range s.set.EGDs {
+		var a, b term.Term
+		found := false
+		hom.Enumerate(e.Body, s.inst, nil, func(h term.Subst) bool {
+			x, y := h.Resolve(e.X), h.Resolve(e.Y)
+			if x == y {
+				return true
+			}
+			a, b = x, y
+			found = true
+			return false
+		})
+		if !found {
+			continue
+		}
+		switch {
+		case !s.soft(a) && !s.soft(b):
+			return false, fmt.Errorf("%w: %s = %s", ErrFailed, a, b)
+		case s.soft(a) && !s.soft(b):
+			s.replace(a, b)
+		case !s.soft(a) && s.soft(b):
+			s.replace(b, a)
+		default:
+			// Both soft: prefer keeping frozen constants over nulls so
+			// query heads survive; otherwise keep the smaller name for
+			// determinism.
+			switch {
+			case cq.IsFrozenConst(a) && !cq.IsFrozenConst(b):
+				s.replace(b, a)
+			case cq.IsFrozenConst(b) && !cq.IsFrozenConst(a):
+				s.replace(a, b)
+			case a.Compare(b) <= 0:
+				s.replace(b, a)
+			default:
+				s.replace(a, b)
+			}
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// replace rewrites old→new everywhere, maintaining merges and depths.
+func (s *state) replace(old, new term.Term) {
+	if s.opt.Trace {
+		s.trace = append(s.trace, Step{TGD: -1, Merged: [2]term.Term{old, new}})
+	}
+	// Atoms mentioning old will be rewritten; carry depths over,
+	// keeping the minimum on collision.
+	var affected []instance.Atom
+	for _, a := range s.inst.AtomsUnordered() {
+		for _, t := range a.Args {
+			if t == old {
+				affected = append(affected, a)
+				break
+			}
+		}
+	}
+	oldDepths := make(map[string]int, len(affected))
+	for _, a := range affected {
+		oldDepths[a.Key()] = s.depth[a.Key()]
+		delete(s.depth, a.Key())
+	}
+	s.inst.ReplaceTerm(old, new)
+	for _, a := range affected {
+		na := a.Clone()
+		for i := range na.Args {
+			if na.Args[i] == old {
+				na.Args[i] = new
+			}
+		}
+		k := na.Key()
+		d, had := s.depth[k]
+		od := oldDepths[a.Key()]
+		if !had || od < d {
+			s.depth[k] = od
+		}
+	}
+	// Update the merge substitution: old ↦ new, and re-point anything
+	// that previously mapped to old.
+	for k, v := range s.merges {
+		if v == old {
+			s.merges[k] = new
+		}
+	}
+	s.merges[old] = new
+}
+
+// Satisfies reports whether db ⊨ Σ: every tgd's certain head holds for
+// every body match, and no egd is violated. Rigid-constant egd clashes
+// count as violations.
+func Satisfies(db *instance.Instance, set *deps.Set) bool {
+	ok := true
+	for _, t := range set.TGDs {
+		frontier := t.FrontierVars()
+		hom.Enumerate(t.Body, db, nil, func(h term.Subst) bool {
+			f := term.NewSubst()
+			for _, v := range frontier {
+				f[v] = h.Resolve(v)
+			}
+			if !hom.Exists(t.Head, db, f) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+	}
+	for _, e := range set.EGDs {
+		hom.Enumerate(e.Body, db, nil, func(h term.Subst) bool {
+			if h.Resolve(e.X) != h.Resolve(e.Y) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func substKey(s term.Subst, vars []term.Term) string {
+	var b []byte
+	for _, v := range vars {
+		img := s.Apply(v)
+		b = append(b, byte(img.K))
+		b = append(b, img.Name...)
+		b = append(b, 0)
+	}
+	return string(b)
+}

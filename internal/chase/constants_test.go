@@ -1,0 +1,77 @@
+package chase
+
+import (
+	"testing"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// Dependencies may mention constants in bodies and heads; the chase
+// must treat them rigidly.
+func TestChaseWithConstantsInHead(t *testing.T) {
+	set := deps.MustParse("Person(x) -> Citizen(x, 'somewhere').")
+	db := instance.MustFromAtoms(instance.NewAtom("Person", term.Const("ann")))
+	res, err := Run(db, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := instance.NewAtom("Citizen", term.Const("ann"), term.Const("somewhere"))
+	if !res.Instance.Has(want) {
+		t.Errorf("missing %s in %s", want, res.Instance)
+	}
+}
+
+func TestChaseWithConstantsInBody(t *testing.T) {
+	set := deps.MustParse("Role(x, 'admin') -> CanAudit(x).")
+	db := instance.MustFromAtoms(
+		instance.NewAtom("Role", term.Const("ann"), term.Const("admin")),
+		instance.NewAtom("Role", term.Const("bob"), term.Const("user")),
+	)
+	res, err := Run(db, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Instance.Has(instance.NewAtom("CanAudit", term.Const("ann"))) {
+		t.Error("constant body filter missed ann")
+	}
+	if res.Instance.Has(instance.NewAtom("CanAudit", term.Const("bob"))) {
+		t.Error("constant body filter matched bob")
+	}
+}
+
+func TestEGDWithConstantInBody(t *testing.T) {
+	// Everyone with the fixed role shares a single team: the egd merges
+	// team nulls for 'admin' rows only.
+	set := deps.MustParse("Team(x, 'admin', y), Team(x2, 'admin', z) -> y = z.")
+	n1, n2, n3 := term.FreshNull(), term.FreshNull(), term.FreshNull()
+	db := instance.MustFromAtoms(
+		instance.NewAtom("Team", term.Const("ann"), term.Const("admin"), n1),
+		instance.NewAtom("Team", term.Const("bob"), term.Const("admin"), n2),
+		instance.NewAtom("Team", term.Const("eve"), term.Const("user"), n3),
+	)
+	res, err := Run(db, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Merges.Resolve(n2); got != res.Merges.Resolve(n1) {
+		t.Errorf("admin teams not merged: %v vs %v", res.Merges.Resolve(n1), got)
+	}
+	if res.Merges.Resolve(n3) != n3 {
+		t.Errorf("user team merged: %v", res.Merges.Resolve(n3))
+	}
+}
+
+func TestQueryChaseWithConstantsInQuery(t *testing.T) {
+	set := deps.MustParse("Likes(x, 'jazz') -> Hip(x).")
+	q := cq.MustParse("q(x) :- Likes(x, 'jazz').")
+	res, frozen, err := Query(q, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Instance.Has(instance.NewAtom("Hip", frozen[0])) {
+		t.Errorf("derived atom missing: %s", res.Instance)
+	}
+}

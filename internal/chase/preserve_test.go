@@ -1,0 +1,94 @@
+package chase
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/gen"
+	"semacyclic/internal/hypergraph"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// TestProposition12GuardedChasePreservesAcyclicity fuzzes the paper's
+// Proposition 12: chasing an acyclic query with a guarded set keeps the
+// result acyclic — checked on bounded prefixes of (possibly infinite)
+// guarded chases, which are themselves initial segments of a chase
+// sequence and hence covered by the proposition.
+func TestProposition12GuardedChasePreservesAcyclicity(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 120; trial++ {
+		set := gen.RandomGuarded(r, 1+r.Intn(3), 2)
+		if !set.IsGuarded() {
+			t.Fatal("generator broke")
+		}
+		preds := []string{"E0", "E1"}
+		q := gen.RandomAcyclicCQ(r, 1+r.Intn(5), preds)
+		// Give the query an occasional guard atom so tgds can fire.
+		if r.Intn(2) == 0 {
+			vs := q.Vars()
+			g := instance.NewAtom(fmt.Sprintf("G%d", r.Intn(2)),
+				vs[r.Intn(len(vs))], term.Var("gy"), term.Var("gz"))
+			q = cq.MustNew(nil, append(q.Atoms, g))
+			if !hypergraph.IsAcyclic(q.Atoms) {
+				continue // the added guard must keep the input acyclic
+			}
+		}
+		res, _, err := Query(q, set, Options{MaxDepth: 3, MaxSteps: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		thawed := cq.ThawAtoms(res.Instance.AtomsUnordered())
+		if !hypergraph.IsAcyclic(thawed) {
+			t.Fatalf("guarded chase broke acyclicity:\nq=%s\nΣ=%s\nresult=%s",
+				q, set, res.Instance)
+		}
+	}
+}
+
+// TestProposition22K2ChasePreservesAcyclicity fuzzes Proposition 22:
+// over a unary/binary signature, the key chase of an acyclic query
+// stays acyclic.
+func TestProposition22K2ChasePreservesAcyclicity(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 150; trial++ {
+		set := gen.RandomKeys2(r, 1+r.Intn(3), 3)
+		if len(set.EGDs) == 0 {
+			continue
+		}
+		preds := []string{"E0", "E1", "E2"}
+		q := gen.RandomAcyclicCQ(r, 2+r.Intn(6), preds)
+		res, _, err := Query(q, set, Options{})
+		if err != nil {
+			continue // failing chase: no result to check
+		}
+		if !res.Complete {
+			t.Fatalf("egd chase must terminate: %s", set)
+		}
+		thawed := cq.ThawAtoms(res.Instance.AtomsUnordered())
+		if !hypergraph.IsAcyclic(thawed) {
+			t.Fatalf("K2 chase broke acyclicity:\nq=%s\nΣ=%s\nresult=%s",
+				q, set, res.Instance)
+		}
+	}
+}
+
+// TestExample4ShowsK2SignatureConditionNecessary: the same binary key
+// over a signature with a ternary predicate destroys acyclicity —
+// the premise of Proposition 22 is tight.
+func TestExample4ShowsK2SignatureConditionNecessary(t *testing.T) {
+	set := deps.MustParse("R(x,y), R(x,z) -> y = z.")
+	if !set.IsK2() {
+		t.Fatal("premise: the key itself is K2")
+	}
+	res, _, err := Query(gen.Example4Query(), set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hypergraph.IsAcyclic(cq.ThawAtoms(res.Instance.AtomsUnordered())) {
+		t.Error("ternary signature should break acyclicity preservation")
+	}
+}

@@ -1,0 +1,67 @@
+package chase
+
+import (
+	"math/rand"
+	"testing"
+
+	"semacyclic/internal/deps"
+	"semacyclic/internal/gen"
+)
+
+// Property: a completed chase is a fixpoint — chasing again changes
+// nothing.
+func TestChaseIdempotentProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 80; trial++ {
+		var set *deps.Set
+		if trial%2 == 0 {
+			set = gen.RandomNonRecursive(r, 1+r.Intn(3))
+		} else {
+			set = gen.RandomKeys2(r, 1+r.Intn(2), 2)
+		}
+		db := gen.RandomGraphDB(r, 6+r.Intn(15), 4)
+		for _, p := range set.Schema().Predicates() {
+			db.Schema().Add(p.Name, p.Arity)
+		}
+		first, err := Run(db, set, Options{MaxSteps: 5000})
+		if err != nil {
+			continue // failing egd chase on random data
+		}
+		if !first.Complete {
+			t.Fatalf("terminating-class chase incomplete: %s", set)
+		}
+		second, err := Run(first.Instance, set, Options{MaxSteps: 5000})
+		if err != nil {
+			t.Fatalf("re-chase failed: %v", err)
+		}
+		if second.Steps != 0 || !second.Instance.Equal(first.Instance) {
+			t.Fatalf("chase not idempotent:\nΣ=%s\nfirst=%s\nsecond=%s",
+				set, first.Instance, second.Instance)
+		}
+	}
+}
+
+// Property: the restricted chase result embeds into the oblivious one
+// (the oblivious chase does at least as much work).
+func TestRestrictedEmbedsInObliviousProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 60; trial++ {
+		set := gen.RandomNonRecursive(r, 1+r.Intn(3))
+		db := gen.RandomGraphDB(r, 5+r.Intn(10), 4)
+		for _, p := range set.Schema().Predicates() {
+			db.Schema().Add(p.Name, p.Arity)
+		}
+		restricted, err := Run(db, set, Options{MaxSteps: 5000})
+		if err != nil || !restricted.Complete {
+			t.Fatalf("restricted chase: %v", err)
+		}
+		oblivious, err := Run(db, set, Options{MaxSteps: 20000, Oblivious: true})
+		if err != nil || !oblivious.Complete {
+			t.Fatalf("oblivious chase: %v", err)
+		}
+		if oblivious.Instance.Len() < restricted.Instance.Len() {
+			t.Fatalf("oblivious chase smaller than restricted: %d < %d (Σ=%s)",
+				oblivious.Instance.Len(), restricted.Instance.Len(), set)
+		}
+	}
+}

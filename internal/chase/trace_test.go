@@ -1,0 +1,62 @@
+package chase
+
+import (
+	"testing"
+
+	"semacyclic/internal/deps"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+func TestTraceRecordsTGDSteps(t *testing.T) {
+	set := deps.MustParse("A(x) -> B(x).\nB(x) -> C(x).")
+	db := instance.MustFromAtoms(instance.NewAtom("A", term.Const("a")))
+	res, err := Run(db, set, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 2 {
+		t.Fatalf("trace = %v", res.Trace)
+	}
+	if res.Trace[0].TGD != 0 || res.Trace[1].TGD != 1 {
+		t.Errorf("tgd indices = %d, %d", res.Trace[0].TGD, res.Trace[1].TGD)
+	}
+	if len(res.Trace[0].Added) != 1 || res.Trace[0].Added[0].Pred != "B" {
+		t.Errorf("step 0 added = %v", res.Trace[0].Added)
+	}
+}
+
+func TestTraceRecordsMerges(t *testing.T) {
+	set := deps.MustParse("R(x,y), R(x,z) -> y = z.")
+	n := term.FreshNull()
+	db := instance.MustFromAtoms(
+		instance.NewAtom("R", term.Const("k"), term.Const("a")),
+		instance.NewAtom("R", term.Const("k"), n),
+	)
+	res, err := Run(db, set, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 1 {
+		t.Fatalf("trace = %v", res.Trace)
+	}
+	step := res.Trace[0]
+	if step.TGD != -1 {
+		t.Errorf("merge step TGD = %d", step.TGD)
+	}
+	if step.Merged[0] != n || step.Merged[1] != term.Const("a") {
+		t.Errorf("merged = %v", step.Merged)
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	set := deps.MustParse("A(x) -> B(x).")
+	db := instance.MustFromAtoms(instance.NewAtom("A", term.Const("a")))
+	res, err := Run(db, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Errorf("trace recorded without opt-in: %v", res.Trace)
+	}
+}

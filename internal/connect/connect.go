@@ -1,0 +1,80 @@
+// Package connect implements the connecting operator of Section 4 of
+// the paper: the generic reduction from AcBoolCont(C) to RestCont(C)
+// behind every lower bound (Proposition 13). Given Boolean CQs q, q'
+// and a set Σ, it produces c(q), c(q') and c(Σ) such that
+// q ⊆Σ q' iff c(q) ⊆c(Σ) c(q'), where c(q) stays acyclic and connected,
+// c(q') is connected but not semantically acyclic (it carries an aux
+// 3-cycle), and c(Σ) is body-connected and stays in every class of the
+// paper that q's set belonged to (G, L, ID, NR, S are closed under
+// connecting).
+package connect
+
+import (
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// Star is the suffix appended to every original predicate (R becomes
+// R⋆ in the paper; an ASCII-safe suffix here).
+const Star = "_star"
+
+// AuxPred is the fresh binary predicate aux of the construction.
+const AuxPred = "aux_conn"
+
+// connVar is the fresh connecting variable w; fresh names keep it
+// disjoint from query variables.
+func connVar(name string) term.Term { return term.Var("w_conn_" + name) }
+
+func starAtoms(atoms []instance.Atom, w term.Term) []instance.Atom {
+	out := make([]instance.Atom, len(atoms))
+	for i, a := range atoms {
+		args := append(append([]term.Term(nil), a.Args...), w)
+		out[i] = instance.NewAtom(a.Pred+Star, args...)
+	}
+	return out
+}
+
+// Query returns c(q) for the left-hand (acyclic) query: every atom
+// gains the connecting variable w, plus aux(w,w).
+func Query(q *cq.CQ) *cq.CQ {
+	w := connVar("l")
+	atoms := starAtoms(q.Atoms, w)
+	atoms = append(atoms, instance.NewAtom(AuxPred, w, w))
+	return &cq.CQ{Name: q.Name, Free: append([]term.Term(nil), q.Free...), Atoms: atoms}
+}
+
+// RightQuery returns c(q') for the right-hand query: atoms gain w, and
+// the aux 3-cycle aux(w,u), aux(u,v), aux(v,w) makes the result
+// connected and not semantically acyclic.
+func RightQuery(q *cq.CQ) *cq.CQ {
+	w, u, v := connVar("r"), connVar("r_u"), connVar("r_v")
+	atoms := starAtoms(q.Atoms, w)
+	atoms = append(atoms,
+		instance.NewAtom(AuxPred, w, u),
+		instance.NewAtom(AuxPred, u, v),
+		instance.NewAtom(AuxPred, v, w),
+	)
+	return &cq.CQ{Name: q.Name, Free: append([]term.Term(nil), q.Free...), Atoms: atoms}
+}
+
+// Set returns c(Σ): every atom of every tgd gains a per-tgd fresh
+// connecting variable (shared between body and head, making bodies
+// connected). EGDs are passed through starred as well.
+func Set(s *deps.Set) *deps.Set {
+	out := &deps.Set{}
+	for i, t := range s.TGDs {
+		w := connVar(vname("t", i))
+		out.TGDs = append(out.TGDs, deps.MustTGD(starAtoms(t.Body, w), starAtoms(t.Head, w)))
+	}
+	for i, e := range s.EGDs {
+		w := connVar(vname("e", i))
+		out.EGDs = append(out.EGDs, deps.MustEGD(starAtoms(e.Body, w), e.X, e.Y))
+	}
+	return out
+}
+
+func vname(prefix string, i int) string {
+	return prefix + string(rune('0'+i%10)) + string(rune('a'+(i/10)%26))
+}

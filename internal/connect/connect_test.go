@@ -1,0 +1,120 @@
+package connect
+
+import (
+	"testing"
+
+	"semacyclic/internal/containment"
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/hypergraph"
+)
+
+func TestQueryStaysAcyclicAndConnected(t *testing.T) {
+	q := cq.MustParse("q :- R(x,y), S(y,z).")
+	c := Query(q)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("c(q) invalid: %v", err)
+	}
+	if !hypergraph.IsAcyclic(c.Atoms) {
+		t.Error("c(q) should remain acyclic")
+	}
+	if !c.IsConnected() {
+		t.Error("c(q) should be connected")
+	}
+	// Even for a disconnected input, the shared w connects everything.
+	q2 := cq.MustParse("q :- R(x,y), S(u,v).")
+	if !Query(q2).IsConnected() {
+		t.Error("c(q) of disconnected query should be connected")
+	}
+}
+
+func TestRightQueryConnectedAndCyclic(t *testing.T) {
+	q := cq.MustParse("q :- R(x,y).")
+	c := RightQuery(q)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("c(q') invalid: %v", err)
+	}
+	if !c.IsConnected() {
+		t.Error("c(q') should be connected")
+	}
+	if hypergraph.IsAcyclic(c.Atoms) {
+		t.Error("c(q') carries an aux 3-cycle and must be cyclic")
+	}
+}
+
+func TestSetClassClosure(t *testing.T) {
+	cases := []struct {
+		src   string
+		check func(*deps.Set) bool
+		name  string
+	}{
+		{"R(x,y) -> S(y,z).", (*deps.Set).IsGuarded, "guarded"},
+		{"R(x,y) -> S(y,z).", (*deps.Set).IsLinear, "linear"},
+		{"R(x,y) -> S(y,z).", (*deps.Set).IsInclusionDependencies, "inclusion"},
+		{"R(x,y) -> S(y).\nS(x) -> T(x,w).", (*deps.Set).IsNonRecursive, "non-recursive"},
+		{"T(x,y,z) -> S(y,w).\nR(x,y), P(y,z) -> T(x,y,w).", (*deps.Set).IsSticky, "sticky"},
+		{"G(x,y,z), P(y) -> T(x,w).", (*deps.Set).IsGuarded, "guarded multi-body"},
+	}
+	for _, tc := range cases {
+		s := deps.MustParse(tc.src)
+		if !tc.check(s) {
+			t.Fatalf("%s: source set not in class", tc.name)
+		}
+		c := Set(s)
+		if !tc.check(c) {
+			t.Errorf("%s: class not closed under connecting:\n%s", tc.name, c)
+		}
+		for _, tg := range c.TGDs {
+			if !tg.IsBodyConnected() {
+				t.Errorf("%s: c(Σ) tgd not body-connected: %s", tc.name, tg)
+			}
+		}
+	}
+}
+
+func TestSetHandlesEGDs(t *testing.T) {
+	s := deps.MustParse("R(x,y), R(x,z) -> y = z.")
+	c := Set(s)
+	if len(c.EGDs) != 1 {
+		t.Fatalf("c(Σ) = %v", c)
+	}
+	if c.EGDs[0].Body[0].Pred != "R"+Star {
+		t.Errorf("egd body not starred: %s", c.EGDs[0])
+	}
+}
+
+// TestReductionCorrectness checks q ⊆Σ q' iff c(q) ⊆c(Σ) c(q') on
+// positive and negative samples.
+func TestReductionCorrectness(t *testing.T) {
+	cases := []struct {
+		set, q, qp string
+		want       bool
+	}{
+		{"Interest(x,z), Class(y,z) -> Owns(x,y).",
+			"q :- Interest(x,z), Class(y,z).",
+			"q :- Interest(x,z), Class(y,z), Owns(x,y).", true},
+		{"Interest(x,z), Class(y,z) -> Owns(x,y).",
+			"q :- Interest(x,z).",
+			"q :- Interest(x,z), Class(y,z), Owns(x,y).", false},
+		{"A(x) -> B(x,z).", "q :- A(u).", "q :- B(u,v).", true},
+		{"A(x) -> B(x,z).", "q :- B(u,v).", "q :- A(u).", false},
+	}
+	for _, tc := range cases {
+		set := deps.MustParse(tc.set)
+		q, qp := cq.MustParse(tc.q), cq.MustParse(tc.qp)
+		base, err := containment.Contains(q, qp, set, containment.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Holds != tc.want {
+			t.Fatalf("premise wrong for %q: %+v", tc.q, base)
+		}
+		red, err := containment.Contains(Query(q), RightQuery(qp), Set(set), containment.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if red.Holds != tc.want {
+			t.Errorf("reduction disagrees for %q: base=%v reduced=%v", tc.q, tc.want, red.Holds)
+		}
+	}
+}

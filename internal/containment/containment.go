@@ -1,0 +1,172 @@
+// Package containment decides CQ containment and equivalence under
+// constraints (the problem Cont(C) of the paper, Section 2), selecting
+// a decision procedure per dependency class:
+//
+//   - no constraints: plain Chandra–Merlin containment;
+//   - egds, or tgd classes with terminating chase (non-recursive,
+//     weakly acyclic, full): the chase characterization of Lemma 1;
+//   - guarded (possibly non-terminating chase): the depth-budgeted
+//     guarded chase — sound always, complete whenever the witness lies
+//     within the budget (see DESIGN.md §2 for the substitution note);
+//   - sticky: UCQ rewriting of the right-hand query.
+//
+// Every Decision carries a Definitive flag: positive answers are always
+// definitive (both procedures are sound); a negative answer is
+// definitive only when no budget truncated the underlying procedure.
+package containment
+
+import (
+	"errors"
+	"fmt"
+
+	"semacyclic/internal/chase"
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/hom"
+	"semacyclic/internal/rewrite"
+)
+
+// Method names a containment decision procedure.
+type Method string
+
+// Available methods.
+const (
+	MethodPlain   Method = "plain"         // no constraints
+	MethodChase   Method = "chase"         // terminating chase, Lemma 1
+	MethodBounded Method = "bounded-chase" // depth-budgeted guarded chase
+	MethodRewrite Method = "ucq-rewriting" // backward rewriting (NR, sticky)
+)
+
+// Options tunes the decision procedures. Zero values select defaults.
+type Options struct {
+	// Method forces a procedure; empty selects automatically by class.
+	Method Method
+	// Chase tunes chase-based methods. For MethodBounded a zero
+	// MaxDepth picks a budget derived from the right-hand query and Σ.
+	Chase chase.Options
+	// Rewrite tunes the rewriting-based method.
+	Rewrite rewrite.Options
+}
+
+// Decision is the outcome of a containment check.
+type Decision struct {
+	Holds      bool
+	Definitive bool
+	Method     Method
+}
+
+// Contains decides q ⊆Σ q'. See the package comment for the guarantees
+// attached to the returned Decision.
+func Contains(q, qp *cq.CQ, set *deps.Set, opt Options) (Decision, error) {
+	if len(q.Free) != len(qp.Free) {
+		return Decision{Holds: false, Definitive: true, Method: MethodPlain}, nil
+	}
+	m := opt.Method
+	if m == "" {
+		m = pickMethod(set)
+	}
+	switch m {
+	case MethodPlain:
+		return Decision{Holds: hom.Contained(q, qp), Definitive: true, Method: MethodPlain}, nil
+	case MethodChase, MethodBounded:
+		return chaseContains(q, qp, set, m, opt)
+	case MethodRewrite:
+		return rewriteContains(q, qp, set, opt)
+	default:
+		return Decision{}, fmt.Errorf("containment: unknown method %q", m)
+	}
+}
+
+// pickMethod selects the default decision procedure for the set.
+func pickMethod(set *deps.Set) Method {
+	if set == nil || set.Len() == 0 {
+		return MethodPlain
+	}
+	if len(set.EGDs) > 0 {
+		// Egd-only and mixed sets go through the chase; the egd chase
+		// terminates, and mixed sets are budgeted like MethodChase.
+		return MethodChase
+	}
+	switch {
+	case set.IsNonRecursive(), set.IsWeaklyAcyclic(), set.IsFull():
+		return MethodChase // terminating chase
+	case set.IsGuarded():
+		return MethodBounded
+	case set.IsSticky():
+		return MethodRewrite
+	default:
+		// Outside every decidable class: the bounded chase is still a
+		// sound semi-decision procedure.
+		return MethodBounded
+	}
+}
+
+func chaseContains(q, qp *cq.CQ, set *deps.Set, m Method, opt Options) (Decision, error) {
+	copt := opt.Chase
+	if m == MethodBounded && copt.MaxDepth <= 0 {
+		copt.MaxDepth = defaultGuardedDepth(qp, set)
+	}
+	res, frozen, err := chase.Query(q, set, copt)
+	if errors.Is(err, chase.ErrFailed) {
+		// chase(q,Σ) fails ⇒ q is Σ-unsatisfiable ⇒ q(D) = ∅ on every
+		// D ⊨ Σ ⇒ q ⊆Σ q' trivially.
+		return Decision{Holds: true, Definitive: true, Method: m}, nil
+	}
+	if err != nil {
+		return Decision{}, err
+	}
+	holds := hom.HasTuple(qp, res.Instance, frozen)
+	return Decision{
+		Holds:      holds,
+		Definitive: holds || res.Complete,
+		Method:     m,
+	}, nil
+}
+
+// defaultGuardedDepth picks the chase depth budget for guarded sets.
+// Homomorphism witnesses for a query with k atoms over a guarded chase
+// live within a prefix whose depth grows with k and the dependency
+// count; the default of k·(|Σ|+2)+2 covers every workload in this
+// repository with slack and is overridable via Options.Chase.MaxDepth.
+func defaultGuardedDepth(qp *cq.CQ, set *deps.Set) int {
+	d := qp.Size()*(len(set.TGDs)+2) + 2
+	if d < 4 {
+		d = 4
+	}
+	return d
+}
+
+func rewriteContains(q, qp *cq.CQ, set *deps.Set, opt Options) (Decision, error) {
+	rw, err := rewrite.Rewrite(qp, set, opt.Rewrite)
+	if err != nil {
+		return Decision{}, err
+	}
+	db, frozen := q.Freeze()
+	for _, d := range rw.UCQ.Disjuncts {
+		if hom.HasTuple(d, db, frozen) {
+			return Decision{Holds: true, Definitive: true, Method: MethodRewrite}, nil
+		}
+	}
+	return Decision{Holds: false, Definitive: rw.Complete, Method: MethodRewrite}, nil
+}
+
+// Equivalent decides q ≡Σ q' as two containment checks. The decision is
+// definitive when both directions are.
+func Equivalent(q, qp *cq.CQ, set *deps.Set, opt Options) (Decision, error) {
+	a, err := Contains(q, qp, set, opt)
+	if err != nil {
+		return Decision{}, err
+	}
+	if !a.Holds {
+		return Decision{Holds: false, Definitive: a.Definitive, Method: a.Method}, nil
+	}
+	b, err := Contains(qp, q, set, opt)
+	if err != nil {
+		return Decision{}, err
+	}
+	return Decision{
+		Holds:      b.Holds,
+		Definitive: a.Definitive && b.Definitive,
+		Method:     b.Method,
+	}, nil
+}

@@ -1,0 +1,62 @@
+package containment
+
+import (
+	"testing"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+)
+
+func ucq(t *testing.T, lines string) *cq.UCQ {
+	t.Helper()
+	u, err := cq.ParseUCQ(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestContainsUCQPlain(t *testing.T) {
+	empty := &deps.Set{}
+	q := ucq(t, "q(x) :- E(x,y), E(y,z).\nq(x) :- F(x).")
+	qp := ucq(t, "q(x) :- E(x,y).\nq(x) :- F(x).")
+	dec, err := ContainsUCQ(q, qp, empty, Options{})
+	if err != nil || !dec.Holds || !dec.Definitive {
+		t.Errorf("Q ⊆ Q': %+v %v", dec, err)
+	}
+	// Converse fails: the 1-edge disjunct is in neither right disjunct.
+	dec, err = ContainsUCQ(qp, q, empty, Options{})
+	if err != nil || dec.Holds {
+		t.Errorf("Q' ⊆ Q: %+v %v", dec, err)
+	}
+}
+
+func TestContainsUCQUnderConstraints(t *testing.T) {
+	set := deps.MustParse("A(x) -> B(x).")
+	q := ucq(t, "q(x) :- A(x).\nq(x) :- B(x).")
+	qp := ucq(t, "q(x) :- B(x).")
+	dec, err := ContainsUCQ(q, qp, set, Options{})
+	if err != nil || !dec.Holds {
+		t.Errorf("A∪B ⊆Σ B: %+v %v", dec, err)
+	}
+	// Without the constraint the A-disjunct escapes.
+	dec, err = ContainsUCQ(q, qp, &deps.Set{}, Options{})
+	if err != nil || dec.Holds {
+		t.Errorf("A∪B ⊆ B without Σ: %+v %v", dec, err)
+	}
+}
+
+func TestEquivalentUCQ(t *testing.T) {
+	set := deps.MustParse("A(x) -> B(x).")
+	q := ucq(t, "q(x) :- A(x).\nq(x) :- B(x).")
+	qp := ucq(t, "q(x) :- B(x).")
+	dec, err := EquivalentUCQ(q, qp, set, Options{})
+	if err != nil || !dec.Holds || !dec.Definitive {
+		t.Errorf("equivalence under Σ: %+v %v", dec, err)
+	}
+	other := ucq(t, "q(x) :- C(x).")
+	dec, err = EquivalentUCQ(q, other, set, Options{})
+	if err != nil || dec.Holds {
+		t.Errorf("unrelated unions equivalent: %+v %v", dec, err)
+	}
+}

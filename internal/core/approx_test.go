@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"semacyclic/internal/containment"
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/gen"
+	"semacyclic/internal/hypergraph"
+)
+
+func TestApproximateEquivalentWhenSemanticallyAcyclic(t *testing.T) {
+	ap, err := Approximate(gen.Example1Query(), gen.Example1TGD(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ap.Equivalent {
+		t.Errorf("Example 1 approximation should be equivalent: %s", ap.Query)
+	}
+	if !hypergraph.IsAcyclic(ap.Query.Atoms) {
+		t.Error("approximation cyclic")
+	}
+}
+
+func TestApproximateTriangle(t *testing.T) {
+	// The triangle has no acyclic equivalent; its best acyclic
+	// approximation among foldings is the self-loop E(x,x).
+	tri := cq.MustParse("q :- E(x,y), E(y,z), E(z,x).")
+	ap, err := Approximate(tri, emptySet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Equivalent {
+		t.Error("triangle has no acyclic equivalent")
+	}
+	if !hypergraph.IsAcyclic(ap.Query.Atoms) {
+		t.Fatalf("approximation cyclic: %s", ap.Query)
+	}
+	// Soundness: ap ⊆ q.
+	dec, err := containment.Contains(ap.Query, tri, emptySet(), containment.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Holds {
+		t.Errorf("approximation not contained in query: %s", ap.Query)
+	}
+	// The self-loop collapse is the expected maximal folding.
+	if ap.Query.Size() != 1 {
+		t.Errorf("approximation = %s", ap.Query)
+	}
+}
+
+func TestApproximateKeepsFreeVariables(t *testing.T) {
+	q := cq.MustParse("q(x) :- E(x,y), E(y,z), E(z,x), P(x).")
+	ap, err := Approximate(q, emptySet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ap.Query.Free) != 1 || ap.Query.Free[0] != q.Free[0] {
+		t.Errorf("free variables drifted: %s", ap.Query)
+	}
+	dec, err := containment.Contains(ap.Query, q, emptySet(), containment.Options{})
+	if err != nil || !dec.Holds {
+		t.Errorf("approximation not contained: %s (%v)", ap.Query, err)
+	}
+}
+
+func TestApproximateMaximality(t *testing.T) {
+	// q = 4-cycle. Foldings include collapses to self-loops and to a
+	// "digon" E(x,y),E(y,x). The digon strictly contains the loop
+	// (loop ⊆ digon, digon ⊄ loop), so the approximation must not be
+	// the total collapse.
+	four := cq.MustParse("q :- E(a,b), E(b,c), E(c,d), E(d,a).")
+	ap, err := Approximate(four, emptySet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	digon := cq.MustParse("q :- E(x,y), E(y,x).")
+	dec, err := containment.Contains(ap.Query, four, emptySet(), containment.Options{})
+	if err != nil || !dec.Holds {
+		t.Fatalf("approximation unsound: %s", ap.Query)
+	}
+	// The approximation must be at least as general as the digon.
+	up, err := containment.Contains(digon, ap.Query, emptySet(), containment.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.Holds {
+		t.Errorf("approximation %s is not above the digon folding", ap.Query)
+	}
+}
+
+func TestApproximateUnderConstraints(t *testing.T) {
+	// A cyclic query, not semantically acyclic even under the key; the
+	// approximation must still be Σ-contained in q.
+	set := deps.MustParse("R(x,y), R(x,z) -> y = z.")
+	q := cq.MustParse("q :- E(x,y), E(y,z), E(z,x), R(x,y).")
+	ap, err := Approximate(q, set, Options{SearchBudget: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hypergraph.IsAcyclic(ap.Query.Atoms) {
+		t.Fatalf("approximation cyclic: %s", ap.Query)
+	}
+	dec, err := containment.Contains(ap.Query, q, set, containment.Options{})
+	if err != nil || !dec.Holds {
+		t.Errorf("approximation not Σ-contained: %s", ap.Query)
+	}
+}
+
+func TestTotalCollapse(t *testing.T) {
+	q := cq.MustParse("q :- E(x,y), E(y,z), P(z).")
+	c := totalCollapse(q)
+	if c.Size() != 2 { // E(x,x) and P(x)
+		t.Errorf("collapse = %s", c)
+	}
+	if len(c.Vars()) != 1 {
+		t.Errorf("collapse vars = %v", c.Vars())
+	}
+	// Free variables survive distinct.
+	q2 := cq.MustParse("q(a,b) :- E(a,b), E(b,c).")
+	c2 := totalCollapse(q2)
+	if len(c2.Free) != 2 {
+		t.Errorf("collapse free = %v", c2.Free)
+	}
+}

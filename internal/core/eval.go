@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"semacyclic/internal/chase"
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/game"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+	"semacyclic/internal/yannakakis"
+)
+
+// Evaluator evaluates a semantically acyclic query over databases
+// satisfying Σ, per the fixed-parameter tractable algorithm of
+// Proposition 24: the acyclic reformulation is computed once (the
+// expensive, data-independent step) and then evaluated with Yannakakis
+// in O(|D|) per database.
+type Evaluator struct {
+	Query   *cq.CQ
+	Witness *cq.CQ
+	result  *Result
+}
+
+// NewEvaluator reformulates q under the set. It fails when q is not
+// (verifiably) semantically acyclic — callers can then fall back to
+// hom.Evaluate or to an approximation (§8.2).
+func NewEvaluator(q *cq.CQ, set *deps.Set, opt Options) (*Evaluator, error) {
+	res, err := Decide(q, set, opt)
+	if err != nil {
+		return nil, err
+	}
+	if res.Verdict != Yes {
+		return nil, fmt.Errorf("core: query is not verifiably semantically acyclic (verdict %s)", res.Verdict)
+	}
+	return &Evaluator{Query: q, Witness: res.Witness, result: res}, nil
+}
+
+// Evaluate computes q(D) for a database D ⊨ Σ by evaluating the
+// acyclic witness with Yannakakis' algorithm.
+func (e *Evaluator) Evaluate(db *instance.Instance) ([][]term.Term, error) {
+	return yannakakis.Evaluate(e.Witness, db)
+}
+
+// EvaluateBool reports whether q(D) is nonempty.
+func (e *Evaluator) EvaluateBool(db *instance.Instance) (bool, error) {
+	return yannakakis.EvaluateBool(e.Witness, db)
+}
+
+// Result returns the decision backing this evaluator.
+func (e *Evaluator) Result() *Result { return e.result }
+
+// EvaluateGuardedGame evaluates a semantically acyclic q over D ⊨ Σ for
+// guarded Σ without computing the reformulation, per Theorem 25: t̄ ∈
+// q(D) iff (q, x̄) ≡∃1c (D, t̄), checked by the polynomial-time
+// winning-strategy fixpoint (Lemma 32 removes the chase).
+// Preconditions are the caller's: q semantically acyclic under the
+// guarded set, and D ⊨ Σ. Violating them can only overapproximate.
+func EvaluateGuardedGame(q *cq.CQ, db *instance.Instance) [][]term.Term {
+	return game.Evaluate(q, db)
+}
+
+// GuardedGameHasTuple is the single-tuple variant of Theorem 25.
+func GuardedGameHasTuple(q *cq.CQ, db *instance.Instance, tuple []term.Term) bool {
+	return game.HasTuple(q, db, tuple)
+}
+
+// EvaluateEGDGame evaluates a semantically acyclic q over D ⊨ Σ for a
+// set of egds whose chase is polynomial (e.g. FDs), per the closing
+// remark of Section 7: t̄ ∈ q(D) iff (chase(q,Σ), x̄) ≡∃1c (D, t̄). The
+// egd chase of q is computed once; each tuple check is then a
+// polynomial game.
+func EvaluateEGDGame(q *cq.CQ, set *deps.Set, db *instance.Instance) ([][]term.Term, error) {
+	if !set.PureEGDs() {
+		return nil, fmt.Errorf("core: EvaluateEGDGame requires a pure egd set")
+	}
+	res, frozen, err := chase.Query(q, set, chase.Options{})
+	if err != nil {
+		// A failing chase means q is unsatisfiable on databases ⊨ Σ.
+		return nil, nil
+	}
+	pattern := res.Instance.Atoms()
+	if len(q.Free) == 0 {
+		if game.Covers(pattern, nil, db, nil) {
+			return [][]term.Term{{}}, nil
+		}
+		return nil, nil
+	}
+	// Candidate values per free position from the pattern's predicates.
+	posOf := make([][]struct {
+		pred string
+		pos  int
+	}, len(q.Free))
+	for i, f := range frozen {
+		for _, a := range pattern {
+			for p, t := range a.Args {
+				if t == f {
+					posOf[i] = append(posOf[i], struct {
+						pred string
+						pos  int
+					}{a.Pred, p})
+				}
+			}
+		}
+	}
+	cand := make([][]term.Term, len(q.Free))
+	for i, places := range posOf {
+		seen := make(map[term.Term]bool)
+		for _, pl := range places {
+			for _, fact := range db.ByPred(pl.pred) {
+				if pl.pos < len(fact.Args) && !seen[fact.Args[pl.pos]] {
+					seen[fact.Args[pl.pos]] = true
+					cand[i] = append(cand[i], fact.Args[pl.pos])
+				}
+			}
+		}
+	}
+	var out [][]term.Term
+	tuple := make([]term.Term, len(q.Free))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(q.Free) {
+			if game.Covers(pattern, frozen, db, tuple) {
+				out = append(out, append([]term.Term(nil), tuple...))
+			}
+			return
+		}
+		for _, v := range cand[i] {
+			tuple[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out, nil
+}

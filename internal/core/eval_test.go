@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/gen"
+	"semacyclic/internal/hom"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+func TestEvaluatorMatchesDirectEvaluation(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	q := gen.Example1Query()
+	set := gen.Example1TGD()
+	ev, err := NewEvaluator(q, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		db := gen.Example1DB(r, 4+r.Intn(8), 4+r.Intn(8), 3)
+		fast, err := ev.Evaluate(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := hom.Evaluate(q, db)
+		if len(fast) != len(slow) {
+			t.Fatalf("trial %d: |fast|=%d |slow|=%d on %s", trial, len(fast), len(slow), db)
+		}
+		for i := range slow {
+			for j := range slow[i] {
+				if fast[i][j] != slow[i][j] {
+					t.Fatalf("trial %d: answers differ: %v vs %v", trial, fast[i], slow[i])
+				}
+			}
+		}
+	}
+	if ev.Result().Verdict != Yes {
+		t.Error("evaluator result not yes")
+	}
+}
+
+func TestEvaluatorBool(t *testing.T) {
+	q := gen.Example1Query()
+	ev, err := NewEvaluator(q, gen.Example1TGD(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(6))
+	db := gen.Example1DB(r, 5, 5, 3)
+	ok, err := ev.EvaluateBool(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != hom.EvaluateBool(q, db) {
+		t.Error("bool evaluation disagrees")
+	}
+}
+
+func TestNewEvaluatorRejectsNonSemAc(t *testing.T) {
+	tri := cq.MustParse("q :- E(x,y), E(y,z), E(z,x).")
+	if _, err := NewEvaluator(tri, emptySet(), Options{}); err == nil {
+		t.Error("evaluator accepted a non-semantically-acyclic query")
+	}
+}
+
+func TestEvaluateGuardedGame(t *testing.T) {
+	// Under the guarded set E(x,y) → P(x) the query is semantically
+	// acyclic (its core is already acyclic), and the database below
+	// satisfies it; Theorem 25 says the game decides evaluation.
+	q := cq.MustParse("q(x) :- E(x,y), P(x).")
+	db := instance.MustFromAtoms(
+		instance.NewAtom("E", term.Const("a"), term.Const("b")),
+		instance.NewAtom("P", term.Const("a")),
+		instance.NewAtom("P", term.Const("z")),
+	)
+	got := EvaluateGuardedGame(q, db)
+	want := hom.Evaluate(q, db)
+	if len(got) != len(want) {
+		t.Fatalf("game answers %v, direct %v", got, want)
+	}
+	if !GuardedGameHasTuple(q, db, []term.Term{term.Const("a")}) {
+		t.Error("game missed the answer")
+	}
+	if GuardedGameHasTuple(q, db, []term.Term{term.Const("z")}) {
+		t.Error("game accepted a non-answer")
+	}
+}
+
+func TestEvaluateEGDGame(t *testing.T) {
+	// The FD forces R's successor unique: q asks for P and Q at the two
+	// successors, which on FD-satisfying databases collapse to one.
+	set := deps.MustParse("R(x,y), R(x,z) -> y = z.")
+	q := cq.MustParse("q(x) :- R(x,y), P(y), R(x,z), Q(z).")
+	db := instance.MustFromAtoms(
+		instance.NewAtom("R", term.Const("a"), term.Const("b")),
+		instance.NewAtom("P", term.Const("b")),
+		instance.NewAtom("Q", term.Const("b")),
+		instance.NewAtom("R", term.Const("c"), term.Const("d")),
+		instance.NewAtom("P", term.Const("d")),
+	)
+	got, err := EvaluateEGDGame(q, set, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hom.Evaluate(q, db)
+	if len(got) != len(want) || len(got) != 1 || got[0][0] != term.Const("a") {
+		t.Fatalf("game answers %v, direct %v", got, want)
+	}
+	// Boolean variant.
+	qb := cq.MustParse("q :- R(x,y), P(y), R(x,z), Q(z).")
+	gotB, err := EvaluateEGDGame(qb, set, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotB) != 1 {
+		t.Errorf("boolean game answers = %v", gotB)
+	}
+	// Rejects tgd sets.
+	if _, err := EvaluateEGDGame(q, deps.MustParse("R(x,y) -> P(y)."), db); err == nil {
+		t.Error("tgd set accepted")
+	}
+}
+
+func TestDecideUCQ(t *testing.T) {
+	set := gen.Example1TGD()
+	// Disjunct 1: Example 1 (yes, via witness). Disjunct 2: redundant
+	// (contained in disjunct 1 under Σ — actually equal to its witness).
+	u, err := cq.NewUCQ(gen.Example1Query(), gen.Example1Witness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DecideUCQ(u, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Yes {
+		t.Fatalf("UCQ verdict = %s", res.Verdict)
+	}
+	if res.Witness == nil || len(res.Witness.Disjuncts) == 0 {
+		t.Fatal("no witness union")
+	}
+	redundantCount := 0
+	for _, r := range res.Redundant {
+		if r {
+			redundantCount++
+		}
+	}
+	if redundantCount != 1 {
+		t.Errorf("redundant = %v", res.Redundant)
+	}
+}
+
+func TestDecideUCQWithCyclicDisjunct(t *testing.T) {
+	tri := cq.MustParse("q :- E(x,y), E(y,z), E(z,x).")
+	path := cq.MustParse("q :- E(x,y).")
+	u, err := cq.NewUCQ(tri, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The triangle is contained in the single-edge disjunct (every
+	// triangle has an edge), so it is redundant and the UCQ is
+	// semantically acyclic.
+	res, err := DecideUCQ(u, emptySet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Yes {
+		t.Fatalf("verdict = %s (redundant=%v)", res.Verdict, res.Redundant)
+	}
+	if !res.Redundant[0] || res.Redundant[1] {
+		t.Errorf("redundancy = %v", res.Redundant)
+	}
+}
+
+func TestDecideUCQNegative(t *testing.T) {
+	tri := cq.MustParse("q :- E(x,y), E(y,z), E(z,x).")
+	other := cq.MustParse("q :- F(x,y).")
+	u, err := cq.NewUCQ(tri, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DecideUCQ(u, emptySet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != No || !res.Definitive {
+		t.Errorf("verdict = %+v", res)
+	}
+	if _, err := DecideUCQ(nil, emptySet(), Options{}); err == nil {
+		t.Error("nil UCQ accepted")
+	}
+}

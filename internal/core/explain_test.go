@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"semacyclic/internal/chase"
+	"semacyclic/internal/cq"
+	"semacyclic/internal/gen"
+)
+
+func TestExplainExample1(t *testing.T) {
+	q := gen.Example1Query()
+	set := gen.Example1TGD()
+	res, err := Decide(q, set, Options{})
+	if err != nil || res.Verdict != Yes {
+		t.Fatalf("decide: %+v %v", res, err)
+	}
+	cert, err := Explain(q, set, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The forward hom must map every witness atom into chase(q,Σ):
+	// re-check it independently here.
+	if len(cert.ForwardHom) == 0 || len(cert.BackwardHom) == 0 {
+		t.Fatal("empty homomorphisms")
+	}
+	if err := cert.JoinTree.Verify(); err != nil {
+		t.Fatalf("certificate join tree invalid: %v", err)
+	}
+	out := cert.String()
+	for _, want := range []string{"q ⊆Σ q'", "q' ⊆Σ q", "join tree", "↦"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("certificate missing %q:\n%s", want, out)
+		}
+	}
+	// Free variables must be pinned to the corresponding frozen heads.
+	for _, x := range res.Witness.Free {
+		img := cert.ForwardHom[x]
+		if !cq.IsFrozenConst(img) || cq.Thaw(img) != x {
+			t.Errorf("free variable %s maps to %s, want its frozen self", x, img)
+		}
+	}
+}
+
+// TestExplainHomsAreGenuine re-validates the certificate's forward
+// homomorphism atom by atom against a freshly computed chase.
+func TestExplainHomsAreGenuine(t *testing.T) {
+	q := gen.Example1Query()
+	set := gen.Example1TGD()
+	res, err := Decide(q, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := Explain(q, set, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chq, _, err := chase.Query(q, set, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range cert.Witness.Atoms {
+		img := a.Apply(cert.ForwardHom)
+		if !chq.Instance.Has(img) {
+			t.Errorf("forward hom image %s not in chase(q,Σ)", img)
+		}
+	}
+}
+
+func TestExplainRejectsNonYes(t *testing.T) {
+	q := cq.MustParse("q :- E(x,y), E(y,z), E(z,x).")
+	res := &Result{Verdict: No}
+	if _, err := Explain(q, nil, res, Options{}); err == nil {
+		t.Error("non-yes result explained")
+	}
+	if _, err := Explain(q, nil, nil, Options{}); err == nil {
+		t.Error("nil result explained")
+	}
+}

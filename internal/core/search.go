@@ -1,0 +1,269 @@
+package core
+
+import (
+	"sort"
+
+	"semacyclic/internal/chase"
+	"semacyclic/internal/containment"
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/hom"
+	"semacyclic/internal/hypergraph"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// searchComplete is layer 4: the paper's NP guess realized as a
+// canonical enumeration of candidate CQs over the joint schema with at
+// most `bound` atoms, pruned by homomorphism into a chase of q (a
+// candidate without a pinned homomorphism into chase(q,Σ) cannot
+// satisfy q ⊆Σ candidate, by Lemma 1). Acyclic candidates passing the
+// pruning get a full equivalence verification.
+//
+// Returns the witness (if any), the number of candidates examined, and
+// whether the enumeration exhausted the search space definitively —
+// which additionally requires the pruning chase to have been complete.
+func searchComplete(q *cq.CQ, set *deps.Set, opt Options, bound int) (*cq.CQ, int, bool, error) {
+	sch, err := q.Schema().Union(set.Schema())
+	if err != nil {
+		return nil, 0, false, err
+	}
+	// The UCQ-rewritable classes have witness bounds of 2·f_C(q,Σ),
+	// which can be astronomically beyond what exhaustive enumeration
+	// can visit. Cap the explored depth unless the caller overrode the
+	// bound explicitly; a capped run can still find witnesses but its
+	// exhaustion is no longer definitive.
+	capped := false
+	if opt.MaxWitnessSize == 0 {
+		if limit := 2*q.Size() + 4; bound > limit {
+			bound = limit
+			capped = true
+		}
+	}
+	preds := sch.Predicates()
+	sort.Slice(preds, func(i, j int) bool { return preds[i].Name < preds[j].Name })
+
+	copt := opt.Containment.Chase
+	if copt.MaxDepth <= 0 && copt.MaxSteps <= 0 {
+		copt.MaxDepth = q.Size() + len(set.TGDs) + 2
+		copt.MaxSteps = 2000
+	}
+	chres, frozen, err := chase.Query(q, set, copt)
+	if err != nil {
+		// Failing egd chase: Lemma 1 does not apply (Decide handles
+		// unsatisfiable queries before this layer); no claims here.
+		return nil, 0, false, nil
+	}
+	target := chres.Instance
+
+	// Pin the candidate's free variables to the frozen head tuple.
+	pin := term.NewSubst()
+	for i, x := range q.Free {
+		if prev, ok := pin[x]; ok && prev != frozen[i] {
+			return nil, 0, chres.Complete, nil
+		}
+		pin[x] = frozen[i]
+	}
+
+	// Constants available to candidates: those of q and Σ.
+	consts := availableConstants(q, set)
+
+	free := append([]term.Term(nil), q.Free...)
+
+	examined := 0
+	steps := 0
+	budget := opt.SearchBudget
+	exhausted := true
+	var witness *cq.CQ
+
+	// Canonical fresh variables are introduced in order s0, s1, ... so
+	// isomorphic candidates are enumerated once.
+	varName := func(i int) term.Term { return term.Var("s" + itoa(i)) }
+
+	var extend func(atoms []instance.Atom, nextVar int) (bool, error)
+
+	// tryCandidate verifies a complete candidate. The enumeration
+	// pruning has already certified q ⊆Σ cand — the candidate has a
+	// pinned homomorphism into chase(q,Σ), which by Lemma 1 is exactly
+	// that containment (sound even on a chase prefix) — so only the
+	// converse direction needs checking here.
+	tryCandidate := func(atoms []instance.Atom) (bool, error) {
+		cand := &cq.CQ{Name: q.Name, Free: free, Atoms: cloneAtoms(atoms)}
+		if err := cand.Validate(); err != nil {
+			return false, nil
+		}
+		if !hypergraph.IsAcyclic(cand.Atoms) {
+			return false, nil
+		}
+		examined++
+		dec, err := containment.Contains(cand, q, set, opt.Containment)
+		if err != nil {
+			return false, err
+		}
+		if dec.Holds {
+			witness = cand.Clone()
+			return true, nil
+		}
+		if !dec.Definitive {
+			exhausted = false
+		}
+		return false, nil
+	}
+
+	extend = func(atoms []instance.Atom, nextVar int) (bool, error) {
+		steps++
+		if steps > 50*budget || examined >= budget {
+			exhausted = false
+			return false, nil
+		}
+		if steps%256 == 0 && opt.cancelled() {
+			return false, ErrCancelled
+		}
+		if len(atoms) > 0 {
+			// Prune: q ⊆Σ candidate requires a pinned homomorphism of
+			// the candidate into chase(q,Σ).
+			if !hom.Exists(atoms, target, pin) {
+				return false, nil
+			}
+			if done, err := tryCandidate(atoms); err != nil || done {
+				return done, err
+			}
+		}
+		if len(atoms) >= bound {
+			return false, nil
+		}
+		// Extend with one atom over each predicate; arguments drawn from
+		// free variables, variables used so far, one fresh variable rank
+		// beyond, and the available constants.
+		for _, p := range preds {
+			pool := argumentPool(free, nextVar, consts, varName)
+			args := make([]term.Term, p.Arity)
+			var fill func(pos, maxNew int) (bool, error)
+			fill = func(pos, maxNew int) (bool, error) {
+				if pos == p.Arity {
+					atom := instance.NewAtom(p.Name, args...)
+					if containsAtom(atoms, atom) {
+						return false, nil
+					}
+					return extend(append(atoms, atom), nextVar+maxNew)
+				}
+				for _, t := range pool {
+					// Canonical introduction: a fresh variable may only
+					// be used if all earlier fresh ranks are in use.
+					rank, fresh := freshRank(t, nextVar)
+					if fresh && rank > maxNew {
+						continue
+					}
+					newMax := maxNew
+					if fresh && rank == maxNew {
+						newMax = maxNew + 1
+					}
+					args[pos] = t
+					done, err := fill(pos+1, newMax)
+					if err != nil || done {
+						return done, err
+					}
+				}
+				return false, nil
+			}
+			if done, err := fill(0, 0); err != nil || done {
+				return done, err
+			}
+		}
+		return false, nil
+	}
+
+	done, err := extend(nil, 0)
+	if err != nil {
+		return nil, examined, false, err
+	}
+	if done {
+		return witness, examined, false, nil
+	}
+	return nil, examined, exhausted && chres.Complete && !capped, nil
+}
+
+// argumentPool lists the terms an atom argument may take: the query's
+// free variables, canonical fresh variables s0..s_{nextVar+bound}, and
+// the constants in scope. Fresh variables beyond nextVar are capped by
+// canonical-introduction filtering in fill.
+func argumentPool(free []term.Term, nextVar int, consts []term.Term, varName func(int) term.Term) []term.Term {
+	pool := append([]term.Term(nil), free...)
+	for i := 0; i < nextVar+maxFreshPerAtom; i++ {
+		pool = append(pool, varName(i))
+	}
+	pool = append(pool, consts...)
+	return pool
+}
+
+// maxFreshPerAtom bounds how many brand-new variables one atom may
+// introduce; atoms have bounded arity so this equals the largest arity
+// we enumerate, kept as a generous constant.
+const maxFreshPerAtom = 6
+
+func freshRank(t term.Term, nextVar int) (int, bool) {
+	if !t.IsVar() || len(t.Name) < 2 || t.Name[0] != 's' {
+		return 0, false
+	}
+	n := 0
+	for i := 1; i < len(t.Name); i++ {
+		c := t.Name[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	if n < nextVar {
+		return 0, false // already-introduced variable: not fresh
+	}
+	return n - nextVar, true
+}
+
+func containsAtom(atoms []instance.Atom, a instance.Atom) bool {
+	for _, b := range atoms {
+		if b.Equal(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func availableConstants(q *cq.CQ, set *deps.Set) []term.Term {
+	seen := make(map[term.Term]bool)
+	var out []term.Term
+	add := func(atoms []instance.Atom) {
+		for _, a := range atoms {
+			for _, t := range a.Args {
+				if t.IsConst() && !seen[t] {
+					seen[t] = true
+					out = append(out, t)
+				}
+			}
+		}
+	}
+	add(q.Atoms)
+	for _, t := range set.TGDs {
+		add(t.Body)
+		add(t.Head)
+	}
+	for _, e := range set.EGDs {
+		add(e.Body)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// itoa is a tiny strconv.Itoa to keep hot paths allocation-obvious.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

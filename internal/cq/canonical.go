@@ -1,0 +1,117 @@
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// CanonicalKey returns a renaming-invariant fingerprint of the query:
+// two queries with the same key are isomorphic (equal up to consistent
+// variable renaming). The converse does not always hold — canonical
+// graph labelling is not attempted — so the key may distinguish some
+// isomorphic queries with highly symmetric shapes. Users (chiefly the
+// rewriting engine's duplicate filter) treat the key as a sound dedup
+// hash: collisions never merge non-isomorphic queries, at worst some
+// isomorphic duplicates survive and are later removed by the semantic
+// containment-based minimization.
+//
+// The key is computed by iterating "name variables by first occurrence,
+// then sort atoms" to a fixed point, which resolves the common cases.
+func (q *CQ) CanonicalKey() string {
+	atoms := cloneAtoms(q.Atoms)
+
+	// Free variables get fixed labels up front: they are not renameable.
+	fixed := make(map[term.Term]string, len(q.Free))
+	for i, x := range q.Free {
+		fixed[x] = fmt.Sprintf("F%d", i)
+	}
+
+	label := func(assign map[term.Term]string, t term.Term) string {
+		if t.IsConst() {
+			return "c:" + t.Name
+		}
+		if l, ok := fixed[t]; ok {
+			return l
+		}
+		if l, ok := assign[t]; ok {
+			return l
+		}
+		return "?" // unassigned existential variable
+	}
+
+	render := func(assign map[term.Term]string, a instance.Atom) string {
+		parts := make([]string, 0, len(a.Args)+1)
+		parts = append(parts, a.Pred)
+		for _, t := range a.Args {
+			parts = append(parts, label(assign, t))
+		}
+		return strings.Join(parts, "\x00")
+	}
+
+	assign := make(map[term.Term]string)
+	for round := 0; round < len(atoms)+2; round++ {
+		// Sort atoms under the current partial labelling.
+		sort.SliceStable(atoms, func(i, j int) bool {
+			return render(assign, atoms[i]) < render(assign, atoms[j])
+		})
+		// Relabel existential variables by first occurrence in the new order.
+		next := make(map[term.Term]string)
+		n := 0
+		for _, a := range atoms {
+			for _, t := range a.Args {
+				if !t.IsVar() {
+					continue
+				}
+				if _, ok := fixed[t]; ok {
+					continue
+				}
+				if _, ok := next[t]; !ok {
+					next[t] = fmt.Sprintf("E%d", n)
+					n++
+				}
+			}
+		}
+		same := len(next) == len(assign)
+		if same {
+			for k, v := range next {
+				if assign[k] != v {
+					same = false
+					break
+				}
+			}
+		}
+		assign = next
+		if same {
+			break
+		}
+	}
+
+	sort.SliceStable(atoms, func(i, j int) bool {
+		return render(assign, atoms[i]) < render(assign, atoms[j])
+	})
+	parts := make([]string, len(atoms))
+	for i, a := range atoms {
+		parts[i] = render(assign, a)
+	}
+	return fmt.Sprintf("free=%d|%s", len(q.Free), strings.Join(parts, "\x01"))
+}
+
+// DedupAtoms removes exact duplicate atoms, preserving order.
+func (q *CQ) DedupAtoms() *CQ {
+	seen := make(map[string]bool, len(q.Atoms))
+	out := q.Clone()
+	atoms := out.Atoms[:0]
+	for _, a := range out.Atoms {
+		k := a.Key()
+		if !seen[k] {
+			seen[k] = true
+			atoms = append(atoms, a)
+		}
+	}
+	out.Atoms = atoms
+	return out
+}

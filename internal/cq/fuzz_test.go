@@ -1,0 +1,104 @@
+package cq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: arbitrary byte soup must produce an error or a
+// valid query, never a panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(input string) bool {
+		q, err := Parse(input)
+		if err != nil {
+			return true
+		}
+		return q.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseStructuredFuzz throws syntax-shaped garbage at the parser:
+// fragments assembled from plausible tokens, which exercises deeper
+// parser states than uniform random bytes.
+func TestParseStructuredFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	tokens := []string{
+		"q", "(", ")", ":-", ",", ".", "R", "S", "x", "y", "'a'", "42",
+		"''", " ", "(x", "))", ":-:-", "R(", "q(", "'unterminated",
+	}
+	for i := 0; i < 5000; i++ {
+		var b strings.Builder
+		n := 1 + r.Intn(12)
+		for j := 0; j < n; j++ {
+			b.WriteString(tokens[r.Intn(len(tokens))])
+		}
+		input := b.String()
+		q, err := Parse(input) // must not panic
+		if err == nil {
+			if verr := q.Validate(); verr != nil {
+				t.Fatalf("parser accepted invalid query from %q: %v", input, verr)
+			}
+			// Accepted queries must round-trip.
+			back, err := Parse(q.String())
+			if err != nil {
+				t.Fatalf("round trip of %q failed: %v", q, err)
+			}
+			if back.String() != q.String() {
+				t.Fatalf("round trip changed %q into %q", q, back)
+			}
+		}
+	}
+}
+
+// TestRoundTripProperty: randomly generated well-formed queries survive
+// print→parse→print unchanged.
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	preds := []string{"R", "S", "Edge", "P_1"}
+	for i := 0; i < 1000; i++ {
+		q := randomQuery(r, preds)
+		back, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("parse of printed %q failed: %v", q.String(), err)
+		}
+		if back.String() != q.String() {
+			t.Fatalf("round trip changed %q into %q", q.String(), back.String())
+		}
+	}
+}
+
+func randomQuery(r *rand.Rand, preds []string) *CQ {
+	nAtoms := 1 + r.Intn(5)
+	vars := []string{"x", "y", "z", "u", "v"}
+	var atoms []string
+	used := map[string]bool{}
+	for i := 0; i < nAtoms; i++ {
+		arity := 1 + r.Intn(3)
+		args := make([]string, arity)
+		for j := range args {
+			if r.Intn(4) == 0 {
+				args[j] = "'c" + vars[r.Intn(len(vars))] + "'"
+			} else {
+				v := vars[r.Intn(len(vars))]
+				args[j] = v
+				used[v] = true
+			}
+		}
+		atoms = append(atoms, preds[r.Intn(len(preds))]+"A"+itoa(arity)+"("+strings.Join(args, ",")+")")
+	}
+	var free []string
+	for v := range used {
+		if r.Intn(3) == 0 {
+			free = append(free, v)
+		}
+	}
+	head := "q(" + strings.Join(free, ",") + ")"
+	return MustParse(head + " :- " + strings.Join(atoms, ", ") + ".")
+}
+
+func itoa(n int) string { return string(rune('0' + n)) }

@@ -1,0 +1,230 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// Parse parses a single conjunctive query in rule syntax:
+//
+//	q(x,y) :- R(x,z), S(z,y), T('a',x).
+//
+// Identifiers in argument positions are variables; single-quoted
+// strings and bare numbers are constants. The head argument list and
+// the trailing period are optional (a bare head means a Boolean query).
+func Parse(input string) (*CQ, error) {
+	p := &parser{src: input}
+	q, err := p.parseRule()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, p.errf("trailing input after query")
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for statically valid literals.
+func MustParse(input string) *CQ {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseUCQ parses one query per non-empty line (comments start with %)
+// and returns their union. All heads must agree on arity.
+func ParseUCQ(input string) (*UCQ, error) {
+	var disjuncts []*CQ
+	for i, line := range strings.Split(input, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		q, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		disjuncts = append(disjuncts, q)
+	}
+	return NewUCQ(disjuncts...)
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("cq: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) expect(tok string) error {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], tok) {
+		return p.errf("expected %q", tok)
+	}
+	p.pos += len(tok)
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentRune(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.eof() || !isIdentStart(p.peek()) {
+		return "", p.errf("expected identifier")
+	}
+	for !p.eof() && isIdentRune(p.peek()) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+// parseTerm reads one argument: a quoted or numeric constant, or a
+// variable identifier.
+func (p *parser) parseTerm() (term.Term, error) {
+	p.skipSpace()
+	switch {
+	case p.peek() == '\'':
+		p.pos++
+		start := p.pos
+		for !p.eof() && p.peek() != '\'' {
+			p.pos++
+		}
+		if p.eof() {
+			return term.Term{}, p.errf("unterminated constant literal")
+		}
+		name := p.src[start:p.pos]
+		p.pos++
+		return term.Const(name), nil
+	case !p.eof() && unicode.IsDigit(rune(p.peek())):
+		start := p.pos
+		for !p.eof() && unicode.IsDigit(rune(p.peek())) {
+			p.pos++
+		}
+		return term.Const(p.src[start:p.pos]), nil
+	default:
+		name, err := p.ident()
+		if err != nil {
+			return term.Term{}, err
+		}
+		return term.Var(name), nil
+	}
+}
+
+func (p *parser) parseTermList() ([]term.Term, error) {
+	var out []term.Term
+	p.skipSpace()
+	if p.peek() == ')' {
+		return out, nil
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		p.skipSpace()
+		if p.peek() != ',' {
+			return out, nil
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) parseAtom() (instance.Atom, error) {
+	pred, err := p.ident()
+	if err != nil {
+		return instance.Atom{}, err
+	}
+	if err := p.expect("("); err != nil {
+		return instance.Atom{}, err
+	}
+	args, err := p.parseTermList()
+	if err != nil {
+		return instance.Atom{}, err
+	}
+	if err := p.expect(")"); err != nil {
+		return instance.Atom{}, err
+	}
+	return instance.NewAtom(pred, args...), nil
+}
+
+func (p *parser) parseRule() (*CQ, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	var free []term.Term
+	p.skipSpace()
+	if p.peek() == '(' {
+		p.pos++
+		args, err := p.parseTermList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		for _, t := range args {
+			if !t.IsVar() {
+				return nil, p.errf("head argument %s is not a variable", t)
+			}
+		}
+		free = args
+	}
+	if err := p.expect(":-"); err != nil {
+		return nil, err
+	}
+	var atoms []instance.Atom
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, a)
+		p.skipSpace()
+		if p.peek() != ',' {
+			break
+		}
+		p.pos++
+	}
+	p.skipSpace()
+	if p.peek() == '.' {
+		p.pos++
+	}
+	q := &CQ{Name: name, Free: free, Atoms: atoms}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

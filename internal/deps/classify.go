@@ -1,0 +1,446 @@
+package deps
+
+import (
+	"semacyclic/internal/term"
+)
+
+// Class names the syntactic dependency classes of the paper. Values
+// are usable as map keys and in reports.
+type Class string
+
+// The classes studied in the paper (Section 2).
+const (
+	ClassFull          Class = "full"          // F: no existential head variables
+	ClassGuarded       Class = "guarded"       // G
+	ClassLinear        Class = "linear"        // L
+	ClassInclusion     Class = "inclusion"     // ID
+	ClassNonRecursive  Class = "non-recursive" // NR
+	ClassSticky        Class = "sticky"        // S
+	ClassWeaklyAcyc    Class = "weakly-acyclic"
+	ClassWeaklyGuarded Class = "weakly-guarded"
+	ClassWeaklySticky  Class = "weakly-sticky"
+	ClassKeys          Class = "keys"
+	ClassK2            Class = "keys-arity≤2" // K2: keys over unary/binary predicates
+	ClassFD            Class = "functional-dependencies"
+	ClassUnaryFD       Class = "unary-functional-dependencies"
+)
+
+// IsFull reports whether the tgd has no existentially quantified head
+// variables (the class F of Theorem 7, for which SemAc is undecidable).
+func (t *TGD) IsFull() bool { return len(t.ExistentialVars()) == 0 }
+
+// IsGuarded reports whether some body atom (a guard) contains every
+// body variable.
+func (t *TGD) IsGuarded() bool {
+	bodyVars := t.BodyVars()
+	for _, a := range t.Body {
+		if containsAllVars(a.Vars(), bodyVars) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAllVars(have, want []term.Term) bool {
+	set := make(map[term.Term]bool, len(have))
+	for _, v := range have {
+		set[v] = true
+	}
+	for _, v := range want {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsLinear reports whether the body is a single atom (the class L).
+func (t *TGD) IsLinear() bool { return len(t.Body) == 1 }
+
+// IsInclusionDependency reports whether the tgd is an inclusion
+// dependency: linear, single head atom, and no variable repeated within
+// the body atom or within the head atom.
+func (t *TGD) IsInclusionDependency() bool {
+	if !t.IsLinear() || len(t.Head) != 1 {
+		return false
+	}
+	return !hasRepeatedVar(t.Body[0].Args) && !hasRepeatedVar(t.Head[0].Args)
+}
+
+func hasRepeatedVar(args []term.Term) bool {
+	seen := make(map[term.Term]bool, len(args))
+	for _, a := range args {
+		if !a.IsVar() {
+			continue
+		}
+		if seen[a] {
+			return true
+		}
+		seen[a] = true
+	}
+	return false
+}
+
+// IsBodyConnected reports whether the body's Gaifman graph is connected
+// (the requirement on Σ in Proposition 5). Single-atom bodies are
+// connected; multiple variable-disjoint body atoms are not.
+func (t *TGD) IsBodyConnected() bool {
+	if len(t.Body) <= 1 {
+		return true
+	}
+	parent := make([]int, len(t.Body))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	byVar := make(map[term.Term]int)
+	for i, a := range t.Body {
+		for _, v := range a.Vars() {
+			if j, ok := byVar[v]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				byVar[v] = i
+			}
+		}
+	}
+	r := find(0)
+	for i := 1; i < len(t.Body); i++ {
+		if find(i) != r {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFull reports whether every tgd in the set is full.
+func (s *Set) IsFull() bool {
+	for _, t := range s.TGDs {
+		if !t.IsFull() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsGuarded reports whether every tgd in the set is guarded (the class
+// G of Theorem 11). EGDs are ignored: guardedness is a tgd notion.
+func (s *Set) IsGuarded() bool {
+	for _, t := range s.TGDs {
+		if !t.IsGuarded() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsLinear reports whether every tgd is linear (class L).
+func (s *Set) IsLinear() bool {
+	for _, t := range s.TGDs {
+		if !t.IsLinear() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsInclusionDependencies reports whether every tgd is an inclusion
+// dependency (class ID).
+func (s *Set) IsInclusionDependencies() bool {
+	for _, t := range s.TGDs {
+		if !t.IsInclusionDependency() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNonRecursive reports whether the predicate graph of the tgd set —
+// an edge from every body predicate to every head predicate of each
+// tgd — has no directed cycle (class NR, Proposition 3).
+func (s *Set) IsNonRecursive() bool {
+	adj := make(map[string]map[string]bool)
+	nodes := make(map[string]bool)
+	for _, t := range s.TGDs {
+		for _, b := range t.Body {
+			nodes[b.Pred] = true
+			for _, h := range t.Head {
+				nodes[h.Pred] = true
+				if adj[b.Pred] == nil {
+					adj[b.Pred] = make(map[string]bool)
+				}
+				adj[b.Pred][h.Pred] = true
+			}
+		}
+	}
+	// Cycle detection by DFS colouring.
+	const (
+		white, grey, black = 0, 1, 2
+	)
+	colour := make(map[string]int, len(nodes))
+	var visit func(string) bool // true when a cycle is reachable
+	visit = func(u string) bool {
+		colour[u] = grey
+		for v := range adj[u] {
+			switch colour[v] {
+			case grey:
+				return true
+			case white:
+				if visit(v) {
+					return true
+				}
+			}
+		}
+		colour[u] = black
+		return false
+	}
+	for u := range nodes {
+		if colour[u] == white && visit(u) {
+			return false
+		}
+	}
+	return true
+}
+
+// position is an attribute position (predicate, index).
+type position struct {
+	pred string
+	pos  int
+}
+
+// IsWeaklyAcyclic reports whether the position dependency graph of the
+// tgd set has no cycle through a special edge [Fagin et al., TCS 2005].
+// Regular edge (R,i)→(S,j): a frontier variable occurs at body position
+// (R,i) and head position (S,j). Special edge (R,i)→(S,j): a frontier
+// variable occurs at body position (R,i) and some existential variable
+// occurs at head position (S,j) of the same tgd.
+func (s *Set) IsWeaklyAcyclic() bool {
+	type edge struct {
+		to      position
+		special bool
+	}
+	adj := make(map[position][]edge)
+	for _, t := range s.TGDs {
+		headVars := varSet(t.Head)
+		bodyVars := varSet(t.Body)
+		// Existential head positions of this tgd.
+		var exPositions []position
+		for _, h := range t.Head {
+			for j, v := range h.Args {
+				if v.IsVar() && !bodyVars[v] {
+					exPositions = append(exPositions, position{h.Pred, j})
+				}
+			}
+		}
+		for _, b := range t.Body {
+			for i, v := range b.Args {
+				if !v.IsVar() || !headVars[v] {
+					continue
+				}
+				from := position{b.Pred, i}
+				for _, h := range t.Head {
+					for j, w := range h.Args {
+						if w == v {
+							adj[from] = append(adj[from], edge{position{h.Pred, j}, false})
+						}
+					}
+				}
+				for _, ep := range exPositions {
+					adj[from] = append(adj[from], edge{ep, true})
+				}
+			}
+		}
+	}
+	// A cycle through a special edge exists iff some special edge u→v
+	// has a path v ⇝ u in the full graph.
+	reach := func(from, to position) bool {
+		seen := map[position]bool{from: true}
+		stack := []position{from}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if u == to {
+				return true
+			}
+			for _, e := range adj[u] {
+				if !seen[e.to] {
+					seen[e.to] = true
+					stack = append(stack, e.to)
+				}
+			}
+		}
+		return false
+	}
+	for u, edges := range adj {
+		for _, e := range edges {
+			if e.special && reach(e.to, u) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ClassifyEGDAsFD attempts to recognize the egd as a functional
+// dependency R: A → b: a body of exactly two atoms over the same
+// predicate whose arguments are distinct variables, agreeing exactly on
+// the positions A, with the equated variables at the same position of
+// the two atoms.
+func ClassifyEGDAsFD(e *EGD) (*FD, bool) {
+	if len(e.Body) != 2 {
+		return nil, false
+	}
+	a, b := e.Body[0], e.Body[1]
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return nil, false
+	}
+	// All arguments must be variables; within each atom, distinct.
+	if hasRepeatedVar(a.Args) || hasRepeatedVar(b.Args) {
+		return nil, false
+	}
+	for _, t := range append(append([]term.Term(nil), a.Args...), b.Args...) {
+		if !t.IsVar() {
+			return nil, false
+		}
+	}
+	var from []int
+	to := -1
+	for i := range a.Args {
+		switch {
+		case a.Args[i] == b.Args[i]:
+			from = append(from, i)
+		case (a.Args[i] == e.X && b.Args[i] == e.Y) || (a.Args[i] == e.Y && b.Args[i] == e.X):
+			if to != -1 {
+				return nil, false // equated pair must be unique
+			}
+			to = i
+		}
+	}
+	if to == -1 || len(from) == 0 {
+		return nil, false
+	}
+	// Every variable must be either shared (From), the equated pair
+	// (To), or free disagreement positions — all remaining positions
+	// must hold pairwise-distinct fresh variables, which the repeated-
+	// variable checks above already guarantee within atoms; across
+	// atoms, positions outside From must differ.
+	for i := range a.Args {
+		if i == to {
+			continue
+		}
+		inFrom := false
+		for _, f := range from {
+			if f == i {
+				inFrom = true
+			}
+		}
+		if !inFrom && a.Args[i] == b.Args[i] {
+			return nil, false
+		}
+	}
+	fd, err := NewFD(a.Pred, len(a.Args), from, to)
+	if err != nil {
+		return nil, false
+	}
+	return fd, true
+}
+
+// IsFDs reports whether every egd in the set is a functional dependency.
+func (s *Set) IsFDs() bool {
+	for _, e := range s.EGDs {
+		if _, ok := ClassifyEGDAsFD(e); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsUnaryFDs reports whether every egd is a unary FD.
+func (s *Set) IsUnaryFDs() bool {
+	for _, e := range s.EGDs {
+		fd, ok := ClassifyEGDAsFD(e)
+		if !ok || !fd.IsUnary() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsKeys reports whether every egd is a key FD.
+func (s *Set) IsKeys() bool {
+	for _, e := range s.EGDs {
+		fd, ok := ClassifyEGDAsFD(e)
+		if !ok || !fd.IsKey() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsK2 reports whether every egd is a key over a unary or binary
+// predicate (the class K2 of Theorem 23).
+func (s *Set) IsK2() bool {
+	for _, e := range s.EGDs {
+		fd, ok := ClassifyEGDAsFD(e)
+		if !ok || !fd.IsKey() || fd.Arity > 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Classes returns every class of this package the set belongs to.
+// Tgd classes require a pure-tgd set; egd classes a pure-egd set.
+func (s *Set) Classes() []Class {
+	var out []Class
+	if s.PureTGDs() && len(s.TGDs) > 0 {
+		if s.IsFull() {
+			out = append(out, ClassFull)
+		}
+		if s.IsGuarded() {
+			out = append(out, ClassGuarded)
+		}
+		if s.IsLinear() {
+			out = append(out, ClassLinear)
+		}
+		if s.IsInclusionDependencies() {
+			out = append(out, ClassInclusion)
+		}
+		if s.IsNonRecursive() {
+			out = append(out, ClassNonRecursive)
+		}
+		if s.IsSticky() {
+			out = append(out, ClassSticky)
+		}
+		if s.IsWeaklyAcyclic() {
+			out = append(out, ClassWeaklyAcyc)
+		}
+		if s.IsWeaklyGuarded() {
+			out = append(out, ClassWeaklyGuarded)
+		}
+		if s.IsWeaklySticky() {
+			out = append(out, ClassWeaklySticky)
+		}
+	}
+	if s.PureEGDs() && len(s.EGDs) > 0 {
+		if s.IsFDs() {
+			out = append(out, ClassFD)
+		}
+		if s.IsUnaryFDs() {
+			out = append(out, ClassUnaryFD)
+		}
+		if s.IsKeys() {
+			out = append(out, ClassKeys)
+		}
+		if s.IsK2() {
+			out = append(out, ClassK2)
+		}
+	}
+	return out
+}

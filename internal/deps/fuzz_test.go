@@ -1,0 +1,77 @@
+package deps
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: arbitrary input must never panic the parser.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(input string) bool {
+		s, err := Parse(input)
+		if err != nil {
+			return true
+		}
+		return s.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseStructuredFuzz assembles dependency-shaped fragments.
+func TestParseStructuredFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	tokens := []string{
+		"R", "S", "(", ")", "->", "=", ",", ".", "x", "y", "z", "'a'",
+		"\n", " ", "R(x,y)", "-> y = z", "R(x", "))", "'never closed",
+	}
+	for i := 0; i < 5000; i++ {
+		var b strings.Builder
+		n := 1 + r.Intn(10)
+		for j := 0; j < n; j++ {
+			b.WriteString(tokens[r.Intn(len(tokens))])
+		}
+		input := b.String()
+		s, err := Parse(input) // must not panic
+		if err == nil {
+			if verr := s.Validate(); verr != nil {
+				t.Fatalf("parser accepted invalid set from %q: %v", input, verr)
+			}
+			back, err := Parse(s.String())
+			if err != nil {
+				t.Fatalf("round trip of %q failed: %v", s, err)
+			}
+			if back.String() != s.String() {
+				t.Fatalf("round trip changed %q into %q", s, back)
+			}
+		}
+	}
+}
+
+// TestClassifiersNeverPanic: every classifier must be total on every
+// parseable set.
+func TestClassifiersNeverPanic(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	samples := []string{
+		"R(x,y) -> S(y,z).",
+		"R(x,y), P(y,z) -> T(x,y,w).",
+		"R(x,y), R(x,z) -> y = z.",
+		"A(x) -> B(x).\nB(x) -> A(x).",
+		"T(x,y,z) -> S(y,w).\nR(x,y), P(y,z) -> T(x,y,w).",
+	}
+	for i := 0; i < 200; i++ {
+		s := MustParse(samples[r.Intn(len(samples))])
+		_ = s.Classes()
+		_ = s.IsGuarded()
+		_ = s.IsSticky()
+		_ = s.IsWeaklyAcyclic()
+		_ = s.IsWeaklyGuarded()
+		_ = s.IsWeaklySticky()
+		_ = s.IsNonRecursive()
+		_ = AffectedPositions(s)
+		_ = ComputeMarking(s)
+	}
+}

@@ -1,0 +1,341 @@
+package deps
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"semacyclic/internal/instance"
+	"semacyclic/internal/schema"
+	"semacyclic/internal/term"
+)
+
+// Set is a finite set of dependencies, tgds and egds together. The
+// paper's problems take either pure-tgd or pure-egd sets; Set carries
+// both so tools can parse mixed input and dispatch.
+type Set struct {
+	TGDs []*TGD
+	EGDs []*EGD
+}
+
+// NewSet builds a set from the given dependencies.
+func NewSet(tgds []*TGD, egds []*EGD) *Set {
+	return &Set{TGDs: append([]*TGD(nil), tgds...), EGDs: append([]*EGD(nil), egds...)}
+}
+
+// TGDSet wraps tgds into a Set.
+func TGDSet(tgds ...*TGD) *Set { return NewSet(tgds, nil) }
+
+// EGDSet wraps egds into a Set.
+func EGDSet(egds ...*EGD) *Set { return NewSet(nil, egds) }
+
+// Len returns the total number of dependencies.
+func (s *Set) Len() int { return len(s.TGDs) + len(s.EGDs) }
+
+// Size returns the total number of atoms across all dependencies, the
+// |Σ| measure used in complexity statements.
+func (s *Set) Size() int {
+	n := 0
+	for _, t := range s.TGDs {
+		n += len(t.Body) + len(t.Head)
+	}
+	for _, e := range s.EGDs {
+		n += len(e.Body)
+	}
+	return n
+}
+
+// PureTGDs reports whether the set contains only tgds.
+func (s *Set) PureTGDs() bool { return len(s.EGDs) == 0 }
+
+// PureEGDs reports whether the set contains only egds.
+func (s *Set) PureEGDs() bool { return len(s.TGDs) == 0 }
+
+// Schema returns the union signature of all dependencies.
+func (s *Set) Schema() *schema.Schema {
+	sch := schema.New()
+	add := func(atoms []instance.Atom) {
+		for _, a := range atoms {
+			if err := sch.Add(a.Pred, len(a.Args)); err != nil {
+				panic(err) // individual Validate calls rejected conflicts within a dep
+			}
+		}
+	}
+	for _, t := range s.TGDs {
+		add(t.Body)
+		add(t.Head)
+	}
+	for _, e := range s.EGDs {
+		add(e.Body)
+	}
+	return sch
+}
+
+// Validate re-checks every dependency and cross-dependency arity
+// consistency.
+func (s *Set) Validate() error {
+	sch := schema.New()
+	check := func(atoms []instance.Atom) error {
+		for _, a := range atoms {
+			if err := sch.Add(a.Pred, len(a.Args)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, t := range s.TGDs {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if err := check(t.Body); err != nil {
+			return fmt.Errorf("deps: %v", err)
+		}
+		if err := check(t.Head); err != nil {
+			return fmt.Errorf("deps: %v", err)
+		}
+	}
+	for _, e := range s.EGDs {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		if err := check(e.Body); err != nil {
+			return fmt.Errorf("deps: %v", err)
+		}
+	}
+	return nil
+}
+
+// String renders one dependency per line.
+func (s *Set) String() string {
+	var lines []string
+	for _, t := range s.TGDs {
+		lines = append(lines, t.String()+".")
+	}
+	for _, e := range s.EGDs {
+		lines = append(lines, e.String()+".")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Parse reads a dependency set, one dependency per non-empty line
+// (comments start with %):
+//
+//	Interest(x,z), Class(y,z) -> Owns(x,y).
+//	T(x,y,z) -> S(x,w).
+//	R(x,y), R(x,z) -> y = z.
+//
+// Head variables absent from the body are existentially quantified.
+func Parse(input string) (*Set, error) {
+	out := &Set{}
+	for i, line := range strings.Split(input, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if err := parseLine(out, line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(input string) *Set {
+	s, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func parseLine(out *Set, line string) error {
+	p := &depParser{src: line}
+	body, err := p.atomList()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("->"); err != nil {
+		return err
+	}
+	// Try the egd form first: ident '=' ident with nothing else.
+	if x, y, ok := p.tryEquality(); ok {
+		e, err := NewEGD(body, x, y)
+		if err != nil {
+			return err
+		}
+		out.EGDs = append(out.EGDs, e)
+		return nil
+	}
+	head, err := p.atomList()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	if p.peek() == '.' {
+		p.pos++
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return p.errf("trailing input")
+	}
+	t, err := NewTGD(body, head)
+	if err != nil {
+		return err
+	}
+	out.TGDs = append(out.TGDs, t)
+	return nil
+}
+
+type depParser struct {
+	src string
+	pos int
+}
+
+func (p *depParser) errf(format string, args ...any) error {
+	return fmt.Errorf("deps: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *depParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *depParser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *depParser) skipSpace() {
+	for !p.eof() && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *depParser) expect(tok string) error {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], tok) {
+		return p.errf("expected %q", tok)
+	}
+	p.pos += len(tok)
+	return nil
+}
+
+func (p *depParser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.eof() || !(p.peek() == '_' || unicode.IsLetter(rune(p.peek()))) {
+		return "", p.errf("expected identifier")
+	}
+	for !p.eof() && (p.peek() == '_' || unicode.IsLetter(rune(p.peek())) || unicode.IsDigit(rune(p.peek()))) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *depParser) parseTerm() (term.Term, error) {
+	p.skipSpace()
+	switch {
+	case p.peek() == '\'':
+		p.pos++
+		start := p.pos
+		for !p.eof() && p.peek() != '\'' {
+			p.pos++
+		}
+		if p.eof() {
+			return term.Term{}, p.errf("unterminated constant literal")
+		}
+		name := p.src[start:p.pos]
+		p.pos++
+		return term.Const(name), nil
+	case !p.eof() && unicode.IsDigit(rune(p.peek())):
+		start := p.pos
+		for !p.eof() && unicode.IsDigit(rune(p.peek())) {
+			p.pos++
+		}
+		return term.Const(p.src[start:p.pos]), nil
+	default:
+		name, err := p.ident()
+		if err != nil {
+			return term.Term{}, err
+		}
+		return term.Var(name), nil
+	}
+}
+
+func (p *depParser) atom() (instance.Atom, error) {
+	pred, err := p.ident()
+	if err != nil {
+		return instance.Atom{}, err
+	}
+	if err := p.expect("("); err != nil {
+		return instance.Atom{}, err
+	}
+	var args []term.Term
+	p.skipSpace()
+	if p.peek() != ')' {
+		for {
+			t, err := p.parseTerm()
+			if err != nil {
+				return instance.Atom{}, err
+			}
+			args = append(args, t)
+			p.skipSpace()
+			if p.peek() != ',' {
+				break
+			}
+			p.pos++
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return instance.Atom{}, err
+	}
+	return instance.NewAtom(pred, args...), nil
+}
+
+func (p *depParser) atomList() ([]instance.Atom, error) {
+	var out []instance.Atom
+	for {
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+		p.skipSpace()
+		if p.peek() != ',' {
+			return out, nil
+		}
+		p.pos++
+	}
+}
+
+// tryEquality attempts to read "x = y [.]" to end of input; on failure
+// the position is restored.
+func (p *depParser) tryEquality() (term.Term, term.Term, bool) {
+	save := p.pos
+	fail := func() (term.Term, term.Term, bool) {
+		p.pos = save
+		return term.Term{}, term.Term{}, false
+	}
+	x, err := p.ident()
+	if err != nil {
+		return fail()
+	}
+	if err := p.expect("="); err != nil {
+		return fail()
+	}
+	y, err := p.ident()
+	if err != nil {
+		return fail()
+	}
+	p.skipSpace()
+	if p.peek() == '.' {
+		p.pos++
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return fail()
+	}
+	return term.Var(x), term.Var(y), true
+}

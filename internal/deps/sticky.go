@@ -1,0 +1,101 @@
+package deps
+
+import "semacyclic/internal/term"
+
+// Marking is the result of the stickiness marking procedure of
+// Calì–Gottlob–Pieris [10], illustrated in Figure 1(b) of the paper:
+// for each tgd (by index in the set) the set of marked body variables.
+type Marking struct {
+	// Marked[i][x] reports that body variable x of tgd i is marked.
+	Marked []map[term.Term]bool
+}
+
+// ComputeMarking runs the inductive marking procedure on the tgds.
+//
+// Base step: a variable occurring in the body of τ but not in every
+// head atom of τ is marked in τ. Propagation: if a variable x occurs in
+// a head atom of τ at position (R,i), and some tgd of the set has a
+// marked body variable at position (R,i), then x is marked in the body
+// of τ. Iterated to a fixpoint.
+func ComputeMarking(s *Set) *Marking {
+	m := &Marking{Marked: make([]map[term.Term]bool, len(s.TGDs))}
+	for i := range s.TGDs {
+		m.Marked[i] = make(map[term.Term]bool)
+	}
+
+	// Base step.
+	for i, t := range s.TGDs {
+		for _, v := range t.BodyVars() {
+			inEveryHead := true
+			for _, h := range t.Head {
+				found := false
+				for _, a := range h.Args {
+					if a == v {
+						found = true
+						break
+					}
+				}
+				if !found {
+					inEveryHead = false
+					break
+				}
+			}
+			if !inEveryHead {
+				m.Marked[i][v] = true
+			}
+		}
+	}
+
+	// Propagation to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		// markedPos: positions holding a marked body variable anywhere.
+		markedPos := make(map[position]bool)
+		for i, t := range s.TGDs {
+			for _, b := range t.Body {
+				for j, v := range b.Args {
+					if v.IsVar() && m.Marked[i][v] {
+						markedPos[position{b.Pred, j}] = true
+					}
+				}
+			}
+		}
+		for i, t := range s.TGDs {
+			bodyVars := varSet(t.Body)
+			for _, h := range t.Head {
+				for j, v := range h.Args {
+					if !v.IsVar() || !bodyVars[v] || m.Marked[i][v] {
+						continue
+					}
+					if markedPos[position{h.Pred, j}] {
+						m.Marked[i][v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// IsSticky reports whether the tgd set is sticky: no tgd contains two
+// occurrences (across its body atoms) of a marked variable.
+func (s *Set) IsSticky() bool {
+	m := ComputeMarking(s)
+	for i, t := range s.TGDs {
+		counts := make(map[term.Term]int)
+		for _, b := range t.Body {
+			for _, v := range b.Args {
+				if v.IsVar() {
+					counts[v]++
+				}
+			}
+		}
+		for v, n := range counts {
+			if n >= 2 && m.Marked[i][v] {
+				return false
+			}
+		}
+	}
+	return true
+}

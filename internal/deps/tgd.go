@@ -1,0 +1,199 @@
+// Package deps models database dependencies — tuple-generating
+// dependencies (tgds) and equality-generating dependencies (egds,
+// subsuming functional dependencies and keys) — together with the
+// syntactic classifiers the paper's decidability results hinge on:
+// guarded, linear, inclusion, full, non-recursive, weakly-acyclic and
+// sticky sets of tgds, and keys / FDs / unary FDs over egds.
+package deps
+
+import (
+	"fmt"
+	"strings"
+
+	"semacyclic/internal/instance"
+	"semacyclic/internal/schema"
+	"semacyclic/internal/term"
+)
+
+// TGD is a tuple-generating dependency
+// ∀x̄∀ȳ (φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄)): body φ, head ψ, with the existential
+// variables z̄ implicit (head variables absent from the body).
+type TGD struct {
+	Body []instance.Atom
+	Head []instance.Atom
+}
+
+// NewTGD builds and validates a tgd.
+func NewTGD(body, head []instance.Atom) (*TGD, error) {
+	t := &TGD{Body: cloneAtoms(body), Head: cloneAtoms(head)}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustTGD is NewTGD that panics on error.
+func MustTGD(body, head []instance.Atom) *TGD {
+	t, err := NewTGD(body, head)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func cloneAtoms(atoms []instance.Atom) []instance.Atom {
+	out := make([]instance.Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = a.Clone()
+	}
+	return out
+}
+
+// Validate checks well-formedness: nonempty body and head, no nulls,
+// and consistent arities across body and head.
+func (t *TGD) Validate() error {
+	if len(t.Body) == 0 {
+		return fmt.Errorf("deps: tgd with empty body")
+	}
+	if len(t.Head) == 0 {
+		return fmt.Errorf("deps: tgd with empty head")
+	}
+	sch := schema.New()
+	for _, a := range append(append([]instance.Atom(nil), t.Body...), t.Head...) {
+		if err := sch.Add(a.Pred, len(a.Args)); err != nil {
+			return fmt.Errorf("deps: %v", err)
+		}
+		for _, tm := range a.Args {
+			if tm.IsNull() {
+				return fmt.Errorf("deps: tgd atom %s mentions a null", a)
+			}
+		}
+	}
+	return nil
+}
+
+// BodyVars returns the distinct body variables in first-occurrence order.
+func (t *TGD) BodyVars() []term.Term { return varsOf(t.Body) }
+
+// HeadVars returns the distinct head variables in first-occurrence order.
+func (t *TGD) HeadVars() []term.Term { return varsOf(t.Head) }
+
+// FrontierVars returns the body variables that also occur in the head
+// (the exported x̄ of the tgd).
+func (t *TGD) FrontierVars() []term.Term {
+	head := varSet(t.Head)
+	var out []term.Term
+	for _, v := range t.BodyVars() {
+		if head[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ExistentialVars returns the head variables not occurring in the body
+// (the z̄ of the tgd).
+func (t *TGD) ExistentialVars() []term.Term {
+	body := varSet(t.Body)
+	var out []term.Term
+	for _, v := range t.HeadVars() {
+		if !body[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// RenameApart returns a copy of the tgd whose variables are fresh,
+// needed whenever a tgd is matched against a query sharing names.
+func (t *TGD) RenameApart() *TGD {
+	s := term.NewSubst()
+	for _, v := range t.BodyVars() {
+		s[v] = term.FreshVar()
+	}
+	for _, v := range t.ExistentialVars() {
+		s[v] = term.FreshVar()
+	}
+	return &TGD{Body: applyAtoms(t.Body, s), Head: applyAtoms(t.Head, s)}
+}
+
+func applyAtoms(atoms []instance.Atom, s term.Subst) []instance.Atom {
+	out := make([]instance.Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = a.Apply(s)
+	}
+	return out
+}
+
+func varsOf(atoms []instance.Atom) []term.Term {
+	seen := make(map[term.Term]bool)
+	var out []term.Term
+	for _, a := range atoms {
+		for _, tm := range a.Args {
+			if tm.IsVar() && !seen[tm] {
+				seen[tm] = true
+				out = append(out, tm)
+			}
+		}
+	}
+	return out
+}
+
+func varSet(atoms []instance.Atom) map[term.Term]bool {
+	s := make(map[term.Term]bool)
+	for _, a := range atoms {
+		for _, tm := range a.Args {
+			if tm.IsVar() {
+				s[tm] = true
+			}
+		}
+	}
+	return s
+}
+
+// String renders the tgd in the parser's syntax.
+func (t *TGD) String() string {
+	return renderAtoms(t.Body) + " -> " + renderAtoms(t.Head)
+}
+
+func renderAtoms(atoms []instance.Atom) string {
+	parts := make([]string, len(atoms))
+	for i, a := range atoms {
+		parts[i] = renderAtom(a)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func renderAtom(a instance.Atom) string {
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		switch {
+		case t.IsVar():
+			b.WriteString(t.Name)
+		case t.IsConst():
+			b.WriteByte('\'')
+			b.WriteString(t.Name)
+			b.WriteByte('\'')
+		default:
+			b.WriteString(t.String())
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Schema returns the signature of the tgd's atoms.
+func (t *TGD) Schema() *schema.Schema {
+	sch := schema.New()
+	for _, a := range append(append([]instance.Atom(nil), t.Body...), t.Head...) {
+		if err := sch.Add(a.Pred, len(a.Args)); err != nil {
+			panic(err) // Validate already rejected conflicts
+		}
+	}
+	return sch
+}

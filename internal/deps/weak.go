@@ -1,0 +1,158 @@
+package deps
+
+import "semacyclic/internal/term"
+
+// AffectedPositions computes the affected positions of a tgd set
+// [Calì–Gottlob–Kifer]: the positions that may host labelled nulls
+// during the chase. A position (R,i) is affected when some tgd has an
+// existentially quantified variable at head position (R,i), or when
+// some tgd has a frontier variable occurring in its body only at
+// affected positions and at head position (R,i). Computed to fixpoint.
+//
+// Affected positions underpin the paper's "weak versions" discussion
+// (end of Section 2): weakly-guarded, weakly-acyclic and weakly-sticky
+// relax their base condition to affected positions only — and all of
+// them contain the full tgds, so SemAc is undecidable for them
+// (Theorem 7).
+func AffectedPositions(s *Set) map[string]map[int]bool {
+	affected := make(map[string]map[int]bool)
+	mark := func(pred string, pos int) bool {
+		if affected[pred] == nil {
+			affected[pred] = make(map[int]bool)
+		}
+		if affected[pred][pos] {
+			return false
+		}
+		affected[pred][pos] = true
+		return true
+	}
+
+	// Base: existential head positions.
+	for _, t := range s.TGDs {
+		bodyVars := varSet(t.Body)
+		for _, h := range t.Head {
+			for i, v := range h.Args {
+				if v.IsVar() && !bodyVars[v] {
+					mark(h.Pred, i)
+				}
+			}
+		}
+	}
+
+	// Propagation: frontier variables occurring only at affected body
+	// positions spread to their head positions.
+	for changed := true; changed; {
+		changed = false
+		for _, t := range s.TGDs {
+			headVars := varSet(t.Head)
+			for _, v := range t.BodyVars() {
+				if !headVars[v] {
+					continue
+				}
+				onlyAffected := true
+				for _, b := range t.Body {
+					for i, arg := range b.Args {
+						if arg == v && !affected[b.Pred][i] {
+							onlyAffected = false
+						}
+					}
+				}
+				if !onlyAffected {
+					continue
+				}
+				for _, h := range t.Head {
+					for i, arg := range h.Args {
+						if arg == v && mark(h.Pred, i) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return affected
+}
+
+// affectedOnlyBodyVars returns the body variables of t occurring only
+// at affected positions (the variables a weak guard must cover).
+func affectedOnlyBodyVars(t *TGD, affected map[string]map[int]bool) []term.Term {
+	var out []term.Term
+	for _, v := range t.BodyVars() {
+		only := true
+		seen := false
+		for _, b := range t.Body {
+			for i, arg := range b.Args {
+				if arg == v {
+					seen = true
+					if !affected[b.Pred][i] {
+						only = false
+					}
+				}
+			}
+		}
+		if seen && only {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsWeaklyGuarded reports whether every tgd has a body atom (a weak
+// guard) containing every body variable that occurs only at affected
+// positions. Weakly-guarded sets contain all full tgds, so SemAc is
+// undecidable for them (Theorem 7) even though Cont is decidable.
+func (s *Set) IsWeaklyGuarded() bool {
+	affected := AffectedPositions(s)
+	for _, t := range s.TGDs {
+		need := affectedOnlyBodyVars(t, affected)
+		guarded := false
+		for _, b := range t.Body {
+			if containsAllVars(b.Vars(), need) {
+				guarded = true
+				break
+			}
+		}
+		if !guarded {
+			return false
+		}
+	}
+	return true
+}
+
+// IsWeaklySticky reports whether the set is weakly sticky: every
+// marked variable (per the Figure 1 marking procedure) that occurs
+// more than once in a tgd's body occurs at least once at a
+// non-affected position. Like the other weak classes it subsumes the
+// full tgds, so it guarantees decidable containment but not decidable
+// semantic acyclicity.
+func (s *Set) IsWeaklySticky() bool {
+	affected := AffectedPositions(s)
+	m := ComputeMarking(s)
+	for i, t := range s.TGDs {
+		counts := make(map[term.Term]int)
+		for _, b := range t.Body {
+			for _, v := range b.Args {
+				if v.IsVar() {
+					counts[v]++
+				}
+			}
+		}
+		for v, n := range counts {
+			if n < 2 || !m.Marked[i][v] {
+				continue
+			}
+			atNonAffected := false
+			for _, b := range t.Body {
+				for pos, arg := range b.Args {
+					if arg == v && !affected[b.Pred][pos] {
+						atNonAffected = true
+					}
+				}
+			}
+			if !atNonAffected {
+				return false
+			}
+		}
+	}
+	return true
+}

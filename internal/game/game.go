@@ -1,0 +1,237 @@
+// Package game implements the existential 1-cover game of Chen–Dalmau
+// as characterized by Lemma 28 of the paper: the duplicator has a
+// winning strategy on (I, t̄) and (I', t̄') iff a family H assigning to
+// each atom of I a nonempty set of consistently-overlapping images in
+// I' exists. The winning strategy is computed by an arc-consistency
+// fixpoint, in polynomial time (Proposition 29).
+//
+// Theorem 25 uses the game to evaluate semantically acyclic CQs under
+// guarded tgds in polynomial time without computing the acyclic
+// reformulation: t̄ ∈ q(D) iff (q, x̄) ≡∃1c (D, t̄).
+package game
+
+import (
+	"semacyclic/internal/cq"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// flexibleElem reports whether a pattern term is an element the
+// duplicator may map freely: variables, nulls and frozen query
+// constants. Genuine constants are rigid.
+func flexibleElem(t term.Term) bool {
+	return !t.IsConst() || cq.IsFrozenConst(t)
+}
+
+// candidate is one possible image of a pattern atom: the tuple of
+// images of the pattern atom's arguments.
+type candidate []term.Term
+
+// posPair is a pair of argument positions sharing a flexible element.
+type posPair struct{ pi, pj int }
+
+// Covers decides whether the duplicator wins the existential 1-cover
+// game on (pattern, ptuple) versus (target, ttuple): Lemma 28's H
+// exists. ptuple and ttuple must have equal length; position i of
+// ptuple is pinned to position i of ttuple.
+func Covers(pattern []instance.Atom, ptuple []term.Term, target *instance.Instance, ttuple []term.Term) bool {
+	if len(ptuple) != len(ttuple) {
+		return false
+	}
+	n := len(pattern)
+	if n == 0 {
+		return true
+	}
+
+	// pin maps pinned pattern elements to their required images.
+	pin := make(map[term.Term]term.Term, len(ptuple))
+	for i, p := range ptuple {
+		if got, ok := pin[p]; ok {
+			if got != ttuple[i] {
+				return false // t̄ repeats an element that t̄' does not
+			}
+			continue
+		}
+		pin[p] = ttuple[i]
+	}
+
+	// Initial candidate sets: all target atoms of the right predicate
+	// whose tuple is a consistent image respecting pins and rigid
+	// constants.
+	H := make([][]candidate, n)
+	for i, a := range pattern {
+		for _, fact := range target.ByPred(a.Pred) {
+			if img, ok := imageOf(a, fact, pin); ok {
+				H[i] = append(H[i], img)
+			}
+		}
+		if len(H[i]) == 0 {
+			return false
+		}
+	}
+
+	// shared[i][j] lists the argument-position pairs (pi, pj) where
+	// pattern atoms i and j share a flexible element.
+	shared := make([][][]posPair, n)
+	for i := range pattern {
+		shared[i] = make([][]posPair, n)
+		for j := range pattern {
+			if i == j {
+				continue
+			}
+			for pi, ti := range pattern[i].Args {
+				if !flexibleElem(ti) {
+					continue
+				}
+				for pj, tj := range pattern[j].Args {
+					if ti == tj {
+						shared[i][j] = append(shared[i][j], posPair{pi, pj})
+					}
+				}
+			}
+		}
+	}
+
+	// Arc-consistency fixpoint: drop a candidate of atom i when some
+	// atom j has no candidate agreeing on all shared positions.
+	for changed := true; changed; {
+		changed = false
+		for i := range pattern {
+			kept := H[i][:0]
+			for _, ci := range H[i] {
+				ok := true
+				for j := range pattern {
+					if i == j || len(shared[i][j]) == 0 {
+						continue
+					}
+					if !hasAgreeing(ci, H[j], shared[i][j]) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					kept = append(kept, ci)
+				}
+			}
+			if len(kept) == 0 {
+				return false
+			}
+			if len(kept) != len(H[i]) {
+				changed = true
+			}
+			H[i] = kept
+		}
+	}
+	return true
+}
+
+func hasAgreeing(ci candidate, cands []candidate, pairs []posPair) bool {
+	for _, cj := range cands {
+		ok := true
+		for _, p := range pairs {
+			if ci[p.pi] != cj[p.pj] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// imageOf checks that fact is a consistent image of pattern atom a:
+// repeated flexible elements map consistently, rigid constants map to
+// themselves, pinned elements map to their pin.
+func imageOf(a, fact instance.Atom, pin map[term.Term]term.Term) (candidate, bool) {
+	if len(a.Args) != len(fact.Args) {
+		return nil, false
+	}
+	local := make(map[term.Term]term.Term, len(a.Args))
+	img := make(candidate, len(a.Args))
+	for i, t := range a.Args {
+		want := fact.Args[i]
+		if !flexibleElem(t) {
+			if t != want {
+				return nil, false
+			}
+			img[i] = want
+			continue
+		}
+		if p, ok := pin[t]; ok && p != want {
+			return nil, false
+		}
+		if prev, ok := local[t]; ok && prev != want {
+			return nil, false
+		}
+		local[t] = want
+		img[i] = want
+	}
+	return img, true
+}
+
+// HasTuple reports whether (q, x̄) ≡∃1c (db, tuple): under the premises
+// of Theorem 25 (q semantically acyclic under guarded Σ, db ⊨ Σ) this
+// decides tuple ∈ q(db) in polynomial time. Without those premises it
+// is a sound overapproximation of CQ evaluation (never misses a real
+// answer).
+func HasTuple(q *cq.CQ, db *instance.Instance, tuple []term.Term) bool {
+	return Covers(q.Atoms, q.Free, db, tuple)
+}
+
+// Bool reports whether the Boolean game holds: (q) ≡∃1c (db) with
+// empty tuples.
+func Bool(q *cq.CQ, db *instance.Instance) bool {
+	return Covers(q.Atoms, nil, db, nil)
+}
+
+// Evaluate enumerates the game-certified answers of q over db: every
+// tuple over db's terms passing HasTuple. Candidate values per free
+// variable are drawn from the positions where the variable occurs, so
+// the enumeration is output-bounded per position rather than |D|^k
+// blind. Under Theorem 25's premises this is exactly q(db).
+func Evaluate(q *cq.CQ, db *instance.Instance) [][]term.Term {
+	if len(q.Free) == 0 {
+		if Bool(q, db) {
+			return [][]term.Term{{}}
+		}
+		return nil
+	}
+	// Candidate values for each free variable: terms appearing at some
+	// position where the variable occurs in q.
+	cand := make([][]term.Term, len(q.Free))
+	for i, x := range q.Free {
+		seen := make(map[term.Term]bool)
+		for _, a := range q.Atoms {
+			for pos, t := range a.Args {
+				if t != x {
+					continue
+				}
+				for _, fact := range db.ByPred(a.Pred) {
+					if pos < len(fact.Args) && !seen[fact.Args[pos]] {
+						seen[fact.Args[pos]] = true
+						cand[i] = append(cand[i], fact.Args[pos])
+					}
+				}
+			}
+		}
+	}
+	var out [][]term.Term
+	tuple := make([]term.Term, len(q.Free))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(q.Free) {
+			if HasTuple(q, db, tuple) {
+				out = append(out, append([]term.Term(nil), tuple...))
+			}
+			return
+		}
+		for _, v := range cand[i] {
+			tuple[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}

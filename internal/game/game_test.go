@@ -1,0 +1,159 @@
+package game
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/hom"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+func edge(a, b string) instance.Atom {
+	return instance.NewAtom("E", term.Const(a), term.Const(b))
+}
+
+func TestGameAgreesWithHomOnAcyclicQueries(t *testing.T) {
+	db := instance.MustFromAtoms(edge("a", "b"), edge("b", "c"), edge("b", "d"))
+	q := cq.MustParse("q(x,z) :- E(x,y), E(y,z).")
+	if !HasTuple(q, db, []term.Term{term.Const("a"), term.Const("c")}) {
+		t.Error("game missed (a,c)")
+	}
+	if HasTuple(q, db, []term.Term{term.Const("c"), term.Const("a")}) {
+		t.Error("game accepted (c,a)")
+	}
+	if !Bool(cq.MustParse("q :- E(x,y)."), db) {
+		t.Error("Boolean game false")
+	}
+	if Bool(cq.MustParse("q :- E(x,x)."), db) {
+		t.Error("loop query true on loop-free graph")
+	}
+}
+
+func TestGameOverapproximatesOnCyclicQueries(t *testing.T) {
+	// A directed 6-cycle contains no triangle, but locally every edge
+	// extends, so the duplicator survives the 1-cover game.
+	db := instance.New()
+	for i := 0; i < 6; i++ {
+		db.Add(edge(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", (i+1)%6)))
+	}
+	tri := cq.MustParse("q :- E(x,y), E(y,z), E(z,x).")
+	if hom.EvaluateBool(tri, db) {
+		t.Fatal("C6 should not contain a directed triangle")
+	}
+	if !Bool(tri, db) {
+		t.Error("1-cover game should overapproximate the triangle on C6")
+	}
+}
+
+func TestGameRespectsConstants(t *testing.T) {
+	db := instance.MustFromAtoms(edge("a", "b"))
+	q := cq.MustParse("q :- E('a',y).")
+	if !Bool(q, db) {
+		t.Error("constant-anchored query false")
+	}
+	q2 := cq.MustParse("q :- E('zzz',y).")
+	if Bool(q2, db) {
+		t.Error("missing constant matched")
+	}
+}
+
+func TestGameRespectsRepeatedTupleElements(t *testing.T) {
+	db := instance.MustFromAtoms(edge("a", "b"))
+	q := cq.MustParse("q(x,y) :- E(x,y).")
+	// Tuple (a,a) requires x and y to map to the same element — no.
+	if HasTuple(q, db, []term.Term{term.Const("a"), term.Const("a")}) {
+		t.Error("accepted mismatched repeated pin")
+	}
+	// Pattern side repeats: q(x,x) against tuple (a,b) must fail fast.
+	q2 := cq.MustParse("q(x,x2) :- E(x,x2), E(x2,x).")
+	if HasTuple(q2, db, []term.Term{term.Const("a"), term.Const("b")}) {
+		t.Error("accepted impossible cycle pin")
+	}
+}
+
+func TestGameArityMismatch(t *testing.T) {
+	db := instance.MustFromAtoms(edge("a", "b"))
+	q := cq.MustParse("q(x) :- E(x,y).")
+	if HasTuple(q, db, []term.Term{term.Const("a"), term.Const("b")}) {
+		t.Error("tuple arity mismatch accepted")
+	}
+}
+
+func TestGameEmptyPattern(t *testing.T) {
+	db := instance.MustFromAtoms(edge("a", "b"))
+	if !Covers(nil, nil, db, nil) {
+		t.Error("empty pattern should be covered")
+	}
+}
+
+func TestEvaluateMatchesHomOnAcyclic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	consts := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 100; trial++ {
+		db := instance.New()
+		for i := 0; i < 4+r.Intn(12); i++ {
+			db.Add(edge(consts[r.Intn(len(consts))], consts[r.Intn(len(consts))]))
+		}
+		queries := []string{
+			"q(x) :- E(x,y).",
+			"q(x,z) :- E(x,y), E(y,z).",
+			"q(x) :- E(x,y), E(x,z).",
+			"q :- E(x,y), E(y,z).",
+		}
+		q := cq.MustParse(queries[r.Intn(len(queries))])
+		want := hom.Evaluate(q, db)
+		got := Evaluate(q, db)
+		sortTuples(got)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d answers, want %d (q=%s db=%s)\n%v\n%v",
+				trial, len(got), len(want), q, db, got, want)
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("trial %d: answers differ at %d: %v vs %v", trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func sortTuples(ts [][]term.Term) {
+	key := func(tp []term.Term) string {
+		s := ""
+		for _, t := range tp {
+			s += t.Name + "\x00"
+		}
+		return s
+	}
+	sort.Slice(ts, func(i, j int) bool { return key(ts[i]) < key(ts[j]) })
+}
+
+// TestGameSoundness: the game never rejects a tuple that a genuine
+// homomorphism certifies (Proposition 30 direction), on arbitrary
+// (including cyclic) queries.
+func TestGameSoundnessProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	consts := []string{"a", "b", "c"}
+	queries := []*cq.CQ{
+		cq.MustParse("q :- E(x,y), E(y,z), E(z,x)."),
+		cq.MustParse("q(x) :- E(x,y), E(y,x)."),
+		cq.MustParse("q(x,w) :- E(x,y), E(y,w), E(x,w)."),
+	}
+	for trial := 0; trial < 150; trial++ {
+		db := instance.New()
+		for i := 0; i < 3+r.Intn(10); i++ {
+			db.Add(edge(consts[r.Intn(len(consts))], consts[r.Intn(len(consts))]))
+		}
+		q := queries[r.Intn(len(queries))]
+		for _, ans := range hom.Evaluate(q, db) {
+			if !HasTuple(q, db, ans) {
+				t.Fatalf("game rejected certified answer %v of %s on %s", ans, q, db)
+			}
+		}
+	}
+}

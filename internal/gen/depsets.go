@@ -1,0 +1,190 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"semacyclic/internal/deps"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// RandomInclusionDeps returns n random inclusion dependencies over
+// binary predicates E0..E{k-1}: Ei(x,y) → Ej(y,z) or Ej(x,y) variants.
+func RandomInclusionDeps(r *rand.Rand, n, k int) *deps.Set {
+	if k < 1 {
+		k = 1
+	}
+	out := &deps.Set{}
+	for i := 0; i < n; i++ {
+		from := fmt.Sprintf("E%d", r.Intn(k))
+		to := fmt.Sprintf("E%d", r.Intn(k))
+		x, y, z := term.Var("x"), term.Var("y"), term.Var("z")
+		body := []instance.Atom{instance.NewAtom(from, x, y)}
+		var head []instance.Atom
+		switch r.Intn(3) {
+		case 0:
+			head = []instance.Atom{instance.NewAtom(to, y, z)} // ∃z
+		case 1:
+			head = []instance.Atom{instance.NewAtom(to, x, y)}
+		default:
+			head = []instance.Atom{instance.NewAtom(to, y, x)}
+		}
+		out.TGDs = append(out.TGDs, deps.MustTGD(body, head))
+	}
+	return out
+}
+
+// RandomGuarded returns n random guarded (non-linear) tgds over a
+// ternary guard G and binary side predicates.
+func RandomGuarded(r *rand.Rand, n, k int) *deps.Set {
+	if k < 1 {
+		k = 1
+	}
+	out := &deps.Set{}
+	for i := 0; i < n; i++ {
+		x, y, z, w := term.Var("x"), term.Var("y"), term.Var("z"), term.Var("w")
+		g := fmt.Sprintf("G%d", r.Intn(k))
+		e := fmt.Sprintf("E%d", r.Intn(k))
+		body := []instance.Atom{
+			instance.NewAtom(g, x, y, z),
+			instance.NewAtom(e, x, y),
+		}
+		var head []instance.Atom
+		if r.Intn(2) == 0 {
+			head = []instance.Atom{instance.NewAtom(fmt.Sprintf("E%d", r.Intn(k)), y, z)}
+		} else {
+			head = []instance.Atom{instance.NewAtom(fmt.Sprintf("G%d", r.Intn(k)), x, z, w)} // ∃w
+		}
+		out.TGDs = append(out.TGDs, deps.MustTGD(body, head))
+	}
+	return out
+}
+
+// RandomNonRecursive returns a random non-recursive set of n tgds over
+// a stratified predicate chain L0 → L1 → ... (body predicates always
+// from a strictly lower stratum than head predicates).
+func RandomNonRecursive(r *rand.Rand, n int) *deps.Set {
+	out := &deps.Set{}
+	for i := 0; i < n; i++ {
+		lo := fmt.Sprintf("L%d", i)
+		hi := fmt.Sprintf("L%d", i+1)
+		x, y, z := term.Var("x"), term.Var("y"), term.Var("z")
+		var body []instance.Atom
+		if r.Intn(2) == 0 {
+			body = []instance.Atom{instance.NewAtom(lo, x, y)}
+		} else {
+			body = []instance.Atom{instance.NewAtom(lo, x, y), instance.NewAtom(lo, y, z)}
+		}
+		var head []instance.Atom
+		if r.Intn(2) == 0 {
+			head = []instance.Atom{instance.NewAtom(hi, x, term.Var("w"))} // ∃w
+		} else {
+			head = []instance.Atom{instance.NewAtom(hi, y, x)}
+		}
+		out.TGDs = append(out.TGDs, deps.MustTGD(body, head))
+	}
+	if !out.IsNonRecursive() {
+		panic("gen: internal: stratified construction must be non-recursive")
+	}
+	return out
+}
+
+// RandomSticky returns a random sticky set of up to n tgds, built by
+// generating candidate tgds and keeping those preserving stickiness of
+// the accumulated set (rejection sampling against the marking
+// procedure).
+func RandomSticky(r *rand.Rand, n, k int) *deps.Set {
+	if k < 1 {
+		k = 1
+	}
+	out := &deps.Set{}
+	for attempts := 0; len(out.TGDs) < n && attempts < 50*n+50; attempts++ {
+		x, y, z, w := term.Var("x"), term.Var("y"), term.Var("z"), term.Var("w")
+		p := func() string { return fmt.Sprintf("S%d", r.Intn(k)) }
+		var cand *deps.TGD
+		switch r.Intn(3) {
+		case 0: // join propagated to the head
+			cand = deps.MustTGD(
+				[]instance.Atom{instance.NewAtom(p(), x, y), instance.NewAtom(p(), y, z)},
+				[]instance.Atom{instance.NewAtom(p(), y, w)},
+			)
+		case 1: // linear with existential
+			cand = deps.MustTGD(
+				[]instance.Atom{instance.NewAtom(p(), x, y)},
+				[]instance.Atom{instance.NewAtom(p(), y, w)},
+			)
+		default: // product rule (Example 2 shape)
+			cand = deps.MustTGD(
+				[]instance.Atom{instance.NewAtom("U"+p(), x), instance.NewAtom("U"+p(), y)},
+				[]instance.Atom{instance.NewAtom(p(), x, y)},
+			)
+		}
+		trial := deps.TGDSet(append(append([]*deps.TGD(nil), out.TGDs...), cand)...)
+		if trial.IsSticky() {
+			out = trial
+		}
+	}
+	return out
+}
+
+// RandomKeys2 returns keys over unary/binary predicates E0..E{k-1}:
+// for each chosen binary predicate, the first attribute is a key.
+func RandomKeys2(r *rand.Rand, n, k int) *deps.Set {
+	if k < 1 {
+		k = 1
+	}
+	out := &deps.Set{}
+	used := make(map[string]bool)
+	for i := 0; i < n && len(used) < k; i++ {
+		p := fmt.Sprintf("E%d", r.Intn(k))
+		if used[p] {
+			continue
+		}
+		used[p] = true
+		fd, err := deps.NewFD(p, 2, []int{0}, 1)
+		if err != nil {
+			panic(err)
+		}
+		out.EGDs = append(out.EGDs, fd.AsEGD())
+	}
+	return out
+}
+
+// RandomNonRecursiveMultiHead returns a random non-recursive set whose
+// tgds may have multi-atom heads sharing existential variables — the
+// shape that exercises piece-unification in the rewriting engine.
+func RandomNonRecursiveMultiHead(r *rand.Rand, n int) *deps.Set {
+	out := &deps.Set{}
+	for i := 0; i < n; i++ {
+		lo := fmt.Sprintf("M%d", i)
+		hi := fmt.Sprintf("M%d", i+1)
+		aux := fmt.Sprintf("X%d", i+1)
+		x, y, w := term.Var("x"), term.Var("y"), term.Var("w")
+		body := []instance.Atom{instance.NewAtom(lo, x, y)}
+		var head []instance.Atom
+		switch r.Intn(3) {
+		case 0: // two head atoms sharing the existential w
+			head = []instance.Atom{
+				instance.NewAtom(hi, x, w),
+				instance.NewAtom(aux, w, y),
+			}
+		case 1: // two head atoms, one full, one existential
+			head = []instance.Atom{
+				instance.NewAtom(hi, y, x),
+				instance.NewAtom(aux, x, w),
+			}
+		default: // three head atoms chaining the existential
+			head = []instance.Atom{
+				instance.NewAtom(hi, x, w),
+				instance.NewAtom(aux, w, w),
+				instance.NewAtom(aux, w, y),
+			}
+		}
+		out.TGDs = append(out.TGDs, deps.MustTGD(body, head))
+	}
+	if !out.IsNonRecursive() {
+		panic("gen: internal: stratified multi-head construction must be non-recursive")
+	}
+	return out
+}

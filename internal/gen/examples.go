@@ -1,0 +1,197 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// Example1Query returns the paper's Example 1 query
+// q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y) — a core that is not
+// acyclic, but semantically acyclic under Example1TGD.
+func Example1Query() *cq.CQ {
+	return cq.MustParse("q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y).")
+}
+
+// Example1Witness returns the acyclic reformulation of Example 1:
+// q'(x,y) :- Interest(x,z), Class(y,z).
+func Example1Witness() *cq.CQ {
+	return cq.MustParse("q(x,y) :- Interest(x,z), Class(y,z).")
+}
+
+// Example1TGD returns the compulsive-collector constraint
+// Interest(x,z), Class(y,z) → Owns(x,y).
+func Example1TGD() *deps.Set {
+	return deps.MustParse("Interest(x,z), Class(y,z) -> Owns(x,y).")
+}
+
+// Example1DB synthesizes a music-store database with the given numbers
+// of customers, records and styles that satisfies Example1TGD (every
+// customer owns every record classified with a style they declared
+// interest in). Interests and classifications are random but seeded.
+func Example1DB(r *rand.Rand, customers, records, styles int) *instance.Instance {
+	db := instance.New()
+	style := func(i int) term.Term { return term.Const(fmt.Sprintf("s%d", i)) }
+	rec := func(i int) term.Term { return term.Const(fmt.Sprintf("r%d", i)) }
+	cust := func(i int) term.Term { return term.Const(fmt.Sprintf("c%d", i)) }
+
+	classOf := make([][]int, records)
+	for j := 0; j < records; j++ {
+		n := 1 + r.Intn(2)
+		for k := 0; k < n; k++ {
+			s := r.Intn(styles)
+			classOf[j] = append(classOf[j], s)
+			db.Add(instance.NewAtom("Class", rec(j), style(s)))
+		}
+	}
+	for i := 0; i < customers; i++ {
+		interested := make(map[int]bool)
+		n := 1 + r.Intn(3)
+		for k := 0; k < n; k++ {
+			s := r.Intn(styles)
+			interested[s] = true
+			db.Add(instance.NewAtom("Interest", cust(i), style(s)))
+		}
+		// Close under the compulsive-collector tgd.
+		for j := 0; j < records; j++ {
+			for _, s := range classOf[j] {
+				if interested[s] {
+					db.Add(instance.NewAtom("Owns", cust(i), rec(j)))
+					break
+				}
+			}
+		}
+		// A few extra ownerships beyond the constraint.
+		if records > 0 && r.Intn(3) == 0 {
+			db.Add(instance.NewAtom("Owns", cust(i), rec(r.Intn(records))))
+		}
+	}
+	return db
+}
+
+// Example2Set returns the tgd of Example 2: P(x), P(y) → R(x,y), which
+// is both non-recursive and sticky but destroys acyclicity during the
+// chase (an n-clique appears).
+func Example2Set() *deps.Set {
+	return deps.MustParse("P(x), P(y) -> R(x,y).")
+}
+
+// Example2Query returns the acyclic query P(x1) ∧ ... ∧ P(xn).
+func Example2Query(n int) *cq.CQ {
+	if n < 1 {
+		n = 1
+	}
+	atoms := make([]instance.Atom, n)
+	for i := 0; i < n; i++ {
+		atoms[i] = instance.NewAtom("P", v("x%d", i+1))
+	}
+	return cq.MustNew(nil, atoms)
+}
+
+// Example3Set returns the sticky set of Example 3 for width n, together
+// with the query P0(0,...,0,0,1): every UCQ rewriting has a disjunct
+// over P_n with exactly 2^n atoms.
+func Example3Set(n int) (*deps.Set, *cq.CQ) {
+	var lines []string
+	for i := 1; i <= n; i++ {
+		mk := func(subst string) string {
+			args := make([]string, n+2)
+			for j := 1; j <= n; j++ {
+				args[j-1] = fmt.Sprintf("x%d", j)
+			}
+			args[i-1] = subst
+			args[n] = "Z"
+			args[n+1] = "O"
+			return strings.Join(args, ",")
+		}
+		lines = append(lines, fmt.Sprintf("P%d(%s), P%d(%s) -> P%d(%s).", i, mk("Z"), i, mk("O"), i-1, mk("Z")))
+	}
+	set := deps.MustParse(strings.Join(lines, "\n"))
+	args := make([]string, n+2)
+	for j := 0; j < n+1; j++ {
+		args[j] = "0"
+	}
+	args[n+1] = "1"
+	q := cq.MustParse(fmt.Sprintf("q :- P0(%s).", strings.Join(args, ",")))
+	return set, q
+}
+
+// Example4Query returns the acyclic chain query of Example 4, and
+// Example4Key the key R(x,y), R(x,z) → y = z that chases it into a
+// cyclic query.
+func Example4Query() *cq.CQ {
+	return cq.MustParse("q :- R(x,y), S(x,y,z), S(x,z,w), S(x,w,v), R(x,v).")
+}
+
+// Example4Key returns the key of Example 4.
+func Example4Key() *deps.Set {
+	return deps.MustParse("R(x,y), R(x,z) -> y = z.")
+}
+
+// Example5Grid reconstructs the Example 5 / Figure 4 phenomenon for an
+// n×n grid of squares: an acyclic query that the key chase turns into
+// an instance containing the full (n+1)×(n+1) grid.
+//
+// Construction (documented in DESIGN.md): each square (i,j) is a
+// self-contained acyclic gadget with private corner variables t
+// (top-left), u (top-right), l (bottom-left) and two bottom-right
+// candidates w1, w2:
+//
+//	H(t,u), V(t,l), H(l,w1), V(u,w2), R(t,u,l,w1), R(t,u,l,w2)
+//
+// Gadgets are stitched into a tree ("comb"): horizontal stitch edges
+// H(t_{i,j}, t_{i,j+1}) along every row and vertical stitch edges
+// V(t_{i,0}, t_{i+1,0}) along the first column. The keys
+//
+//	ǫ1 = R(x,y,z,w), R(x,y,z,w') → w = w'
+//	ǫ2 = H(x,y), H(x,z) → y = z
+//	ǫ3 = V(x,y), V(x,z) → y = z
+//
+// then cascade left-to-right, top-to-bottom: ǫ1 closes each square,
+// ǫ2/ǫ3 identify neighbouring squares' shared corners, and the chase
+// result contains the full grid. ǫ1 and ǫ2 are exactly the paper's
+// keys; ǫ3 is the symmetric vertical key (the paper's figure routes
+// vertical identification through its R-atoms; the phenomenon — an
+// acyclic query whose key chase has treewidth Θ(n) — is identical).
+func Example5Grid(n int) (*cq.CQ, *deps.Set) {
+	if n < 1 {
+		n = 1
+	}
+	t := func(i, j int) term.Term { return v("t%d_%d", i, j) }
+	u := func(i, j int) term.Term { return v("u%d_%d", i, j) }
+	l := func(i, j int) term.Term { return v("l%d_%d", i, j) }
+	w1 := func(i, j int) term.Term { return v("w1_%d_%d", i, j) }
+	w2 := func(i, j int) term.Term { return v("w2_%d_%d", i, j) }
+
+	var atoms []instance.Atom
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			atoms = append(atoms,
+				instance.NewAtom("H", t(i, j), u(i, j)),
+				instance.NewAtom("V", t(i, j), l(i, j)),
+				instance.NewAtom("H", l(i, j), w1(i, j)),
+				instance.NewAtom("V", u(i, j), w2(i, j)),
+				instance.NewAtom("R", t(i, j), u(i, j), l(i, j), w1(i, j)),
+				instance.NewAtom("R", t(i, j), u(i, j), l(i, j), w2(i, j)),
+			)
+			if j+1 < n {
+				atoms = append(atoms, instance.NewAtom("H", t(i, j), t(i, j+1)))
+			}
+		}
+		if i+1 < n {
+			atoms = append(atoms, instance.NewAtom("V", t(i, 0), t(i+1, 0)))
+		}
+	}
+	q := cq.MustNew(nil, atoms)
+	keys := deps.MustParse(`
+R(x,y,z,w), R(x,y,z,w2) -> w = w2.
+H(x,y), H(x,z) -> y = z.
+V(x,y), V(x,z) -> y = z.
+`)
+	return q, keys
+}

@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"semacyclic/internal/chase"
+	"semacyclic/internal/cq"
+	"semacyclic/internal/hom"
+	"semacyclic/internal/hypergraph"
+	"semacyclic/internal/rewrite"
+)
+
+func TestQueryFamilies(t *testing.T) {
+	cases := []struct {
+		name    string
+		q       *cq.CQ
+		size    int
+		acyclic bool
+	}{
+		{"path", PathCQ(4), 4, true},
+		{"star", StarCQ(5), 5, true},
+		{"cycle", CycleCQ(4), 4, false},
+		{"2-cycle", CycleCQ(2), 2, true}, // digon shares both vars: one edge set
+		{"clique", CliqueCQ(3), 6, false},
+		{"grid", GridCQ(2), 12, false},
+	}
+	for _, c := range cases {
+		if err := c.q.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.name, err)
+		}
+		if c.q.Size() != c.size {
+			t.Errorf("%s size = %d, want %d", c.name, c.q.Size(), c.size)
+		}
+		if got := hypergraph.IsAcyclic(c.q.Atoms); got != c.acyclic {
+			t.Errorf("%s acyclic = %v, want %v", c.name, got, c.acyclic)
+		}
+	}
+}
+
+func TestRandomAcyclicCQIsAcyclic(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		q := RandomAcyclicCQ(r, 1+r.Intn(10), []string{"E", "F"})
+		if !hypergraph.IsAcyclic(q.Atoms) {
+			t.Fatalf("random acyclic query is cyclic: %s", q)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRandomCQAndDB(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	q := RandomCQ(r, 5, 3, nil)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db := RandomGraphDB(r, 30, 5)
+	if db.Len() == 0 {
+		t.Error("empty random db")
+	}
+}
+
+func TestExample1DBSatisfiesTGD(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		db := Example1DB(r, 5+r.Intn(10), 5+r.Intn(10), 3+r.Intn(3))
+		if !chase.Satisfies(db, Example1TGD()) {
+			t.Fatalf("Example1DB violates the tgd:\n%s", db)
+		}
+	}
+}
+
+func TestExample1Shapes(t *testing.T) {
+	if hypergraph.IsAcyclic(Example1Query().Atoms) {
+		t.Error("Example 1 query must be cyclic")
+	}
+	if !hypergraph.IsAcyclic(Example1Witness().Atoms) {
+		t.Error("Example 1 witness must be acyclic")
+	}
+	if !Example1TGD().IsFull() {
+		t.Error("Example 1 tgd is full")
+	}
+}
+
+func TestExample2(t *testing.T) {
+	set := Example2Set()
+	if !set.IsNonRecursive() || !set.IsSticky() || set.IsGuarded() {
+		t.Errorf("Example 2 classes wrong: %v", set.Classes())
+	}
+	q := Example2Query(4)
+	if !hypergraph.IsAcyclic(q.Atoms) {
+		t.Error("Example 2 query should be acyclic")
+	}
+}
+
+func TestExample3(t *testing.T) {
+	set, q := Example3Set(2)
+	if !set.IsSticky() {
+		t.Error("Example 3 set should be sticky")
+	}
+	rw, err := rewrite.Rewrite(q, set, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rw.Complete {
+		t.Error("Example 3 rewriting should complete")
+	}
+}
+
+func TestExample4(t *testing.T) {
+	if !hypergraph.IsAcyclic(Example4Query().Atoms) {
+		t.Error("Example 4 query should be acyclic")
+	}
+	if !Example4Key().IsKeys() {
+		t.Error("Example 4 constraint should be a key")
+	}
+}
+
+// TestExample5GridCascade is the heart of the Figure 4 reproduction:
+// the query is acyclic, and its chase under the three keys contains the
+// full (n+1)×(n+1) grid.
+func TestExample5GridCascade(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		q, keys := Example5Grid(n)
+		if !hypergraph.IsAcyclic(q.Atoms) {
+			t.Fatalf("n=%d: Example 5 query must be acyclic", n)
+		}
+		if !keys.IsKeys() {
+			t.Fatalf("n=%d: constraints must be keys", n)
+		}
+		res, _, err := chase.Query(q, keys, chase.Options{})
+		if err != nil {
+			t.Fatalf("n=%d: chase failed: %v", n, err)
+		}
+		if !res.Complete {
+			t.Fatalf("n=%d: key chase must terminate", n)
+		}
+		grid := GridCQ(n)
+		if !hom.EvaluateBool(grid, res.Instance) {
+			t.Errorf("n=%d: chase does not contain the %dx%d grid:\n%s",
+				n, n+1, n+1, res.Instance)
+		}
+		// The chased query must be cyclic for n ≥ 2 (a genuine grid),
+		// with treewidth at least n (Example 5's real point).
+		thawed := cq.ThawAtoms(res.Instance.AtomsUnordered())
+		if n >= 2 && hypergraph.IsAcyclic(thawed) {
+			t.Errorf("n=%d: chased instance unexpectedly acyclic", n)
+		}
+		if tw := hypergraph.TreewidthUpperBound(thawed); tw < n {
+			t.Errorf("n=%d: treewidth bound %d below grid treewidth", n, tw)
+		}
+	}
+}
+
+func TestRandomDepSets(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ids := RandomInclusionDeps(r, 5, 3)
+	if !ids.IsInclusionDependencies() || !ids.IsLinear() || !ids.IsGuarded() {
+		t.Errorf("inclusion deps classes wrong: %v", ids.Classes())
+	}
+	g := RandomGuarded(r, 5, 2)
+	if !g.IsGuarded() {
+		t.Errorf("guarded set not guarded: %s", g)
+	}
+	nr := RandomNonRecursive(r, 5)
+	if !nr.IsNonRecursive() {
+		t.Errorf("NR set recursive: %s", nr)
+	}
+	st := RandomSticky(r, 5, 2)
+	if len(st.TGDs) == 0 || !st.IsSticky() {
+		t.Errorf("sticky set wrong: %s", st)
+	}
+	k2 := RandomKeys2(r, 3, 3)
+	if len(k2.EGDs) == 0 || !k2.IsK2() {
+		t.Errorf("K2 set wrong: %s", k2)
+	}
+}

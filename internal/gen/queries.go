@@ -1,0 +1,158 @@
+// Package gen synthesizes workloads: the paper's worked examples
+// (Examples 1–5, Figure 4) as executable objects, parametric query
+// families (paths, stars, cycles, cliques, grids), and seeded random
+// generators for queries, databases and dependency sets in each class
+// the paper studies. Benchmarks and integration tests draw everything
+// from here.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+func v(format string, args ...any) term.Term {
+	return term.Var(fmt.Sprintf(format, args...))
+}
+
+// PathCQ returns the Boolean path query E(x0,x1), ..., E(x_{n-1},x_n).
+func PathCQ(n int) *cq.CQ {
+	if n < 1 {
+		n = 1
+	}
+	atoms := make([]instance.Atom, n)
+	for i := 0; i < n; i++ {
+		atoms[i] = instance.NewAtom("E", v("x%d", i), v("x%d", i+1))
+	}
+	return cq.MustNew(nil, atoms)
+}
+
+// StarCQ returns the Boolean star query E(c,x1), ..., E(c,xn).
+func StarCQ(n int) *cq.CQ {
+	if n < 1 {
+		n = 1
+	}
+	atoms := make([]instance.Atom, n)
+	for i := 0; i < n; i++ {
+		atoms[i] = instance.NewAtom("E", v("c"), v("x%d", i+1))
+	}
+	return cq.MustNew(nil, atoms)
+}
+
+// CycleCQ returns the Boolean directed n-cycle query (n ≥ 3 is cyclic).
+func CycleCQ(n int) *cq.CQ {
+	if n < 2 {
+		n = 2
+	}
+	atoms := make([]instance.Atom, n)
+	for i := 0; i < n; i++ {
+		atoms[i] = instance.NewAtom("E", v("x%d", i), v("x%d", (i+1)%n))
+	}
+	return cq.MustNew(nil, atoms)
+}
+
+// CliqueCQ returns the Boolean k-clique query over E.
+func CliqueCQ(k int) *cq.CQ {
+	if k < 2 {
+		k = 2
+	}
+	var atoms []instance.Atom
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i != j {
+				atoms = append(atoms, instance.NewAtom("E", v("x%d", i), v("x%d", j)))
+			}
+		}
+	}
+	return cq.MustNew(nil, atoms)
+}
+
+// GridCQ returns the Boolean n×n grid query over H (horizontal) and V
+// (vertical) edges: nodes g_{i,j}, 0 ≤ i,j ≤ n.
+func GridCQ(n int) *cq.CQ {
+	if n < 1 {
+		n = 1
+	}
+	var atoms []instance.Atom
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			if j < n {
+				atoms = append(atoms, instance.NewAtom("H", v("g%d_%d", i, j), v("g%d_%d", i, j+1)))
+			}
+			if i < n {
+				atoms = append(atoms, instance.NewAtom("V", v("g%d_%d", i, j), v("g%d_%d", i+1, j)))
+			}
+		}
+	}
+	return cq.MustNew(nil, atoms)
+}
+
+// RandomAcyclicCQ grows a tree-shaped Boolean query of n binary atoms
+// over the given predicate names (each atom shares exactly one variable
+// with the tree built so far).
+func RandomAcyclicCQ(r *rand.Rand, n int, preds []string) *cq.CQ {
+	if n < 1 {
+		n = 1
+	}
+	if len(preds) == 0 {
+		preds = []string{"E"}
+	}
+	vars := []term.Term{v("t0"), v("t1")}
+	atoms := []instance.Atom{instance.NewAtom(preds[r.Intn(len(preds))], vars[0], vars[1])}
+	for i := 1; i < n; i++ {
+		old := vars[r.Intn(len(vars))]
+		fresh := v("t%d", len(vars))
+		vars = append(vars, fresh)
+		if r.Intn(2) == 0 {
+			atoms = append(atoms, instance.NewAtom(preds[r.Intn(len(preds))], old, fresh))
+		} else {
+			atoms = append(atoms, instance.NewAtom(preds[r.Intn(len(preds))], fresh, old))
+		}
+	}
+	return cq.MustNew(nil, atoms)
+}
+
+// RandomCQ returns a Boolean query of n binary atoms over nVars
+// variables, with arbitrary (possibly cyclic) shape.
+func RandomCQ(r *rand.Rand, n, nVars int, preds []string) *cq.CQ {
+	if n < 1 {
+		n = 1
+	}
+	if nVars < 2 {
+		nVars = 2
+	}
+	if len(preds) == 0 {
+		preds = []string{"E"}
+	}
+	var atoms []instance.Atom
+	for i := 0; i < n; i++ {
+		atoms = append(atoms, instance.NewAtom(preds[r.Intn(len(preds))],
+			v("r%d", r.Intn(nVars)), v("r%d", r.Intn(nVars))))
+	}
+	return cq.MustNew(nil, atoms)
+}
+
+// RandomGraphDB returns a random database of size binary E-facts (and
+// some unary P-facts) over a domain of the given size.
+func RandomGraphDB(r *rand.Rand, size, domain int) *instance.Instance {
+	if domain < 1 {
+		domain = 1
+	}
+	db := instance.New()
+	for i := 0; i < size; i++ {
+		a := term.Const(fmt.Sprintf("c%d", r.Intn(domain)))
+		b := term.Const(fmt.Sprintf("c%d", r.Intn(domain)))
+		if r.Intn(6) == 0 {
+			db.Add(instance.NewAtom("P", a))
+		} else {
+			db.Add(instance.NewAtom("E", a, b))
+		}
+	}
+	db.Schema().Add("E", 2)
+	db.Schema().Add("P", 1)
+	return db
+}

@@ -1,0 +1,59 @@
+package hom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+func benchDB(size, domain int) *instance.Instance {
+	r := rand.New(rand.NewSource(1))
+	db := instance.New()
+	for i := 0; i < size; i++ {
+		db.Add(instance.NewAtom("E",
+			term.Const(fmt.Sprintf("c%d", r.Intn(domain))),
+			term.Const(fmt.Sprintf("c%d", r.Intn(domain)))))
+	}
+	return db
+}
+
+func BenchmarkEvaluatePath3(b *testing.B) {
+	db := benchDB(2000, 200)
+	q := cq.MustParse("q(x,w) :- E(x,y), E(y,z), E(z,w).")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(q, db)
+	}
+}
+
+func BenchmarkEvaluateBoolTriangle(b *testing.B) {
+	db := benchDB(2000, 200)
+	q := cq.MustParse("q :- E(x,y), E(y,z), E(z,x).")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvaluateBool(q, db)
+	}
+}
+
+func BenchmarkCore8Atoms(b *testing.B) {
+	q := cq.MustParse("q :- E(a,b), E(b,c), E(c,d), E(a,e), E(e,f), E(a,g), E(g,h), E(h,b).")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Core(q)
+	}
+}
+
+func BenchmarkContainment(b *testing.B) {
+	q := cq.MustParse("q(x) :- E(x,y), E(y,z), E(z,w), E(w,v).")
+	qp := cq.MustParse("q(x) :- E(x,y), E(y,z).")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Contained(q, qp) {
+			b.Fatal("containment lost")
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package hom
+
+import (
+	"semacyclic/internal/cq"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// Core computes the core of q: the minimal (fewest atoms) CQ equivalent
+// to q, unique up to renaming [Hell–Nešetřil]. Free variables are held
+// fixed, as required for answer-preserving minimization.
+//
+// The algorithm repeatedly looks for a proper retraction: an
+// endomorphism of q that avoids some atom. When one exists the query is
+// replaced by its image and the search restarts; when none exists the
+// query is its own core. Worst-case exponential (the problem is
+// NP-hard) but fast on the small queries the paper's problems handle.
+func Core(q *cq.CQ) *cq.CQ {
+	cur := q.DedupAtoms()
+	for {
+		next, shrunk := retractOnce(cur)
+		if !shrunk {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// retractOnce searches for an endomorphism of cur that avoids at least
+// one atom; on success it returns the image query.
+func retractOnce(cur *cq.CQ) (*cq.CQ, bool) {
+	db, _ := cur.Freeze()
+	// Free variables must map to themselves.
+	init := term.NewSubst()
+	for _, x := range cur.Free {
+		init[x] = cq.FrozenConst(x)
+	}
+	for _, victim := range cur.Atoms {
+		reduced := db.Clone()
+		frozenVictim := freezeAtom(victim)
+		if !reduced.Remove(frozenVictim) {
+			// Duplicate-free queries always contain their frozen atoms;
+			// a miss can only mean the atom collapsed with another under
+			// freezing, which cannot happen (freezing is injective).
+			continue
+		}
+		h, ok := Find(cur.Atoms, reduced, init)
+		if !ok {
+			continue
+		}
+		// Build the image query in two stages: first apply h (variables
+		// to frozen constants), then thaw frozen constants back to
+		// variables. Two stages avoid composing a variable→variable
+		// substitution that could contain swaps (x↦y, y↦x), which
+		// Resolve would reject as cyclic.
+		frozenImage := term.NewSubst()
+		thaw := term.NewSubst()
+		for _, v := range cur.Vars() {
+			img := h.Resolve(v)
+			frozenImage[v] = img
+			if cq.IsFrozenConst(img) {
+				thaw[img] = cq.Thaw(img)
+			}
+		}
+		next := cur.ApplySubst(frozenImage).ApplySubst(thaw).DedupAtoms()
+		if next.Size() < cur.Size() {
+			return next, true
+		}
+	}
+	return nil, false
+}
+
+func freezeAtom(a instance.Atom) instance.Atom {
+	out := a.Clone()
+	for i, t := range out.Args {
+		if t.IsVar() {
+			out.Args[i] = cq.FrozenConst(t)
+		}
+	}
+	return out
+}
+
+// IsCore reports whether q equals its own core (up to atom count).
+func IsCore(q *cq.CQ) bool {
+	return Core(q).Size() == q.DedupAtoms().Size()
+}

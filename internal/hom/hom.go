@@ -1,0 +1,186 @@
+// Package hom implements homomorphisms between conjunctive queries and
+// instances: the backtracking search underlying CQ evaluation (the
+// NP-complete general case, Chandra–Merlin), plain CQ containment and
+// equivalence (no constraints), and core computation (CQ minimization).
+package hom
+
+import (
+	"sort"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// orderAtoms returns the pattern atoms in a connected, selectivity-
+// friendly order: start from the atom with the most constants/bound
+// terms, then repeatedly pick the atom sharing the most already-seen
+// variables. A good static order keeps the backtracking search shallow.
+func orderAtoms(atoms []instance.Atom, bound term.Subst) []instance.Atom {
+	n := len(atoms)
+	used := make([]bool, n)
+	seen := make(map[term.Term]bool, len(bound))
+	for t := range bound {
+		seen[t] = true
+	}
+	score := func(a instance.Atom) int {
+		s := 0
+		for _, t := range a.Args {
+			if t.IsConst() || seen[t] {
+				s += 2
+			}
+		}
+		return s
+	}
+	out := make([]instance.Atom, 0, n)
+	for len(out) < n {
+		best, bestScore := -1, -1
+		for i, a := range atoms {
+			if used[i] {
+				continue
+			}
+			if s := score(a); s > bestScore {
+				best, bestScore = i, s
+			}
+		}
+		used[best] = true
+		out = append(out, atoms[best])
+		for _, t := range atoms[best].Args {
+			if t.IsVar() {
+				seen[t] = true
+			}
+		}
+	}
+	return out
+}
+
+// candidates returns the target atoms that could match pattern a under
+// the current substitution, using the most selective available index.
+func candidates(target *instance.Instance, a instance.Atom, sub term.Subst) []instance.Atom {
+	best := target.ByPred(a.Pred)
+	for i, t := range a.Args {
+		img := sub.Apply(t)
+		if img.IsVar() {
+			continue // still unbound
+		}
+		if list := target.ByPos(a.Pred, i, img); len(list) < len(best) {
+			best = list
+		}
+	}
+	return best
+}
+
+// Enumerate calls yield for every homomorphism from the pattern atoms
+// into target that extends init (init itself is never mutated). The
+// pattern may mention variables, constants and nulls; variables and
+// nulls are bindable, constants are rigid. Enumeration stops early when
+// yield returns false. The substitution passed to yield is reused
+// across calls; yield must copy it (term.Subst.Clone) to retain it.
+func Enumerate(pattern []instance.Atom, target *instance.Instance, init term.Subst, yield func(term.Subst) bool) {
+	sub := init.Clone()
+	if sub == nil {
+		sub = term.NewSubst()
+	}
+	ordered := orderAtoms(pattern, sub)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(ordered) {
+			return yield(sub)
+		}
+		a := ordered[i]
+		for _, cand := range candidates(target, a, sub) {
+			added, ok := term.MatchTuple(sub, a.Args, cand.Args)
+			if !ok {
+				continue
+			}
+			cont := rec(i + 1)
+			term.Unbind(sub, added)
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// Find returns one homomorphism extending init, or nil/false.
+func Find(pattern []instance.Atom, target *instance.Instance, init term.Subst) (term.Subst, bool) {
+	var out term.Subst
+	Enumerate(pattern, target, init, func(s term.Subst) bool {
+		out = s.Clone()
+		return false
+	})
+	return out, out != nil
+}
+
+// Exists reports whether any homomorphism extends init.
+func Exists(pattern []instance.Atom, target *instance.Instance, init term.Subst) bool {
+	_, ok := Find(pattern, target, init)
+	return ok
+}
+
+// Evaluate computes q(I): the set of answer tuples, each a tuple over
+// the terms of I, deduplicated, in deterministic order.
+func Evaluate(q *cq.CQ, target *instance.Instance) [][]term.Term {
+	seen := make(map[string]bool)
+	var out [][]term.Term
+	Enumerate(q.Atoms, target, nil, func(s term.Subst) bool {
+		tuple := s.ResolveTuple(q.Free)
+		key := tupleKey(tuple)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, tuple)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return tupleKey(out[i]) < tupleKey(out[j]) })
+	return out
+}
+
+func tupleKey(ts []term.Term) string {
+	var b []byte
+	for _, t := range ts {
+		b = append(b, byte(t.K))
+		b = append(b, t.Name...)
+		b = append(b, 0)
+	}
+	return string(b)
+}
+
+// EvaluateBool reports whether the Boolean query holds (for non-Boolean
+// queries: whether the answer set is nonempty).
+func EvaluateBool(q *cq.CQ, target *instance.Instance) bool {
+	return Exists(q.Atoms, target, nil)
+}
+
+// HasTuple reports whether tuple ∈ q(I).
+func HasTuple(q *cq.CQ, target *instance.Instance, tuple []term.Term) bool {
+	if len(tuple) != len(q.Free) {
+		return false
+	}
+	init := term.NewSubst()
+	for i, x := range q.Free {
+		if prev, ok := init[x]; ok && prev != tuple[i] {
+			return false
+		}
+		init[x] = tuple[i]
+	}
+	return Exists(q.Atoms, target, init)
+}
+
+// Contained decides plain containment q ⊆ q' (over all instances, no
+// constraints) by the Chandra–Merlin criterion: freeze q and test
+// whether the frozen head tuple is an answer of q' over D_q.
+func Contained(q, qp *cq.CQ) bool {
+	if len(q.Free) != len(qp.Free) {
+		return false
+	}
+	db, frozen := q.Freeze()
+	return HasTuple(qp, db, frozen)
+}
+
+// Equivalent decides plain equivalence q ≡ q'.
+func Equivalent(q, qp *cq.CQ) bool {
+	return Contained(q, qp) && Contained(qp, q)
+}

@@ -1,0 +1,96 @@
+package hom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/gen"
+	"semacyclic/internal/instance"
+)
+
+// Property: dropping atoms from a query can only grow its answer set.
+func TestMonotoneUnderAtomDrops(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 150; trial++ {
+		q := gen.RandomCQ(r, 2+r.Intn(4), 2+r.Intn(3), []string{"E", "F"})
+		db := gen.RandomGraphDB(r, 8+r.Intn(20), 4)
+		db.Schema().Add("F", 2)
+		full := EvaluateBool(q, db)
+		if !full {
+			continue
+		}
+		// Every subquery keeping at least one atom must also hold.
+		for i := range q.Atoms {
+			rest := append(append([]instance.Atom(nil), q.Atoms[:i]...), q.Atoms[i+1:]...)
+			if len(rest) == 0 {
+				continue
+			}
+			sub := cq.MustNew(nil, rest)
+			if !EvaluateBool(sub, db) {
+				t.Fatalf("subquery lost the match:\nq=%s\nsub=%s\ndb=%s", q, sub, db)
+			}
+		}
+	}
+}
+
+// Property: homomorphism composition. If q matches D via h and every
+// atom of D maps into D' via g (a database homomorphism), then q
+// matches D'.
+func TestHomomorphismComposition(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 100; trial++ {
+		db := gen.RandomGraphDB(r, 5+r.Intn(12), 4)
+		// D' = image of D under a random constant collapse.
+		collapse := map[string]string{}
+		for _, tm := range db.Terms() {
+			collapse[tm.Name] = fmt.Sprintf("c%d", r.Intn(3))
+		}
+		dbPrime := instance.New()
+		for _, a := range db.AtomsUnordered() {
+			na := a.Clone()
+			for i := range na.Args {
+				na.Args[i].Name = collapse[na.Args[i].Name]
+			}
+			dbPrime.Add(na)
+		}
+		q := gen.RandomCQ(r, 1+r.Intn(3), 2+r.Intn(2), []string{"E"})
+		if EvaluateBool(q, db) && !EvaluateBool(q, dbPrime) {
+			t.Fatalf("composition failed:\nq=%s\nD=%s\nD'=%s", q, db, dbPrime)
+		}
+	}
+}
+
+// Property: Core is idempotent and equivalence-preserving.
+func TestCoreIdempotentProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 100; trial++ {
+		q := gen.RandomCQ(r, 2+r.Intn(4), 2+r.Intn(3), []string{"E"})
+		c := Core(q)
+		if !Equivalent(q, c) {
+			t.Fatalf("core not equivalent: %s vs %s", q, c)
+		}
+		cc := Core(c)
+		if cc.Size() != c.Size() {
+			t.Fatalf("core not idempotent: %s then %s", c, cc)
+		}
+	}
+}
+
+// Property: plain containment is reflexive and transitive on random
+// triples.
+func TestContainmentPreorderProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 200; trial++ {
+		a := gen.RandomCQ(r, 1+r.Intn(3), 2+r.Intn(2), []string{"E"})
+		b := gen.RandomCQ(r, 1+r.Intn(3), 2+r.Intn(2), []string{"E"})
+		c := gen.RandomCQ(r, 1+r.Intn(3), 2+r.Intn(2), []string{"E"})
+		if !Contained(a, a) {
+			t.Fatalf("reflexivity failed: %s", a)
+		}
+		if Contained(a, b) && Contained(b, c) && !Contained(a, c) {
+			t.Fatalf("transitivity failed:\na=%s\nb=%s\nc=%s", a, b, c)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+func benchTreeAtoms(n int) []instance.Atom {
+	r := rand.New(rand.NewSource(1))
+	vars := []term.Term{term.Var("v0"), term.Var("v1")}
+	out := []instance.Atom{instance.NewAtom("E", vars[0], vars[1])}
+	for i := 2; i < n+2; i++ {
+		shared := vars[r.Intn(len(vars))]
+		fresh := term.Var(fmt.Sprintf("v%d", i))
+		vars = append(vars, fresh)
+		out = append(out, instance.NewAtom("E", shared, fresh))
+	}
+	return out
+}
+
+func BenchmarkGYO(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		atoms := benchTreeAtoms(n)
+		b.Run(fmt.Sprintf("atoms=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := GYO(atoms); !ok {
+					b.Fatal("tree rejected")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGYOCyclicRejection(b *testing.B) {
+	var atoms []instance.Atom
+	const k = 50
+	for i := 0; i < k; i++ {
+		atoms = append(atoms, instance.NewAtom("E",
+			term.Var(fmt.Sprintf("c%d", i)), term.Var(fmt.Sprintf("c%d", (i+1)%k))))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := GYO(atoms); ok {
+			b.Fatal("cycle accepted")
+		}
+	}
+}
+
+func BenchmarkTreewidthGrid(b *testing.B) {
+	var atoms []instance.Atom
+	const n = 6
+	v := func(i, j int) term.Term { return term.Var(fmt.Sprintf("g%d_%d", i, j)) }
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			if j < n {
+				atoms = append(atoms, instance.NewAtom("H", v(i, j), v(i, j+1)))
+			}
+			if i < n {
+				atoms = append(atoms, instance.NewAtom("V", v(i, j), v(i+1, j)))
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TreewidthUpperBound(atoms)
+	}
+}

@@ -1,0 +1,77 @@
+package hypergraph
+
+import (
+	"fmt"
+
+	"semacyclic/internal/instance"
+)
+
+// Compact implements the construction of Lemma 9 / Lemma 27: given a
+// join forest f of an acyclic instance and a set of marked atoms (the
+// homomorphic image of a query), it returns an acyclic subinstance J
+// that contains every marked atom and has at most 2·|marked| atoms.
+//
+// J consists of the marked nodes, the roots of the subforest induced by
+// the marked nodes and their ancestors, and the branching nodes of that
+// subforest; contracting the unary chains between them preserves the
+// join-tree property, so J is acyclic (a fact Verify-based tests
+// re-check). The marked set is given by atom keys.
+func Compact(f *Forest, marked map[string]bool) ([]instance.Atom, error) {
+	n := f.Len()
+	idxByKey := make(map[string]int, n)
+	for i, a := range f.Atoms {
+		idxByKey[a.Key()] = i
+	}
+	for k := range marked {
+		if _, ok := idxByKey[k]; !ok {
+			return nil, fmt.Errorf("hypergraph: marked atom not in forest")
+		}
+	}
+
+	// inTq: marked nodes and all their ancestors.
+	inTq := make([]bool, n)
+	for k := range marked {
+		for j := idxByKey[k]; j != -1; j = f.Parent[j] {
+			if inTq[j] {
+				break
+			}
+			inTq[j] = true
+		}
+	}
+
+	// Children counts within Tq.
+	childCount := make([]int, n)
+	for i := 0; i < n; i++ {
+		if !inTq[i] {
+			continue
+		}
+		if p := f.Parent[i]; p >= 0 {
+			childCount[p]++
+		}
+	}
+
+	// Keep: marked ∪ roots-of-Tq ∪ branching nodes of Tq. (Leaves of Tq
+	// are always marked, so they are covered by the marked set.)
+	keep := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if !inTq[i] {
+			continue
+		}
+		isRoot := f.Parent[i] == -1 || !inTq[f.Parent[i]]
+		if isRoot || childCount[i] >= 2 || marked[f.Atoms[i].Key()] {
+			keep[i] = true
+		}
+	}
+
+	var out []instance.Atom
+	for i := 0; i < n; i++ {
+		if keep[i] {
+			out = append(out, f.Atoms[i])
+		}
+	}
+	return out, nil
+}
+
+// CompactBound returns the worst-case size guarantee of Compact for a
+// marked set of size m: 2·m (Lemma 9).
+func CompactBound(m int) int { return 2 * m }

@@ -1,0 +1,233 @@
+// Package hypergraph implements the hypergraph view of instances and
+// queries: the GYO ear-removal algorithm deciding acyclicity, explicit
+// join trees (forests) with verification, and the compact acyclic
+// subinstance construction of Lemma 9 / Lemma 27 of the paper.
+//
+// An instance is acyclic iff it admits a join tree: a tree whose nodes
+// are the atoms such that, for every null (here: every non-constant
+// term), the nodes containing it form a connected subtree. A CQ is
+// acyclic iff the instance of its atoms (variables read as nulls) is.
+package hypergraph
+
+import (
+	"fmt"
+
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// Forest is a join forest over a set of distinct atoms: node i carries
+// Atoms[i] and has parent Parent[i], or -1 for roots. A Forest produced
+// by GYO satisfies the join-tree connectivity condition, which Verify
+// re-checks from first principles.
+type Forest struct {
+	Atoms  []instance.Atom
+	Parent []int
+}
+
+// flexible reports whether t participates in the connectivity
+// condition: nulls and variables do, constants do not (the paper's
+// definition requires connectedness for nulls only; variables in
+// queries are read as nulls).
+func flexible(t term.Term) bool { return !t.IsConst() }
+
+func flexTerms(a instance.Atom) []term.Term {
+	out := a.Terms()
+	ts := out[:0]
+	for _, t := range out {
+		if flexible(t) {
+			ts = append(ts, t)
+		}
+	}
+	return ts
+}
+
+// GYO runs the Graham/Yu–Özsoyoğlu ear-removal algorithm over the
+// given atoms (duplicates are merged). It returns a join forest and
+// true when the hypergraph is acyclic, or nil and false otherwise.
+func GYO(atoms []instance.Atom) (*Forest, bool) {
+	// Deduplicate while preserving first-occurrence order.
+	seen := make(map[string]bool, len(atoms))
+	var nodes []instance.Atom
+	for _, a := range atoms {
+		k := a.Key()
+		if !seen[k] {
+			seen[k] = true
+			nodes = append(nodes, a)
+		}
+	}
+	n := len(nodes)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	if n == 0 {
+		return &Forest{}, true
+	}
+
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	vars := make([][]term.Term, n)
+	for i, a := range nodes {
+		vars[i] = flexTerms(a)
+	}
+	// occ[t] = number of alive edges containing t; occIn[t] lists the
+	// edges containing t (stale entries filtered by the alive mask).
+	occ := make(map[term.Term]int)
+	occIn := make(map[term.Term][]int)
+	for i := range nodes {
+		for _, t := range vars[i] {
+			occ[t]++
+			occIn[t] = append(occIn[t], i)
+		}
+	}
+
+	remaining := n
+	for remaining > 1 {
+		ear := -1
+		earParent := -1
+		for i := 0; i < n && ear < 0; i++ {
+			if !alive[i] {
+				continue
+			}
+			// W = flexible terms of i shared with another alive edge.
+			var w []term.Term
+			for _, t := range vars[i] {
+				if occ[t] > 1 {
+					w = append(w, t)
+				}
+			}
+			if len(w) == 0 {
+				// Isolated edge: becomes a root of its own component.
+				ear, earParent = i, -1
+				continue
+			}
+			// A parent must contain all of W, so it suffices to scan
+			// the edges containing w[0].
+			for _, j := range occIn[w[0]] {
+				if j == i || !alive[j] {
+					continue
+				}
+				if containsAll(vars[j], w) {
+					ear, earParent = i, j
+					break
+				}
+			}
+		}
+		if ear < 0 {
+			return nil, false // no ear: cyclic
+		}
+		alive[ear] = false
+		parent[ear] = earParent
+		for _, t := range vars[ear] {
+			occ[t]--
+		}
+		remaining--
+	}
+	return &Forest{Atoms: nodes, Parent: parent}, true
+}
+
+func containsAll(haystack, needles []term.Term) bool {
+	for _, t := range needles {
+		found := false
+		for _, h := range haystack {
+			if h == t {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAcyclic reports whether the atoms form an acyclic hypergraph.
+func IsAcyclic(atoms []instance.Atom) bool {
+	_, ok := GYO(atoms)
+	return ok
+}
+
+// Len returns the number of nodes.
+func (f *Forest) Len() int { return len(f.Atoms) }
+
+// Roots returns the indices of root nodes.
+func (f *Forest) Roots() []int {
+	var out []int
+	for i, p := range f.Parent {
+		if p == -1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Children returns the children adjacency lists.
+func (f *Forest) Children() [][]int {
+	ch := make([][]int, f.Len())
+	for i, p := range f.Parent {
+		if p >= 0 {
+			ch[p] = append(ch[p], i)
+		}
+	}
+	return ch
+}
+
+// Verify checks the join-forest invariant from first principles: the
+// parent relation is a forest, and for every flexible term the nodes
+// containing it induce a connected subgraph. It returns nil iff the
+// invariant holds.
+func (f *Forest) Verify() error {
+	n := f.Len()
+	if len(f.Parent) != n {
+		return fmt.Errorf("hypergraph: parent/atom length mismatch")
+	}
+	// Forest shape: no cycles through parent pointers.
+	for i := 0; i < n; i++ {
+		seenSteps := 0
+		for j := i; j != -1; j = f.Parent[j] {
+			if j < -1 || j >= n {
+				return fmt.Errorf("hypergraph: parent index %d out of range", j)
+			}
+			seenSteps++
+			if seenSteps > n {
+				return fmt.Errorf("hypergraph: cycle through node %d", i)
+			}
+		}
+	}
+	// Connectivity per flexible term: count, for each term, the number
+	// of "component tops": nodes containing t whose parent does not
+	// contain t. Connected iff exactly one top per tree-component of t's
+	// occurrence set — and since t must be connected overall, exactly
+	// one top in total.
+	contains := func(i int, t term.Term) bool {
+		for _, u := range f.Atoms[i].Args {
+			if u == t {
+				return true
+			}
+		}
+		return false
+	}
+	occ := make(map[term.Term][]int)
+	for i, a := range f.Atoms {
+		for _, t := range flexTerms(a) {
+			occ[t] = append(occ[t], i)
+		}
+	}
+	for t, nodesWith := range occ {
+		tops := 0
+		for _, i := range nodesWith {
+			p := f.Parent[i]
+			if p == -1 || !contains(p, t) {
+				tops++
+			}
+		}
+		if tops != 1 {
+			return fmt.Errorf("hypergraph: term %s occurs in %d disconnected parts", t, tops)
+		}
+	}
+	return nil
+}

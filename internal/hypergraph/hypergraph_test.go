@@ -1,0 +1,256 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+func v(n string) term.Term { return term.Var(n) }
+func c(n string) term.Term { return term.Const(n) }
+
+func atoms(as ...instance.Atom) []instance.Atom { return as }
+
+func TestAcyclicBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []instance.Atom
+		want bool
+	}{
+		{"empty", nil, true},
+		{"single", atoms(instance.NewAtom("R", v("x"), v("y"))), true},
+		{"path", atoms(
+			instance.NewAtom("R", v("x"), v("y")),
+			instance.NewAtom("S", v("y"), v("z")),
+			instance.NewAtom("T", v("z"), v("w")),
+		), true},
+		{"triangle", atoms(
+			instance.NewAtom("R", v("x"), v("y")),
+			instance.NewAtom("S", v("y"), v("z")),
+			instance.NewAtom("T", v("z"), v("x")),
+		), false},
+		{"triangle covered by guard", atoms(
+			instance.NewAtom("R", v("x"), v("y")),
+			instance.NewAtom("S", v("y"), v("z")),
+			instance.NewAtom("T", v("z"), v("x")),
+			instance.NewAtom("G", v("x"), v("y"), v("z")),
+		), true},
+		{"star", atoms(
+			instance.NewAtom("R", v("x"), v("a")),
+			instance.NewAtom("R", v("x"), v("b")),
+			instance.NewAtom("R", v("x"), v("c")),
+		), true},
+		{"4-cycle", atoms(
+			instance.NewAtom("E", v("a"), v("b")),
+			instance.NewAtom("E", v("b"), v("c")),
+			instance.NewAtom("E", v("c"), v("d")),
+			instance.NewAtom("E", v("d"), v("a")),
+		), false},
+		{"disconnected acyclic", atoms(
+			instance.NewAtom("R", v("x"), v("y")),
+			instance.NewAtom("S", v("z"), v("w")),
+		), true},
+		{"constants break cycles", atoms(
+			// With 'k' constant the connectivity condition ignores it.
+			instance.NewAtom("E", v("a"), c("k")),
+			instance.NewAtom("E", c("k"), v("b")),
+			instance.NewAtom("F", v("a"), v("b")),
+		), true},
+		{"duplicate atoms", atoms(
+			instance.NewAtom("R", v("x"), v("y")),
+			instance.NewAtom("R", v("x"), v("y")),
+		), true},
+		{"example1 cyclic core", atoms(
+			// Example 1 of the paper: Interest(x,z), Class(y,z), Owns(x,y).
+			instance.NewAtom("Interest", v("x"), v("z")),
+			instance.NewAtom("Class", v("y"), v("z")),
+			instance.NewAtom("Owns", v("x"), v("y")),
+		), false},
+		{"example1 reformulated", atoms(
+			instance.NewAtom("Interest", v("x"), v("z")),
+			instance.NewAtom("Class", v("y"), v("z")),
+		), true},
+	}
+	for _, tc := range cases {
+		f, ok := GYO(tc.in)
+		if ok != tc.want {
+			t.Errorf("%s: acyclic = %v, want %v", tc.name, ok, tc.want)
+			continue
+		}
+		if ok && f != nil {
+			if err := f.Verify(); err != nil {
+				t.Errorf("%s: join tree invalid: %v", tc.name, err)
+			}
+		}
+	}
+}
+
+func TestForestShape(t *testing.T) {
+	f, ok := GYO(atoms(
+		instance.NewAtom("R", v("x"), v("y")),
+		instance.NewAtom("S", v("y"), v("z")),
+		instance.NewAtom("T", v("w")),
+	))
+	if !ok {
+		t.Fatal("should be acyclic")
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	roots := f.Roots()
+	if len(roots) != 2 {
+		t.Errorf("Roots = %v (disconnected input needs 2 roots)", roots)
+	}
+	ch := f.Children()
+	total := 0
+	for _, kids := range ch {
+		total += len(kids)
+	}
+	if total != f.Len()-len(roots) {
+		t.Errorf("children count %d inconsistent with %d roots", total, len(roots))
+	}
+}
+
+func TestVerifyCatchesBrokenTrees(t *testing.T) {
+	// A hand-built "join tree" violating connectivity: y occurs at both
+	// ends of a path whose middle lacks it.
+	f := &Forest{
+		Atoms: atoms(
+			instance.NewAtom("R", v("x"), v("y")),
+			instance.NewAtom("M", v("x"), v("z")),
+			instance.NewAtom("S", v("z"), v("y")),
+		),
+		Parent: []int{1, -1, 1},
+	}
+	if err := f.Verify(); err == nil {
+		t.Error("Verify accepted a non-join-tree")
+	}
+	// Parent cycle.
+	f2 := &Forest{
+		Atoms:  atoms(instance.NewAtom("R", v("x")), instance.NewAtom("S", v("x"))),
+		Parent: []int{1, 0},
+	}
+	if err := f2.Verify(); err == nil {
+		t.Error("Verify accepted a parent cycle")
+	}
+	// Length mismatch.
+	f3 := &Forest{Atoms: atoms(instance.NewAtom("R", v("x"))), Parent: nil}
+	if err := f3.Verify(); err == nil {
+		t.Error("Verify accepted length mismatch")
+	}
+}
+
+func TestCompactContainsMarkedAndBound(t *testing.T) {
+	// A long path; mark two distant atoms.
+	var as []instance.Atom
+	names := []string{"x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7"}
+	for i := 0; i+1 < len(names); i++ {
+		as = append(as, instance.NewAtom("E", v(names[i]), v(names[i+1])))
+	}
+	f, ok := GYO(as)
+	if !ok {
+		t.Fatal("path should be acyclic")
+	}
+	marked := map[string]bool{as[0].Key(): true, as[6].Key(): true}
+	j, err := Compact(f, marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j) > CompactBound(len(marked)) {
+		t.Errorf("compact size %d exceeds bound %d", len(j), CompactBound(len(marked)))
+	}
+	got := make(map[string]bool)
+	for _, a := range j {
+		got[a.Key()] = true
+	}
+	for k := range marked {
+		if !got[k] {
+			t.Errorf("marked atom missing from compact result")
+		}
+	}
+	if !IsAcyclic(j) {
+		t.Error("compact result not acyclic")
+	}
+}
+
+func TestCompactUnknownAtom(t *testing.T) {
+	f, _ := GYO(atoms(instance.NewAtom("R", v("x"))))
+	if _, err := Compact(f, map[string]bool{"nope": true}); err == nil {
+		t.Error("unknown marked atom accepted")
+	}
+}
+
+// randomAcyclicAtoms builds a random join-tree-shaped set of atoms by
+// growing a tree of binary atoms sharing one variable with their parent.
+func randomAcyclicAtoms(r *rand.Rand, n int) []instance.Atom {
+	vars := []term.Term{v("r0"), v("r1")}
+	out := []instance.Atom{instance.NewAtom("E", vars[0], vars[1])}
+	for i := 2; i < n+2; i++ {
+		shared := vars[r.Intn(len(vars))]
+		fresh := term.Var(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+		vars = append(vars, fresh)
+		out = append(out, instance.NewAtom("E", shared, fresh))
+	}
+	return out
+}
+
+// Property: GYO accepts tree-shaped inputs, its forest verifies, and
+// Compact of any marked subset stays acyclic within the bound.
+func TestGYOCompactProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		as := randomAcyclicAtoms(r, 2+r.Intn(12))
+		f, ok := GYO(as)
+		if !ok {
+			t.Fatalf("tree-shaped input rejected: %v", as)
+		}
+		if err := f.Verify(); err != nil {
+			t.Fatalf("forest invalid: %v", err)
+		}
+		marked := make(map[string]bool)
+		for _, a := range as {
+			if r.Intn(3) == 0 {
+				marked[a.Key()] = true
+			}
+		}
+		if len(marked) == 0 {
+			marked[as[0].Key()] = true
+		}
+		j, err := Compact(f, marked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(j) > CompactBound(len(marked)) {
+			t.Fatalf("bound violated: %d > %d", len(j), CompactBound(len(marked)))
+		}
+		if !IsAcyclic(j) {
+			t.Fatalf("compact result cyclic: %v", j)
+		}
+	}
+}
+
+// Property: adding a guard atom containing all variables of a cyclic
+// core makes the hypergraph acyclic.
+func TestGuardMakesAcyclicProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		k := 3 + r.Intn(4)
+		var cyc []instance.Atom
+		var all []term.Term
+		for i := 0; i < k; i++ {
+			all = append(all, term.Var(string(rune('a'+i))))
+		}
+		for i := 0; i < k; i++ {
+			cyc = append(cyc, instance.NewAtom("E", all[i], all[(i+1)%k]))
+		}
+		if IsAcyclic(cyc) {
+			t.Fatalf("%d-cycle reported acyclic", k)
+		}
+		guarded := append(append([]instance.Atom(nil), cyc...), instance.NewAtom("G", all...))
+		if !IsAcyclic(guarded) {
+			t.Fatalf("guarded %d-cycle reported cyclic", k)
+		}
+	}
+}

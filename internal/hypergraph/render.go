@@ -1,0 +1,84 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// String renders the forest as an indented tree, one node per line:
+//
+//	R(x,y)
+//	└─ S(y,z)
+//	   └─ T(z,w)
+//
+// Roots are printed in node order; children sorted by atom for
+// deterministic output.
+func (f *Forest) String() string {
+	if f.Len() == 0 {
+		return "(empty join forest)"
+	}
+	children := f.Children()
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool {
+			return CompareAtomsForRender(f.Atoms[kids[i]], f.Atoms[kids[j]]) < 0
+		})
+	}
+	var b strings.Builder
+	var rec func(i int, prefix string, last bool, root bool)
+	rec = func(i int, prefix string, last bool, root bool) {
+		if root {
+			b.WriteString(f.Atoms[i].String())
+		} else {
+			b.WriteString(prefix)
+			if last {
+				b.WriteString("└─ ")
+			} else {
+				b.WriteString("├─ ")
+			}
+			b.WriteString(f.Atoms[i].String())
+		}
+		b.WriteByte('\n')
+		kids := children[i]
+		for k, ch := range kids {
+			childPrefix := prefix
+			if !root {
+				if last {
+					childPrefix += "   "
+				} else {
+					childPrefix += "│  "
+				}
+			}
+			rec(ch, childPrefix, k == len(kids)-1, false)
+		}
+	}
+	for _, r := range f.Roots() {
+		rec(r, "", true, true)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// CompareAtomsForRender orders atoms for deterministic rendering; it
+// simply delegates to the instance package's canonical order via the
+// atoms' string forms, avoiding an import cycle in callers that only
+// render.
+func CompareAtomsForRender(a, b fmt.Stringer) int {
+	return strings.Compare(a.String(), b.String())
+}
+
+// DOT renders the forest in Graphviz dot syntax, for visual inspection
+// of witnesses (cmd/semacyc -join-tree-dot).
+func (f *Forest) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph jointree {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for i, a := range f.Atoms {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, a.String())
+	}
+	for i, p := range f.Parent {
+		if p >= 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", p, i)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

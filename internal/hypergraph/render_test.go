@@ -1,0 +1,78 @@
+package hypergraph
+
+import (
+	"strings"
+	"testing"
+
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+func TestForestString(t *testing.T) {
+	f, ok := GYO([]instance.Atom{
+		instance.NewAtom("R", term.Var("x"), term.Var("y")),
+		instance.NewAtom("S", term.Var("y"), term.Var("z")),
+		instance.NewAtom("T", term.Var("z"), term.Var("w")),
+	})
+	if !ok {
+		t.Fatal("path should be acyclic")
+	}
+	out := f.String()
+	for _, want := range []string{"R(?x,?y)", "S(?y,?z)", "T(?z,?w)", "└─"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Exactly one root line (no leading tree glyph).
+	lines := strings.Split(out, "\n")
+	roots := 0
+	for _, l := range lines {
+		if !strings.Contains(l, "─") {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Errorf("roots in rendering = %d:\n%s", roots, out)
+	}
+}
+
+func TestForestStringBranching(t *testing.T) {
+	// Three one-variable children can only attach to the guard, so any
+	// join tree of this shape must branch.
+	f, ok := GYO([]instance.Atom{
+		instance.NewAtom("G", term.Var("x"), term.Var("y"), term.Var("z")),
+		instance.NewAtom("A", term.Var("x")),
+		instance.NewAtom("B", term.Var("y")),
+		instance.NewAtom("C", term.Var("z")),
+	})
+	if !ok {
+		t.Fatal("guarded star should be acyclic")
+	}
+	out := f.String()
+	if !strings.Contains(out, "├─") {
+		t.Errorf("branching glyph missing:\n%s", out)
+	}
+}
+
+func TestForestStringEmpty(t *testing.T) {
+	f := &Forest{}
+	if got := f.String(); got != "(empty join forest)" {
+		t.Errorf("empty = %q", got)
+	}
+}
+
+func TestForestDOT(t *testing.T) {
+	f, ok := GYO([]instance.Atom{
+		instance.NewAtom("R", term.Var("x"), term.Var("y")),
+		instance.NewAtom("S", term.Var("y"), term.Var("z")),
+	})
+	if !ok {
+		t.Fatal("acyclic expected")
+	}
+	dot := f.DOT()
+	for _, want := range []string{"digraph jointree", "R(?x,?y)", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("missing %q in DOT:\n%s", want, dot)
+		}
+	}
+}

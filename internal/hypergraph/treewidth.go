@@ -1,0 +1,91 @@
+package hypergraph
+
+import (
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// TreewidthUpperBound computes an upper bound on the treewidth of the
+// Gaifman graph of the atoms (vertices: non-constant terms; edges:
+// co-occurrence in an atom), by the classic min-fill elimination
+// heuristic. The bound is exact on trees (1), cycles (2) and other
+// small graphs, and never below the true treewidth.
+//
+// The paper reasons with treewidth twice: Example 2 (the chase under a
+// non-guarded tgd produces an n-clique, treewidth n−1) and Example 5 /
+// Figure 4 (the key chase contains an n×n grid, treewidth n). This
+// function is the measurable proxy those experiments report.
+func TreewidthUpperBound(atoms []instance.Atom) int {
+	// Build the Gaifman graph.
+	adj := make(map[term.Term]map[term.Term]bool)
+	addEdge := func(a, b term.Term) {
+		if adj[a] == nil {
+			adj[a] = make(map[term.Term]bool)
+		}
+		adj[a][b] = true
+	}
+	for _, a := range atoms {
+		ts := flexTerms(a)
+		for _, t := range ts {
+			if adj[t] == nil {
+				adj[t] = make(map[term.Term]bool)
+			}
+		}
+		for i := range ts {
+			for j := i + 1; j < len(ts); j++ {
+				addEdge(ts[i], ts[j])
+				addEdge(ts[j], ts[i])
+			}
+		}
+	}
+	if len(adj) == 0 {
+		return 0
+	}
+
+	// Min-fill elimination: repeatedly remove the vertex whose
+	// neighbourhood needs the fewest fill-in edges; the width is the
+	// largest neighbourhood size at elimination time.
+	width := 0
+	for len(adj) > 0 {
+		best := term.Term{}
+		bestFill, bestDeg := -1, -1
+		for v, nb := range adj {
+			fill := 0
+			keys := neighbours(nb)
+			for i := range keys {
+				for j := i + 1; j < len(keys); j++ {
+					if !adj[keys[i]][keys[j]] {
+						fill++
+					}
+				}
+			}
+			if bestFill == -1 || fill < bestFill || (fill == bestFill && len(nb) < bestDeg) {
+				best, bestFill, bestDeg = v, fill, len(nb)
+			}
+		}
+		nb := neighbours(adj[best])
+		if len(nb) > width {
+			width = len(nb)
+		}
+		// Connect the neighbourhood into a clique, then remove best.
+		for i := range nb {
+			for j := i + 1; j < len(nb); j++ {
+				addEdge(nb[i], nb[j])
+				addEdge(nb[j], nb[i])
+			}
+		}
+		for _, u := range nb {
+			delete(adj[u], best)
+		}
+		delete(adj, best)
+	}
+	return width
+}
+
+func neighbours(nb map[term.Term]bool) []term.Term {
+	out := make([]term.Term, 0, len(nb))
+	for u := range nb {
+		out = append(out, u)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package hypergraph
+
+import (
+	"fmt"
+	"testing"
+
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+func edgeAtom(a, b string) instance.Atom {
+	return instance.NewAtom("E", term.Var(a), term.Var(b))
+}
+
+func TestTreewidthBasics(t *testing.T) {
+	if got := TreewidthUpperBound(nil); got != 0 {
+		t.Errorf("empty = %d", got)
+	}
+	// A path is a tree: width 1.
+	path := []instance.Atom{edgeAtom("a", "b"), edgeAtom("b", "c"), edgeAtom("c", "d")}
+	if got := TreewidthUpperBound(path); got != 1 {
+		t.Errorf("path = %d, want 1", got)
+	}
+	// A cycle: width 2.
+	cyc := []instance.Atom{edgeAtom("a", "b"), edgeAtom("b", "c"), edgeAtom("c", "d"), edgeAtom("d", "a")}
+	if got := TreewidthUpperBound(cyc); got != 2 {
+		t.Errorf("cycle = %d, want 2", got)
+	}
+	// Isolated vertex via unary atom: width 0 contribution.
+	single := []instance.Atom{instance.NewAtom("P", term.Var("x"))}
+	if got := TreewidthUpperBound(single); got != 0 {
+		t.Errorf("single vertex = %d, want 0", got)
+	}
+}
+
+func TestTreewidthClique(t *testing.T) {
+	// Example 2's phenomenon: a k-clique has treewidth k-1.
+	for k := 3; k <= 6; k++ {
+		var atoms []instance.Atom
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				atoms = append(atoms, edgeAtom(fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", j)))
+			}
+		}
+		if got := TreewidthUpperBound(atoms); got != k-1 {
+			t.Errorf("K%d = %d, want %d", k, got, k-1)
+		}
+	}
+}
+
+func TestTreewidthGrid(t *testing.T) {
+	// Example 5's phenomenon: the n×n grid has treewidth n; min-fill is
+	// allowed to overshoot slightly but must grow with n and never
+	// undershoot.
+	prev := 0
+	for n := 1; n <= 4; n++ {
+		var atoms []instance.Atom
+		v := func(i, j int) string { return fmt.Sprintf("g%d_%d", i, j) }
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= n; j++ {
+				if j < n {
+					atoms = append(atoms, edgeAtom(v(i, j), v(i, j+1)))
+				}
+				if i < n {
+					atoms = append(atoms, edgeAtom(v(i, j), v(i+1, j)))
+				}
+			}
+		}
+		got := TreewidthUpperBound(atoms)
+		if got < n {
+			t.Errorf("grid %d: bound %d below true treewidth %d", n, got, n)
+		}
+		if got < prev {
+			t.Errorf("grid %d: bound %d decreased from %d", n, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestTreewidthGuardedAtomsKeepWidthOfGuard(t *testing.T) {
+	// One k-ary atom is a clique on its variables: width k-1.
+	g := instance.NewAtom("G", term.Var("a"), term.Var("b"), term.Var("c"), term.Var("d"))
+	if got := TreewidthUpperBound([]instance.Atom{g}); got != 3 {
+		t.Errorf("guard = %d, want 3", got)
+	}
+}
+
+func TestTreewidthIgnoresConstants(t *testing.T) {
+	atoms := []instance.Atom{
+		instance.NewAtom("E", term.Var("a"), term.Const("k")),
+		instance.NewAtom("E", term.Const("k"), term.Var("b")),
+	}
+	if got := TreewidthUpperBound(atoms); got != 0 {
+		t.Errorf("constants created width: %d", got)
+	}
+}

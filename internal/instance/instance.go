@@ -1,0 +1,326 @@
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semacyclic/internal/schema"
+	"semacyclic/internal/term"
+)
+
+// posKey indexes atoms by (predicate, argument position, term).
+type posKey struct {
+	pred string
+	pos  int
+	t    term.Term
+}
+
+// Instance is a finite set of atoms over constants and labelled nulls,
+// with secondary indexes for join processing:
+//
+//   - a per-predicate list, and
+//   - a per-(predicate, position, term) list,
+//
+// both maintained incrementally on Add/Remove. The zero value is not
+// usable; call New.
+type Instance struct {
+	atoms  map[string]Atom   // canonical key → atom
+	byPred map[string][]Atom // predicate → atoms (order of insertion, compacted on removal)
+	byPos  map[posKey][]Atom
+	sch    *schema.Schema // lazily grown signature of the instance
+}
+
+// New returns an empty instance.
+func New() *Instance {
+	return &Instance{
+		atoms:  make(map[string]Atom),
+		byPred: make(map[string][]Atom),
+		byPos:  make(map[posKey][]Atom),
+		sch:    schema.New(),
+	}
+}
+
+// FromAtoms builds an instance containing the given atoms. Variables in
+// any atom are rejected: instances range over C ∪ N only.
+func FromAtoms(atoms ...Atom) (*Instance, error) {
+	ins := New()
+	for _, a := range atoms {
+		if err := ins.Add(a); err != nil {
+			return nil, err
+		}
+	}
+	return ins, nil
+}
+
+// MustFromAtoms is FromAtoms that panics on error; for tests and
+// literals whose validity is static.
+func MustFromAtoms(atoms ...Atom) *Instance {
+	ins, err := FromAtoms(atoms...)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+// Add inserts the atom, rejecting variables and arity conflicts.
+// Adding an existing atom is a no-op. It reports whether the atom was
+// newly inserted.
+func (ins *Instance) Add(a Atom) error {
+	_, err := ins.AddReport(a)
+	return err
+}
+
+// AddReport is Add returning also whether the atom was new.
+func (ins *Instance) AddReport(a Atom) (added bool, err error) {
+	if a.HasVars() {
+		return false, fmt.Errorf("instance: atom %s contains a variable", a)
+	}
+	if err := ins.sch.Add(a.Pred, len(a.Args)); err != nil {
+		return false, err
+	}
+	k := a.Key()
+	if _, ok := ins.atoms[k]; ok {
+		return false, nil
+	}
+	a = a.Clone()
+	ins.atoms[k] = a
+	ins.byPred[a.Pred] = append(ins.byPred[a.Pred], a)
+	for i, t := range a.Args {
+		pk := posKey{a.Pred, i, t}
+		ins.byPos[pk] = append(ins.byPos[pk], a)
+	}
+	return true, nil
+}
+
+// Remove deletes the atom if present, reporting whether it was there.
+func (ins *Instance) Remove(a Atom) bool {
+	k := a.Key()
+	stored, ok := ins.atoms[k]
+	if !ok {
+		return false
+	}
+	delete(ins.atoms, k)
+	ins.byPred[stored.Pred] = dropAtom(ins.byPred[stored.Pred], k)
+	for i, t := range stored.Args {
+		pk := posKey{stored.Pred, i, t}
+		ins.byPos[pk] = dropAtom(ins.byPos[pk], k)
+		if len(ins.byPos[pk]) == 0 {
+			delete(ins.byPos, pk)
+		}
+	}
+	return true
+}
+
+func dropAtom(list []Atom, key string) []Atom {
+	for i := range list {
+		if list[i].Key() == key {
+			list[i] = list[len(list)-1]
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+// Has reports membership.
+func (ins *Instance) Has(a Atom) bool {
+	_, ok := ins.atoms[a.Key()]
+	return ok
+}
+
+// Len returns the number of atoms.
+func (ins *Instance) Len() int { return len(ins.atoms) }
+
+// Schema returns the signature grown from the atoms added so far. The
+// returned schema is live; callers must not mutate it.
+func (ins *Instance) Schema() *schema.Schema { return ins.sch }
+
+// Atoms returns all atoms in canonical order.
+func (ins *Instance) Atoms() []Atom {
+	out := make([]Atom, 0, len(ins.atoms))
+	for _, a := range ins.atoms {
+		out = append(out, a)
+	}
+	SortAtoms(out)
+	return out
+}
+
+// AtomsUnordered returns all atoms in arbitrary order, avoiding the
+// sort cost of Atoms for hot paths.
+func (ins *Instance) AtomsUnordered() []Atom {
+	out := make([]Atom, 0, len(ins.atoms))
+	for _, a := range ins.atoms {
+		out = append(out, a)
+	}
+	return out
+}
+
+// ByPred returns the atoms with the given predicate. The returned slice
+// is shared; callers must not mutate it.
+func (ins *Instance) ByPred(pred string) []Atom { return ins.byPred[pred] }
+
+// ByPos returns the atoms whose argument at position pos of predicate
+// pred equals t. The returned slice is shared; callers must not mutate it.
+func (ins *Instance) ByPos(pred string, pos int, t term.Term) []Atom {
+	return ins.byPos[posKey{pred, pos, t}]
+}
+
+// Terms returns every distinct term occurring in the instance, in
+// canonical order.
+func (ins *Instance) Terms() []term.Term {
+	seen := make(map[term.Term]bool)
+	for _, a := range ins.atoms {
+		for _, t := range a.Args {
+			seen[t] = true
+		}
+	}
+	out := make([]term.Term, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Nulls returns the distinct labelled nulls of the instance in
+// canonical order.
+func (ins *Instance) Nulls() []term.Term {
+	all := ins.Terms()
+	out := all[:0]
+	for _, t := range all {
+		if t.IsNull() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent deep copy.
+func (ins *Instance) Clone() *Instance {
+	out := New()
+	for _, a := range ins.atoms {
+		if err := out.Add(a); err != nil {
+			panic(err) // cannot happen: source atoms were validated
+		}
+	}
+	return out
+}
+
+// ReplaceTerm rewrites every occurrence of old to new, re-indexing the
+// affected atoms. It is the primitive the egd chase uses to identify
+// nulls. Atoms that collapse onto existing ones are merged.
+func (ins *Instance) ReplaceTerm(old, new term.Term) {
+	if old == new {
+		return
+	}
+	var touched []Atom
+	for _, a := range ins.atoms {
+		for _, t := range a.Args {
+			if t == old {
+				touched = append(touched, a)
+				break
+			}
+		}
+	}
+	for _, a := range touched {
+		ins.Remove(a)
+		na := a.Clone()
+		for i := range na.Args {
+			if na.Args[i] == old {
+				na.Args[i] = new
+			}
+		}
+		if err := ins.Add(na); err != nil {
+			panic(err) // replacement cannot introduce variables here
+		}
+	}
+}
+
+// Union adds every atom of other into ins (mutating ins) and returns ins.
+func (ins *Instance) Union(other *Instance) (*Instance, error) {
+	if other == nil {
+		return ins, nil
+	}
+	for _, a := range other.atoms {
+		if err := ins.Add(a); err != nil {
+			return nil, err
+		}
+	}
+	return ins, nil
+}
+
+// Equal reports whether the two instances have exactly the same atoms.
+func (ins *Instance) Equal(other *Instance) bool {
+	if ins.Len() != other.Len() {
+		return false
+	}
+	for k := range ins.atoms {
+		if _, ok := other.atoms[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Dump renders the instance as parseable ground-atom statements, one
+// per line ("R(a,b)."), in canonical order — the inverse of the
+// ground-atom parser. Instances holding nulls, or constants containing
+// the syntax delimiters the parser splits on, cannot be dumped
+// losslessly and are rejected.
+func (ins *Instance) Dump() (string, error) {
+	var b strings.Builder
+	for _, a := range ins.Atoms() {
+		b.WriteString(a.Pred)
+		b.WriteByte('(')
+		for i, t := range a.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if t.IsNull() {
+				return "", fmt.Errorf("instance: cannot dump null %s", t)
+			}
+			if !dumpable(t.Name) {
+				return "", fmt.Errorf("instance: constant %q contains syntax delimiters", t.Name)
+			}
+			if needsQuoting(t.Name) {
+				b.WriteByte('\'')
+				b.WriteString(t.Name)
+				b.WriteByte('\'')
+			} else {
+				b.WriteString(t.Name)
+			}
+		}
+		b.WriteString(").\n")
+	}
+	return b.String(), nil
+}
+
+// dumpable rejects constant names the ground-atom syntax cannot carry.
+func dumpable(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		switch name[i] {
+		case '(', ')', ',', '.', '\'', '\n':
+			return false
+		}
+	}
+	return true
+}
+
+// needsQuoting reports whether the (dumpable) name must be quoted to
+// survive whitespace trimming on re-parse.
+func needsQuoting(name string) bool {
+	return name[0] == ' ' || name[len(name)-1] == ' ' || name[0] == '\t' || name[len(name)-1] == '\t'
+}
+
+// String renders the instance as a sorted set of atoms.
+func (ins *Instance) String() string {
+	atoms := ins.Atoms()
+	parts := make([]string, len(atoms))
+	for i, a := range atoms {
+		parts[i] = a.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,254 @@
+// Package pcp implements the reduction of Theorem 7 of the paper: from
+// an instance of the Post correspondence problem over {a,b} to a
+// Boolean CQ q and a set Σ of full tgds such that the PCP instance has
+// a solution iff q is equivalent under Σ to an acyclic CQ (in the
+// proof's path-shaped form). The package builds (q, Σ), builds the
+// path-shaped witness query for a candidate solution sequence, and
+// checks candidate solutions directly — everything needed to replay the
+// construction computationally on decidable fragments of it.
+package pcp
+
+import (
+	"fmt"
+	"strings"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// Instance is a PCP instance: two equally long lists of nonempty words
+// over the alphabet {a, b}.
+type Instance struct {
+	W1, W2 []string
+}
+
+// Validate checks the instance's well-formedness.
+func (p Instance) Validate() error {
+	if len(p.W1) == 0 || len(p.W1) != len(p.W2) {
+		return fmt.Errorf("pcp: need equally long nonempty word lists, got %d and %d", len(p.W1), len(p.W2))
+	}
+	for _, list := range [][]string{p.W1, p.W2} {
+		for _, w := range list {
+			if w == "" {
+				return fmt.Errorf("pcp: empty word")
+			}
+			for _, r := range w {
+				if r != 'a' && r != 'b' {
+					return fmt.Errorf("pcp: word %q uses letters outside {a,b}", w)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Normalize returns the instance with every letter doubled (a→aa,
+// b→bb), the even-length normal form the proof of Theorem 7 assumes.
+// Solvability is preserved.
+func (p Instance) Normalize() Instance {
+	double := func(ws []string) []string {
+		out := make([]string, len(ws))
+		for i, w := range ws {
+			var b strings.Builder
+			for _, r := range w {
+				b.WriteRune(r)
+				b.WriteRune(r)
+			}
+			out[i] = b.String()
+		}
+		return out
+	}
+	return Instance{W1: double(p.W1), W2: double(p.W2)}
+}
+
+// CheckSolution reports whether the index sequence (1-based) is a
+// solution: w_{i1}···w_{im} = w'_{i1}···w'_{im}, m ≥ 1.
+func (p Instance) CheckSolution(seq []int) bool {
+	if len(seq) == 0 {
+		return false
+	}
+	var a, b strings.Builder
+	for _, i := range seq {
+		if i < 1 || i > len(p.W1) {
+			return false
+		}
+		a.WriteString(p.W1[i-1])
+		b.WriteString(p.W2[i-1])
+	}
+	return a.String() == b.String()
+}
+
+// Predicate names of the construction.
+const (
+	PredStart = "start"
+	PredEnd   = "end"
+	PredHash  = "Phash" // P_# of the paper
+	PredStar  = "Pstar" // P_* of the paper
+	PredSync  = "sync"
+)
+
+// letterPred returns Pa or Pb.
+func letterPred(r byte) string { return "P" + string(r) }
+
+// wordPath expands P_w(x, y) into a chain of letter atoms through
+// fresh variables named with the given prefix.
+func wordPath(w string, x, y term.Term, prefix string) []instance.Atom {
+	var out []instance.Atom
+	cur := x
+	for i := 0; i < len(w); i++ {
+		var next term.Term
+		if i == len(w)-1 {
+			next = y
+		} else {
+			next = term.Var(fmt.Sprintf("%s_%d", prefix, i))
+		}
+		out = append(out, instance.NewAtom(letterPred(w[i]), cur, next))
+		cur = next
+	}
+	return out
+}
+
+// Build returns the Boolean CQ q and the set Σ of full tgds of the
+// proof of Theorem 7 (the proof-sketch version of Figure 2).
+func Build(p Instance) (*cq.CQ, *deps.Set, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	q := buildQuery()
+	set := &deps.Set{}
+
+	// Initialization rule: start(x), P#(x,y) → sync(y,y).
+	x, y := term.Var("x"), term.Var("y")
+	set.TGDs = append(set.TGDs, deps.MustTGD(
+		[]instance.Atom{
+			instance.NewAtom(PredStart, x),
+			instance.NewAtom(PredHash, x, y),
+		},
+		[]instance.Atom{instance.NewAtom(PredSync, y, y)},
+	))
+
+	// Synchronization rules, one per index i:
+	// sync(x,y), P_{wi}(x,z), P_{w'i}(y,u) → sync(z,u).
+	for i := range p.W1 {
+		sx, sy := term.Var("sx"), term.Var("sy")
+		sz, su := term.Var("sz"), term.Var("su")
+		body := []instance.Atom{instance.NewAtom(PredSync, sx, sy)}
+		body = append(body, wordPath(p.W1[i], sx, sz, fmt.Sprintf("l%d", i))...)
+		body = append(body, wordPath(p.W2[i], sy, su, fmt.Sprintf("r%d", i))...)
+		set.TGDs = append(set.TGDs, deps.MustTGD(
+			body,
+			[]instance.Atom{instance.NewAtom(PredSync, sz, su)},
+		))
+	}
+
+	// Finalization rules, one per index i. Body: start(x), Pa(y,z),
+	// Pa(z,u), P*(u,v), end(v), sync(y1,y2), P_{wi}(y1,y), P_{w'i}(y2,y).
+	// Head: the copy of q's structure on x,y,z,u,v.
+	for i := range p.W1 {
+		fx, fy, fz, fu, fv := term.Var("fx"), term.Var("fy"), term.Var("fz"), term.Var("fu"), term.Var("fv")
+		y1, y2 := term.Var("fy1"), term.Var("fy2")
+		body := []instance.Atom{
+			instance.NewAtom(PredStart, fx),
+			instance.NewAtom(letterPred('a'), fy, fz),
+			instance.NewAtom(letterPred('a'), fz, fu),
+			instance.NewAtom(PredStar, fu, fv),
+			instance.NewAtom(PredEnd, fv),
+			instance.NewAtom(PredSync, y1, y2),
+		}
+		body = append(body, wordPath(p.W1[i], y1, fy, fmt.Sprintf("fl%d", i))...)
+		body = append(body, wordPath(p.W2[i], y2, fy, fmt.Sprintf("fr%d", i))...)
+
+		head := []instance.Atom{
+			instance.NewAtom(PredHash, fx, fy),
+			instance.NewAtom(PredHash, fx, fz),
+			instance.NewAtom(PredHash, fx, fu),
+			instance.NewAtom(PredStar, fy, fv),
+			instance.NewAtom(PredStar, fz, fv),
+			instance.NewAtom(letterPred('b'), fz, fy),
+			instance.NewAtom(letterPred('b'), fu, fz),
+			instance.NewAtom(letterPred('a'), fu, fy),
+			instance.NewAtom(letterPred('b'), fy, fu),
+		}
+		for _, s := range []term.Term{fy, fz, fu} {
+			for _, t := range []term.Term{fy, fz, fu} {
+				head = append(head, instance.NewAtom(PredSync, s, t))
+			}
+		}
+		set.TGDs = append(set.TGDs, deps.MustTGD(body, head))
+	}
+
+	if !set.IsFull() {
+		return nil, nil, fmt.Errorf("pcp: internal: construction must yield full tgds")
+	}
+	return q, set, nil
+}
+
+// buildQuery assembles the Boolean query q of Figure 2 (proof-sketch
+// version): variables x,y,z,u,v with the letter/star/hash structure and
+// sync as the full relation on {y,z,u}.
+func buildQuery() *cq.CQ {
+	x, y, z, u, v := term.Var("x"), term.Var("y"), term.Var("z"), term.Var("u"), term.Var("v")
+	atoms := []instance.Atom{
+		instance.NewAtom(PredStart, x),
+		instance.NewAtom(PredEnd, v),
+		instance.NewAtom(PredHash, x, y),
+		instance.NewAtom(PredHash, x, z),
+		instance.NewAtom(PredHash, x, u),
+		instance.NewAtom(letterPred('a'), y, z),
+		instance.NewAtom(letterPred('a'), z, u),
+		instance.NewAtom(letterPred('b'), z, y),
+		instance.NewAtom(letterPred('b'), u, z),
+		instance.NewAtom(letterPred('a'), u, y),
+		instance.NewAtom(letterPred('b'), y, u),
+		instance.NewAtom(PredStar, y, v),
+		instance.NewAtom(PredStar, z, v),
+		instance.NewAtom(PredStar, u, v),
+	}
+	for _, s := range []term.Term{y, z, u} {
+		for _, t := range []term.Term{y, z, u} {
+			atoms = append(atoms, instance.NewAtom(PredSync, s, t))
+		}
+	}
+	return cq.MustNew(nil, atoms)
+}
+
+// SolutionQuery builds the acyclic, path-shaped witness query q' for
+// the candidate solution sequence: start, P#, the letters of
+// w_{i1}···w_{im}, then Pa, Pa, P*, end — the query the proof shows
+// equivalent to q under Σ exactly when the sequence is a solution.
+func (p Instance) SolutionQuery(seq []int) (*cq.CQ, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("pcp: empty index sequence")
+	}
+	var word strings.Builder
+	for _, i := range seq {
+		if i < 1 || i > len(p.W1) {
+			return nil, fmt.Errorf("pcp: index %d out of range", i)
+		}
+		word.WriteString(p.W1[i-1])
+	}
+	w := word.String()
+
+	mk := func(i int) term.Term { return term.Var(fmt.Sprintf("n%d", i)) }
+	var atoms []instance.Atom
+	node := 0
+	atoms = append(atoms, instance.NewAtom(PredStart, mk(node)))
+	next := func(pred string) {
+		atoms = append(atoms, instance.NewAtom(pred, mk(node), mk(node+1)))
+		node++
+	}
+	next(PredHash)
+	for i := 0; i < len(w); i++ {
+		next(letterPred(w[i]))
+	}
+	next(letterPred('a'))
+	next(letterPred('a'))
+	next(PredStar)
+	atoms = append(atoms, instance.NewAtom(PredEnd, mk(node)))
+	return cq.MustNew(nil, atoms), nil
+}

@@ -1,0 +1,448 @@
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"semacyclic/internal/chase"
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/hom"
+	"semacyclic/internal/term"
+)
+
+func TestRejectsEGDs(t *testing.T) {
+	set := deps.MustParse("R(x,y), R(x,z) -> y = z.")
+	if _, err := Rewrite(cq.MustParse("q :- R(x,y)."), set, Options{}); err == nil {
+		t.Error("egd set accepted")
+	}
+}
+
+func TestLinearRewriteBasic(t *testing.T) {
+	set := deps.MustParse("R(x,y) -> S(y).")
+	q := cq.MustParse("q :- S(u).")
+	res, err := Rewrite(q, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Error("tiny rewriting should complete")
+	}
+	if len(res.UCQ.Disjuncts) != 2 {
+		t.Fatalf("disjuncts = %v", res.UCQ)
+	}
+	// The rewritten disjunct is R(_, u)-shaped.
+	var found bool
+	for _, d := range res.UCQ.Disjuncts {
+		if d.Size() == 1 && d.Atoms[0].Pred == "R" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing R-disjunct:\n%s", res.UCQ)
+	}
+}
+
+func TestRewriteChainTwoSteps(t *testing.T) {
+	set := deps.MustParse("A(x) -> B(x).\nB(x) -> C(x).")
+	q := cq.MustParse("q(x) :- C(x).")
+	res, err := Rewrite(q, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := make(map[string]bool)
+	for _, d := range res.UCQ.Disjuncts {
+		if d.Size() == 1 {
+			preds[d.Atoms[0].Pred] = true
+		}
+	}
+	for _, p := range []string{"A", "B", "C"} {
+		if !preds[p] {
+			t.Errorf("missing %s-disjunct:\n%s", p, res.UCQ)
+		}
+	}
+}
+
+func TestExistentialBlocksOutsideVariables(t *testing.T) {
+	set := deps.MustParse("R(x) -> S(x,z).")
+	// v occurs outside the piece: rewriting of S(u,v) alone is unsound.
+	q := cq.MustParse("q :- S(u,v), T(v).")
+	res, err := Rewrite(q, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UCQ.Disjuncts) != 1 {
+		t.Errorf("unsound rewriting produced:\n%s", res.UCQ)
+	}
+	// With v local to the piece the rewriting is sound.
+	q2 := cq.MustParse("q :- S(u,v).")
+	res2, err := Rewrite(q2, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.UCQ.Disjuncts) != 2 {
+		t.Errorf("sound rewriting missing:\n%s", res2.UCQ)
+	}
+}
+
+func TestExistentialBlocksConstantsAndAnswerVars(t *testing.T) {
+	set := deps.MustParse("R(x) -> S(x,z).")
+	// Existential position unified with a constant: unsound.
+	q := cq.MustParse("q :- S(u,'a').")
+	res, _ := Rewrite(q, set, Options{})
+	if len(res.UCQ.Disjuncts) != 1 {
+		t.Errorf("constant unification accepted:\n%s", res.UCQ)
+	}
+	// Existential position unified with an answer variable: unsound.
+	q2 := cq.MustParse("q(v) :- S(u,v).")
+	res2, _ := Rewrite(q2, set, Options{})
+	if len(res2.UCQ.Disjuncts) != 1 {
+		t.Errorf("answer-variable unification accepted:\n%s", res2.UCQ)
+	}
+}
+
+func TestExistentialBlocksMergingTwoExistentials(t *testing.T) {
+	set := deps.MustParse("P(x) -> S(x,z,w).")
+	// S(u,v,v) needs z=w: two distinct nulls can never coincide.
+	q := cq.MustParse("q :- S(u,v,v).")
+	res, _ := Rewrite(q, set, Options{})
+	if len(res.UCQ.Disjuncts) != 1 {
+		t.Errorf("merged existentials accepted:\n%s", res.UCQ)
+	}
+	// S(u,v,w) with v,w local: fine.
+	q2 := cq.MustParse("q :- S(u,v,w).")
+	res2, _ := Rewrite(q2, set, Options{})
+	if len(res2.UCQ.Disjuncts) != 2 {
+		t.Errorf("distinct existentials rejected:\n%s", res2.UCQ)
+	}
+}
+
+func TestExistentialBlocksFrontierMerge(t *testing.T) {
+	set := deps.MustParse("P(x) -> S(x,z).")
+	// S(u,u) needs x=z: the frontier value cannot equal the fresh null.
+	q := cq.MustParse("q :- S(u,u).")
+	res, _ := Rewrite(q, set, Options{})
+	if len(res.UCQ.Disjuncts) != 1 {
+		t.Errorf("frontier/existential merge accepted:\n%s", res.UCQ)
+	}
+}
+
+func TestTwoAtomsIntoOneHeadAtom(t *testing.T) {
+	// Factorization: both query atoms map onto the single head atom.
+	set := deps.MustParse("P(x) -> S(x,z).")
+	q := cq.MustParse("q :- S(u,v), S(w,v).")
+	res, err := Rewrite(q, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect a disjunct P(u') obtained by unifying both S-atoms (u=w,
+	// v=z local) and replacing with the body.
+	var foundP bool
+	for _, d := range res.UCQ.Disjuncts {
+		if d.Size() == 1 && d.Atoms[0].Pred == "P" {
+			foundP = true
+		}
+	}
+	if !foundP {
+		t.Errorf("factorized rewriting missing:\n%s", res.UCQ)
+	}
+}
+
+func TestMultiHeadPiece(t *testing.T) {
+	set := deps.MustParse("R(x) -> S(x,z), T(z).")
+	// Both atoms rewrite together: z shared across the head.
+	q := cq.MustParse("q :- S(u,v), T(v).")
+	res, err := Rewrite(q, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foundR bool
+	for _, d := range res.UCQ.Disjuncts {
+		if d.Size() == 1 && d.Atoms[0].Pred == "R" {
+			foundR = true
+		}
+	}
+	if !foundR {
+		t.Errorf("multi-head piece rewriting missing:\n%s", res.UCQ)
+	}
+}
+
+func TestExample1Rewriting(t *testing.T) {
+	set := deps.MustParse("Interest(x,z), Class(y,z) -> Owns(x,y).")
+	q := cq.MustParse("q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y).")
+	res, err := Rewrite(q, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rewriting must witness that q' = Interest∧Class is contained
+	// in q under Σ: some disjunct maps into D_q' with the frozen head.
+	qp := cq.MustParse("q(x,y) :- Interest(x,z), Class(y,z).")
+	db, frozen := qp.Freeze()
+	matched := false
+	for _, d := range res.UCQ.Disjuncts {
+		if hom.HasTuple(d, db, frozen) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		t.Errorf("rewriting does not witness q' ⊆Σ q:\n%s", res.UCQ)
+	}
+}
+
+func TestBudgetTruncation(t *testing.T) {
+	set := deps.MustParse("A(x) -> B(x).\nB(x) -> C(x).")
+	q := cq.MustParse("q(x) :- C(x).")
+	res, err := Rewrite(q, set, Options{MaxDisjuncts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Error("truncated rewriting reported complete")
+	}
+	if len(res.UCQ.Disjuncts) > 2 {
+		t.Errorf("budget exceeded: %d disjuncts", len(res.UCQ.Disjuncts))
+	}
+}
+
+func TestHeightBound(t *testing.T) {
+	set := deps.MustParse("R(x,y) -> S(y,z).")
+	q := cq.MustParse("q :- S(u,v).")
+	// p = 2 predicates, a = 2, |q| = 1: 2·(2·1+1)^2 = 18.
+	if got := HeightBound(q, set); got != 18 {
+		t.Errorf("HeightBound = %d, want 18", got)
+	}
+}
+
+// example3Set builds the sticky set of Example 3 for width n: predicates
+// P0..Pn of arity n+2 over variables x1..xn and the two tail positions.
+func example3Set(n int) (*deps.Set, *cq.CQ) {
+	var lines []string
+	for i := 1; i <= n; i++ {
+		mk := func(subst string) string {
+			args := make([]string, n+2)
+			for j := 1; j <= n; j++ {
+				args[j-1] = fmt.Sprintf("x%d", j)
+			}
+			args[i-1] = subst
+			args[n] = "Z"
+			args[n+1] = "O"
+			return strings.Join(args, ",")
+		}
+		lines = append(lines, fmt.Sprintf("P%d(%s), P%d(%s) -> P%d(%s).", i, mk("Z"), i, mk("O"), i-1, mk("Z")))
+	}
+	set := deps.MustParse(strings.Join(lines, "\n"))
+	args := make([]string, n+2)
+	for j := 0; j < n+1; j++ {
+		args[j] = "0"
+	}
+	args[n+1] = "1"
+	q := cq.MustParse(fmt.Sprintf("q :- P0(%s).", strings.Join(args, ",")))
+	return set, q
+}
+
+// TestExample3ExponentialRewriting replays Example 3: the disjunct over
+// P_n alone has exactly 2^n atoms.
+func TestExample3ExponentialRewriting(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		set, q := example3Set(n)
+		if !set.IsSticky() {
+			t.Fatalf("n=%d: Example 3 set should be sticky", n)
+		}
+		res, err := Rewrite(q, set, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete {
+			t.Fatalf("n=%d: rewriting incomplete", n)
+		}
+		best := 0
+		for _, d := range res.UCQ.Disjuncts {
+			onlyPn := true
+			for _, a := range d.Atoms {
+				if a.Pred != fmt.Sprintf("P%d", n) {
+					onlyPn = false
+					break
+				}
+			}
+			if onlyPn && d.Size() > best {
+				best = d.Size()
+			}
+		}
+		want := 1 << n
+		if best != want {
+			t.Errorf("n=%d: max P%d-only disjunct = %d atoms, want %d\n", n, n, best, want)
+		}
+	}
+}
+
+// TestRewritingAgreesWithChaseContainment cross-checks the two
+// containment procedures on non-recursive sets: for q' ⊆Σ q, the chase
+// of q' must satisfy q iff some rewriting disjunct maps into D_q'.
+func TestRewritingAgreesWithChaseContainment(t *testing.T) {
+	cases := []struct {
+		set   string
+		q, qp string
+	}{
+		{"R(x,y) -> S(y).", "q :- S(u).", "q :- R(a,b)."},
+		{"R(x,y) -> S(y).", "q :- S(u).", "q :- T(a)."},
+		{"A(x) -> B(x,z).\nB(x,y) -> C(y).", "q :- C(u).", "q :- A(a)."},
+		{"A(x) -> B(x,z).\nB(x,y) -> C(y).", "q :- C(u).", "q :- B(a,b)."},
+		{"A(x) -> B(x,z).\nB(x,y) -> C(y).", "q(u) :- C(u).", "q(u) :- C(u)."},
+		{"Interest(x,z), Class(y,z) -> Owns(x,y).",
+			"q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y).",
+			"q(x,y) :- Interest(x,z), Class(y,z)."},
+		{"Interest(x,z), Class(y,z) -> Owns(x,y).",
+			"q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y).",
+			"q(x,y) :- Interest(x,z), Class(w,z), Owns(x,y)."},
+	}
+	for _, tc := range cases {
+		set := deps.MustParse(tc.set)
+		q := cq.MustParse(tc.q)
+		qp := cq.MustParse(tc.qp)
+
+		// Chase-based: c(x̄') ∈ q(chase(q',Σ)).
+		res, frozen, err := chase.Query(qp, set, chase.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete {
+			t.Fatalf("chase incomplete for %s", tc.set)
+		}
+		chaseSays := hom.HasTuple(q, res.Instance, frozen)
+
+		// Rewriting-based: some disjunct maps into D_q'.
+		rw, err := Rewrite(q, set, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, frozenQP := qp.Freeze()
+		rewriteSays := false
+		for _, d := range rw.UCQ.Disjuncts {
+			if hom.HasTuple(d, db, frozenQP) {
+				rewriteSays = true
+				break
+			}
+		}
+		if chaseSays != rewriteSays {
+			t.Errorf("set=%q q=%q q'=%q: chase=%v rewrite=%v\nUCQ:\n%s",
+				tc.set, tc.q, tc.qp, chaseSays, rewriteSays, rw.UCQ)
+		}
+	}
+}
+
+// TestRewritingSoundness: every disjunct must be contained in q under Σ
+// (checked by chasing the disjunct and finding q).
+func TestRewritingSoundness(t *testing.T) {
+	sets := []string{
+		"R(x,y) -> S(y,z).\nS(x,y) -> T(x).",
+		"A(x), E(x,y) -> B(y).\nB(x) -> A(x).",
+		"P(x), P(y) -> R(x,y).",
+	}
+	queries := []string{
+		"q :- T(u), S(u,v).",
+		"q(u) :- B(u), A(u).",
+		"q :- R(u,v), P(v).",
+	}
+	for i, src := range sets {
+		set := deps.MustParse(src)
+		q := cq.MustParse(queries[i])
+		rw, err := Rewrite(q, set, Options{MaxDisjuncts: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range rw.UCQ.Disjuncts {
+			// All three sets have terminating chases (full or
+			// non-recursive), so no depth cap is needed.
+			res, frozen, err := chase.Query(d, set, chase.Options{MaxSteps: 20000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hom.HasTuple(q, res.Instance, frozen) {
+				t.Errorf("set %d: disjunct %s not contained in q under Σ", i, d)
+			}
+		}
+	}
+}
+
+func TestFreeVariablesStableAcrossDisjuncts(t *testing.T) {
+	set := deps.MustParse("R(x,y) -> S(y).")
+	q := cq.MustParse("q(u) :- S(u), P(u).")
+	rw, err := Rewrite(q, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rw.UCQ.Disjuncts {
+		if len(d.Free) != 1 || d.Free[0] != term.Var("u") {
+			t.Errorf("free vars drifted: %s", d)
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("invalid disjunct %s: %v", d, err)
+		}
+	}
+}
+
+// Constants in tgd heads interact with unification: a query constant
+// must match the head constant exactly.
+func TestRewriteWithConstantsInHead(t *testing.T) {
+	set := deps.MustParse("Person(x) -> Citizen(x, 'somewhere').")
+	q := cq.MustParse("q(x) :- Citizen(x, 'somewhere').")
+	rw, err := Rewrite(q, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundPerson := false
+	for _, d := range rw.UCQ.Disjuncts {
+		if d.Size() == 1 && d.Atoms[0].Pred == "Person" {
+			foundPerson = true
+		}
+	}
+	if !foundPerson {
+		t.Errorf("constant-matching rewriting missing:\n%s", rw.UCQ)
+	}
+	// A mismatched constant blocks the rewriting.
+	q2 := cq.MustParse("q(x) :- Citizen(x, 'elsewhere').")
+	rw2, err := Rewrite(q2, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rw2.UCQ.Disjuncts) != 1 {
+		t.Errorf("mismatched constant rewritten:\n%s", rw2.UCQ)
+	}
+}
+
+// A variable in the query unifying with a head constant is sound: the
+// rewriting instantiates it.
+func TestRewriteVariableAgainstHeadConstant(t *testing.T) {
+	set := deps.MustParse("Person(x) -> Citizen(x, 'somewhere').")
+	q := cq.MustParse("q(x) :- Citizen(x, w).")
+	rw, err := Rewrite(q, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range rw.UCQ.Disjuncts {
+		if d.Size() == 1 && d.Atoms[0].Pred == "Person" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("variable-to-constant rewriting missing:\n%s", rw.UCQ)
+	}
+}
+
+func TestHeightBoundClamps(t *testing.T) {
+	// A 12-ary predicate would overflow a naive p·(a·|q|+1)^a.
+	args := make([]string, 12)
+	for i := range args {
+		args[i] = fmt.Sprintf("x%d", i)
+	}
+	wide := fmt.Sprintf("W(%s)", strings.Join(args, ","))
+	set := deps.MustParse(fmt.Sprintf("%s -> V(x0).", wide))
+	q := cq.MustParse(fmt.Sprintf("q :- %s, %s, %s.", wide, wide, wide))
+	got := HeightBound(q, set)
+	if got <= 0 || got > 1<<30 {
+		t.Errorf("HeightBound = %d, want clamped positive", got)
+	}
+}

@@ -1,0 +1,105 @@
+package schema
+
+import "testing"
+
+func TestNewAndArity(t *testing.T) {
+	s := New(Predicate{"R", 2}, Predicate{"S", 3})
+	if a, ok := s.Arity("R"); !ok || a != 2 {
+		t.Errorf("Arity(R) = %d,%v", a, ok)
+	}
+	if _, ok := s.Arity("T"); ok {
+		t.Error("unknown predicate reported present")
+	}
+	if !s.Has("S") || s.Has("T") {
+		t.Error("Has wrong")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestNewPanicsOnConflict(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Predicate{"R", 2}, Predicate{"R", 3})
+}
+
+func TestAddValidation(t *testing.T) {
+	var s Schema
+	if err := s.Add("", 2); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := s.Add("R", -1); err == nil {
+		t.Error("negative arity accepted")
+	}
+	if err := s.Add("R", 2); err != nil {
+		t.Errorf("add failed: %v", err)
+	}
+	if err := s.Add("R", 2); err != nil {
+		t.Errorf("idempotent add failed: %v", err)
+	}
+	if err := s.Add("R", 3); err == nil {
+		t.Error("conflicting arity accepted")
+	}
+}
+
+func TestNilSchemaSafe(t *testing.T) {
+	var s *Schema
+	if s.Len() != 0 || s.Has("R") || s.MaxArity() != 0 || s.Predicates() != nil {
+		t.Error("nil schema accessors not safe")
+	}
+}
+
+func TestMaxArityAndPredicatesSorted(t *testing.T) {
+	s := New(Predicate{"B", 5}, Predicate{"A", 1}, Predicate{"C", 3})
+	if s.MaxArity() != 5 {
+		t.Errorf("MaxArity = %d", s.MaxArity())
+	}
+	ps := s.Predicates()
+	if len(ps) != 3 || ps[0].Name != "A" || ps[1].Name != "B" || ps[2].Name != "C" {
+		t.Errorf("Predicates = %v", ps)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := New(Predicate{"R", 2})
+	c := s.Clone()
+	if err := c.Add("S", 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("S") {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := New(Predicate{"R", 2})
+	b := New(Predicate{"S", 1}, Predicate{"R", 2})
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 2 || !u.Has("R") || !u.Has("S") {
+		t.Errorf("Union = %v", u)
+	}
+	conflict := New(Predicate{"R", 3})
+	if _, err := a.Union(conflict); err == nil {
+		t.Error("conflicting union accepted")
+	}
+	if u2, err := a.Union(nil); err != nil || u2.Len() != 1 {
+		t.Errorf("union with nil: %v %v", u2, err)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(Predicate{"R", 2}, Predicate{"Q", 1})
+	if got := s.String(); got != "{Q/1, R/2}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Predicate{"R", 2}).String(); got != "R/2" {
+		t.Errorf("Predicate.String = %q", got)
+	}
+}

@@ -1,0 +1,224 @@
+// Package term defines the three-sorted universe of the paper —
+// constants (C), labelled nulls (N) and variables (V) — together with
+// substitutions and most-general unifiers over atom argument tuples.
+//
+// Terms are small comparable values so they can be used directly as map
+// keys; all higher layers (instances, queries, dependencies, the chase,
+// the rewriting engine) are built on top of this package.
+package term
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Kind discriminates the three disjoint sorts of terms.
+type Kind uint8
+
+const (
+	// Constant is an element of the countably infinite set C. Constants
+	// are interpreted as themselves; homomorphisms are the identity on C.
+	Constant Kind = iota
+	// Null is a labelled null from N. Nulls appear in instances (but
+	// never in queries or dependencies) and may be mapped by
+	// homomorphisms and identified by the egd chase.
+	Null
+	// Variable is a query/dependency variable from V. Variables never
+	// appear in instances.
+	Variable
+)
+
+// String returns the sort name, mostly for error messages.
+func (k Kind) String() string {
+	switch k {
+	case Constant:
+		return "constant"
+	case Null:
+		return "null"
+	case Variable:
+		return "variable"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Term is a single member of C ∪ N ∪ V. The zero value is the constant
+// with the empty name; use the constructors to build meaningful terms.
+// Term is comparable and cheap to copy.
+type Term struct {
+	K    Kind
+	Name string
+}
+
+// Const returns the constant named name.
+func Const(name string) Term { return Term{K: Constant, Name: name} }
+
+// Var returns the variable named name.
+func Var(name string) Term { return Term{K: Variable, Name: name} }
+
+// NullTerm returns the labelled null named name.
+func NullTerm(name string) Term { return Term{K: Null, Name: name} }
+
+// IsConst reports whether t is a constant.
+func (t Term) IsConst() bool { return t.K == Constant }
+
+// IsNull reports whether t is a labelled null.
+func (t Term) IsNull() bool { return t.K == Null }
+
+// IsVar reports whether t is a variable.
+func (t Term) IsVar() bool { return t.K == Variable }
+
+// String renders the term: constants bare, nulls with a leading '⊥',
+// variables with a leading '?'. The rendering is unambiguous and is the
+// inverse of nothing in particular — parsers live in higher packages.
+func (t Term) String() string {
+	switch t.K {
+	case Null:
+		return "_:" + t.Name
+	case Variable:
+		return "?" + t.Name
+	default:
+		return t.Name
+	}
+}
+
+// Compare orders terms first by kind then by name. It induces a total
+// order used for canonical forms.
+func (t Term) Compare(u Term) int {
+	if t.K != u.K {
+		if t.K < u.K {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(t.Name, u.Name)
+}
+
+// freshCounter backs FreshNull and FreshVar. A process-global atomic is
+// deliberate: the chase requires nulls "not occurring in I", and a
+// global counter guarantees freshness across every instance in the
+// process without threading state everywhere.
+var freshCounter atomic.Uint64
+
+// FreshNull returns a labelled null guaranteed distinct from every
+// previously created fresh null in this process.
+func FreshNull() Term {
+	return Term{K: Null, Name: fmt.Sprintf("n%d", freshCounter.Add(1))}
+}
+
+// FreshVar returns a variable guaranteed distinct from every previously
+// created fresh variable in this process.
+func FreshVar() Term {
+	return Term{K: Variable, Name: fmt.Sprintf("v%d", freshCounter.Add(1))}
+}
+
+// ResetFreshCounter restarts the fresh-name counter. It exists only so
+// tests and benchmarks can produce reproducible names; concurrent use
+// with FreshNull is safe but defeats the purpose.
+func ResetFreshCounter() { freshCounter.Store(0) }
+
+// Subst is a substitution: a finite mapping from variables and nulls to
+// terms. Constants are never in the domain (homomorphisms are the
+// identity on C); Apply enforces this by passing constants through.
+type Subst map[Term]Term
+
+// NewSubst returns an empty substitution.
+func NewSubst() Subst { return make(Subst) }
+
+// Apply returns the image of t: s[t] if t is in the domain, t itself
+// otherwise. Application does not chase chains; use Resolve for the
+// fully dereferenced value when the substitution is triangular.
+//
+// Constants are looked up like any other term: ordinary homomorphism
+// substitutions never put constants in their domain (they are the
+// identity on C), but the egd chase deliberately maps the frozen query
+// constants of Lemma 1, which "are treated as nulls during the chase".
+func (s Subst) Apply(t Term) Term {
+	if u, ok := s[t]; ok {
+		return u
+	}
+	return t
+}
+
+// Resolve follows binding chains (x ↦ y, y ↦ z yields z) until a fixed
+// point. It panics on cycles longer than the substitution itself, which
+// can only arise from a corrupted substitution.
+func (s Subst) Resolve(t Term) Term {
+	for i := 0; i <= len(s); i++ {
+		u := s.Apply(t)
+		if u == t {
+			return t
+		}
+		t = u
+	}
+	panic("term: cyclic substitution")
+}
+
+// ApplyTuple maps Apply over a tuple, returning a fresh slice.
+func (s Subst) ApplyTuple(ts []Term) []Term {
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = s.Apply(t)
+	}
+	return out
+}
+
+// ResolveTuple maps Resolve over a tuple, returning a fresh slice.
+func (s Subst) ResolveTuple(ts []Term) []Term {
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = s.Resolve(t)
+	}
+	return out
+}
+
+// Clone returns a shallow copy of s.
+func (s Subst) Clone() Subst {
+	out := make(Subst, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Compose returns the substitution t∘s: first s, then t, with every
+// binding fully resolved through t. Bindings of t on terms outside the
+// range of s are preserved.
+func (s Subst) Compose(t Subst) Subst {
+	out := make(Subst, len(s)+len(t))
+	for k, v := range s {
+		out[k] = t.Apply(v)
+	}
+	for k, v := range t {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Domain returns the domain of s in canonical order.
+func (s Subst) Domain() []Term {
+	out := make([]Term, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// String renders the substitution as {x↦a, y↦b} in canonical order.
+func (s Subst) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range s.Domain() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s↦%s", k, s[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

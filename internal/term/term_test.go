@@ -1,0 +1,343 @@
+package term
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Constant: "constant", Null: "null", Variable: "variable", Kind(9): "Kind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndPredicates(t *testing.T) {
+	c := Const("a")
+	n := NullTerm("z1")
+	v := Var("x")
+	if !c.IsConst() || c.IsNull() || c.IsVar() {
+		t.Errorf("Const predicates wrong: %+v", c)
+	}
+	if !n.IsNull() || n.IsConst() || n.IsVar() {
+		t.Errorf("Null predicates wrong: %+v", n)
+	}
+	if !v.IsVar() || v.IsConst() || v.IsNull() {
+		t.Errorf("Var predicates wrong: %+v", v)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	if got := Const("a").String(); got != "a" {
+		t.Errorf("const string = %q", got)
+	}
+	if got := NullTerm("z").String(); got != "_:z" {
+		t.Errorf("null string = %q", got)
+	}
+	if got := Var("x").String(); got != "?x" {
+		t.Errorf("var string = %q", got)
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	ts := []Term{Const("a"), Const("b"), NullTerm("a"), Var("a"), Var("b")}
+	for i := range ts {
+		for j := range ts {
+			c := ts[i].Compare(ts[j])
+			switch {
+			case i == j && c != 0:
+				t.Errorf("Compare(%v,%v)=%d, want 0", ts[i], ts[j], c)
+			case i < j && c >= 0:
+				t.Errorf("Compare(%v,%v)=%d, want <0", ts[i], ts[j], c)
+			case i > j && c <= 0:
+				t.Errorf("Compare(%v,%v)=%d, want >0", ts[i], ts[j], c)
+			}
+		}
+	}
+}
+
+func TestFreshNullDistinct(t *testing.T) {
+	seen := make(map[Term]bool)
+	for i := 0; i < 1000; i++ {
+		n := FreshNull()
+		if !n.IsNull() {
+			t.Fatalf("FreshNull returned %v", n)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate fresh null %v", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestFreshVarDistinctFromNulls(t *testing.T) {
+	v := FreshVar()
+	if !v.IsVar() {
+		t.Fatalf("FreshVar returned %v", v)
+	}
+	n := FreshNull()
+	if v == n {
+		t.Fatalf("fresh var equals fresh null: %v", v)
+	}
+}
+
+func TestSubstApplyResolve(t *testing.T) {
+	s := Subst{Var("x"): Var("y"), Var("y"): Const("a")}
+	if got := s.Apply(Var("x")); got != Var("y") {
+		t.Errorf("Apply(x) = %v, want ?y", got)
+	}
+	if got := s.Resolve(Var("x")); got != Const("a") {
+		t.Errorf("Resolve(x) = %v, want a", got)
+	}
+	if got := s.Apply(Const("c")); got != Const("c") {
+		t.Errorf("Apply on constant changed it: %v", got)
+	}
+	if got := s.Apply(Var("unbound")); got != Var("unbound") {
+		t.Errorf("Apply on unbound changed it: %v", got)
+	}
+}
+
+func TestSubstResolveCyclePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on cyclic substitution")
+		}
+	}()
+	s := Subst{Var("x"): Var("y"), Var("y"): Var("x")}
+	s.Resolve(Var("x"))
+}
+
+func TestSubstTupleHelpers(t *testing.T) {
+	s := Subst{Var("x"): Const("a")}
+	in := []Term{Var("x"), Const("b"), Var("z")}
+	got := s.ApplyTuple(in)
+	want := []Term{Const("a"), Const("b"), Var("z")}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ApplyTuple[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if &in[0] == &got[0] {
+		t.Error("ApplyTuple must return a fresh slice")
+	}
+	got2 := s.ResolveTuple(in)
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Errorf("ResolveTuple[%d] = %v, want %v", i, got2[i], want[i])
+		}
+	}
+}
+
+func TestSubstCloneIndependent(t *testing.T) {
+	s := Subst{Var("x"): Const("a")}
+	c := s.Clone()
+	c[Var("y")] = Const("b")
+	if _, ok := s[Var("y")]; ok {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestSubstCompose(t *testing.T) {
+	s := Subst{Var("x"): Var("y")}
+	u := Subst{Var("y"): Const("a"), Var("z"): Const("b")}
+	c := s.Compose(u)
+	if got := c.Apply(Var("x")); got != Const("a") {
+		t.Errorf("compose x = %v, want a", got)
+	}
+	if got := c.Apply(Var("z")); got != Const("b") {
+		t.Errorf("compose z = %v, want b", got)
+	}
+}
+
+func TestSubstDomainSortedAndString(t *testing.T) {
+	s := Subst{Var("y"): Const("b"), Var("x"): Const("a")}
+	d := s.Domain()
+	if len(d) != 2 || d[0] != Var("x") || d[1] != Var("y") {
+		t.Errorf("Domain = %v", d)
+	}
+	if got := s.String(); got != "{?x↦a, ?y↦b}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestUnifyBasics(t *testing.T) {
+	x, y := Var("x"), Var("y")
+	a, b := Const("a"), Const("b")
+
+	s, err := Unify([]Term{x, a}, []Term{b, y}, nil)
+	if err != nil {
+		t.Fatalf("unify failed: %v", err)
+	}
+	if s.Resolve(x) != b || s.Resolve(y) != a {
+		t.Errorf("unify result %v", s)
+	}
+
+	if _, err := Unify([]Term{a}, []Term{b}, nil); err == nil {
+		t.Error("expected constant clash")
+	}
+	if _, err := Unify([]Term{a}, []Term{a, b}, nil); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestUnifyTransitiveClash(t *testing.T) {
+	x := Var("x")
+	// x=a and then x=b must clash through the shared variable.
+	if _, err := Unify([]Term{x, x}, []Term{Const("a"), Const("b")}, nil); err == nil {
+		t.Error("expected clash via shared variable")
+	}
+}
+
+func TestUnifyIdempotent(t *testing.T) {
+	x, y, z := Var("x"), Var("y"), Var("z")
+	s, err := Unify([]Term{x, y, z}, []Term{y, z, Const("a")}, nil)
+	if err != nil {
+		t.Fatalf("unify: %v", err)
+	}
+	for k, v := range s {
+		if s.Apply(v) != v {
+			t.Errorf("not idempotent at %v↦%v", k, v)
+		}
+		if s.Resolve(k) != Const("a") {
+			t.Errorf("chain not collapsed: %v resolves to %v", k, s.Resolve(k))
+		}
+	}
+}
+
+func TestUnifyPrefersNullOverVar(t *testing.T) {
+	n, v := NullTerm("n1"), Var("x")
+	s, err := Unify([]Term{n}, []Term{v}, nil)
+	if err != nil {
+		t.Fatalf("unify: %v", err)
+	}
+	if s.Resolve(v) != n {
+		t.Errorf("variable should bind to null, got %v", s)
+	}
+}
+
+func TestUnifyRespectsInit(t *testing.T) {
+	x := Var("x")
+	init := Subst{x: Const("a")}
+	if _, err := Unify([]Term{x}, []Term{Const("b")}, init); err == nil {
+		t.Error("expected clash with initial binding")
+	}
+	if init.Resolve(x) != Const("a") {
+		t.Error("Unify mutated init")
+	}
+	s, err := Unify([]Term{x}, []Term{Const("a")}, init)
+	if err != nil || s.Resolve(x) != Const("a") {
+		t.Errorf("unify with compatible init: %v %v", s, err)
+	}
+}
+
+func TestUnifyErrorMessage(t *testing.T) {
+	_, err := Unify([]Term{Const("a")}, []Term{Const("b")}, nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	ue, ok := err.(*UnifyError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ue.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestMatchTuple(t *testing.T) {
+	s := NewSubst()
+	pat := []Term{Var("x"), Var("x"), Const("a")}
+	tgt := []Term{Const("c"), Const("c"), Const("a")}
+	added, ok := MatchTuple(s, pat, tgt)
+	if !ok {
+		t.Fatal("match should succeed")
+	}
+	if s.Apply(Var("x")) != Const("c") {
+		t.Errorf("binding wrong: %v", s)
+	}
+	Unbind(s, added)
+	if len(s) != 0 {
+		t.Errorf("Unbind left residue: %v", s)
+	}
+}
+
+func TestMatchTupleFailureRollsBack(t *testing.T) {
+	s := NewSubst()
+	pat := []Term{Var("x"), Var("x")}
+	tgt := []Term{Const("c"), Const("d")}
+	if _, ok := MatchTuple(s, pat, tgt); ok {
+		t.Fatal("match should fail")
+	}
+	if len(s) != 0 {
+		t.Errorf("failed match left bindings: %v", s)
+	}
+	// Constant mismatch and length mismatch also roll back.
+	if _, ok := MatchTuple(s, []Term{Const("a")}, []Term{Const("b")}); ok {
+		t.Error("constant mismatch should fail")
+	}
+	if _, ok := MatchTuple(s, []Term{Var("x")}, []Term{Const("a"), Const("b")}); ok {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestMatchTupleRespectsExistingBindings(t *testing.T) {
+	s := Subst{Var("x"): Const("c")}
+	if _, ok := MatchTuple(s, []Term{Var("x")}, []Term{Const("d")}); ok {
+		t.Error("match must respect pre-existing binding")
+	}
+	if added, ok := MatchTuple(s, []Term{Var("x")}, []Term{Const("c")}); !ok || len(added) != 0 {
+		t.Errorf("compatible match should succeed with no additions: %v %v", added, ok)
+	}
+}
+
+// Property: Unify produces a substitution under which both tuples are equal.
+func TestUnifyProperty(t *testing.T) {
+	mk := func(sel []uint8) []Term {
+		names := []string{"a", "b", "c"}
+		out := make([]Term, len(sel))
+		for i, s := range sel {
+			switch s % 3 {
+			case 0:
+				out[i] = Const(names[int(s/3)%3])
+			case 1:
+				out[i] = Var(names[int(s/3)%3])
+			default:
+				out[i] = NullTerm(names[int(s/3)%3])
+			}
+		}
+		return out
+	}
+	f := func(selA, selB [4]uint8) bool {
+		a, b := mk(selA[:]), mk(selB[:])
+		s, err := Unify(a, b, nil)
+		if err != nil {
+			return true // failures are allowed; success must be correct
+		}
+		ra, rb := s.ResolveTuple(a), s.ResolveTuple(b)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compose associates with Apply: (s∘t)(x) == t(s(x)) resolved.
+func TestComposeProperty(t *testing.T) {
+	f := func(i, j, k uint8) bool {
+		x := Var("x")
+		s := Subst{x: Var("y")}
+		u := Subst{Var("y"): Const(string(rune('a' + i%4)))}
+		c := s.Compose(u)
+		return c.Resolve(x) == u.Apply(s.Apply(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

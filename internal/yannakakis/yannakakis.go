@@ -1,0 +1,312 @@
+// Package yannakakis evaluates acyclic conjunctive queries in time
+// linear in the database (Yannakakis' algorithm, VLDB 1981, the
+// tractability result the paper's notion of semantic acyclicity buys):
+// a full semijoin reduction over a join tree followed by a bottom-up
+// join that never materializes more than the answer requires.
+package yannakakis
+
+import (
+	"fmt"
+	"sort"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/hypergraph"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// node is one join-tree node: a query atom, its distinct flexible
+// terms, and the rows of the database matching it (aligned with vars).
+type node struct {
+	atom instance.Atom
+	vars []term.Term
+	rows [][]term.Term
+}
+
+// Evaluate computes q(D) for an acyclic q. It returns an error when q
+// is not acyclic (callers wanting cyclic evaluation use package hom).
+// For Boolean queries the answer set is [[]] (one empty tuple) when the
+// query holds and empty otherwise.
+func Evaluate(q *cq.CQ, db *instance.Instance) ([][]term.Term, error) {
+	forest, ok := hypergraph.GYO(q.Atoms)
+	if !ok {
+		return nil, fmt.Errorf("yannakakis: query %s is not acyclic", q.Name)
+	}
+	return EvaluateWithForest(q, forest, db)
+}
+
+// EvaluateBool reports whether q(D) is nonempty.
+func EvaluateBool(q *cq.CQ, db *instance.Instance) (bool, error) {
+	ans, err := Evaluate(q, db)
+	return len(ans) > 0, err
+}
+
+// EvaluateWithForest is Evaluate with a precomputed join forest,
+// letting callers amortize GYO across many databases.
+func EvaluateWithForest(q *cq.CQ, forest *hypergraph.Forest, db *instance.Instance) ([][]term.Term, error) {
+	nodes := make([]*node, forest.Len())
+	for i, a := range forest.Atoms {
+		n := &node{atom: a, vars: flexTerms(a)}
+		n.rows = matchRows(a, n.vars, db)
+		nodes[i] = n
+	}
+
+	children := forest.Children()
+	roots := forest.Roots()
+
+	// Phase 1: bottom-up semijoin parent ⋉ child.
+	post := postorder(forest, roots, children)
+	for _, i := range post {
+		p := forest.Parent[i]
+		if p >= 0 {
+			semijoin(nodes[p], nodes[i])
+		}
+	}
+	// Phase 2: top-down semijoin child ⋉ parent.
+	for k := len(post) - 1; k >= 0; k-- {
+		i := post[k]
+		if p := forest.Parent[i]; p >= 0 {
+			semijoin(nodes[i], nodes[p])
+		}
+	}
+	// Any empty node after full reduction means no answers.
+	for _, n := range nodes {
+		if len(n.rows) == 0 {
+			return nil, nil
+		}
+	}
+
+	freeSet := make(map[term.Term]bool, len(q.Free))
+	for _, x := range q.Free {
+		freeSet[x] = true
+	}
+
+	// Phase 3: bottom-up join, keeping only node vars plus free
+	// variables collected from the subtree.
+	var joinUp func(i int) ([]term.Term, [][]term.Term)
+	joinUp = func(i int) ([]term.Term, [][]term.Term) {
+		n := nodes[i]
+		vars := append([]term.Term(nil), n.vars...)
+		rows := n.rows
+		for _, ch := range children[i] {
+			cvars, crows := joinUp(ch)
+			vars, rows = join(vars, rows, cvars, crows)
+		}
+		// Project to node vars ∪ free vars seen so far; free vars from
+		// the subtree must survive to the root.
+		keep := make([]term.Term, 0, len(vars))
+		for _, v := range vars {
+			if freeSet[v] || containsTerm(n.vars, v) {
+				keep = append(keep, v)
+			}
+		}
+		vars, rows = project(vars, rows, keep)
+		return vars, rows
+	}
+
+	// Evaluate each tree; cross-product the per-tree free projections.
+	resultVars := []term.Term{}
+	resultRows := [][]term.Term{nil} // one empty row: identity for ⨯
+	for _, r := range roots {
+		vars, rows := joinUp(r)
+		var keep []term.Term
+		for _, v := range vars {
+			if freeSet[v] {
+				keep = append(keep, v)
+			}
+		}
+		vars, rows = project(vars, rows, keep)
+		if len(rows) == 0 {
+			return nil, nil
+		}
+		resultVars, resultRows = join(resultVars, resultRows, vars, rows)
+	}
+
+	// Order columns as q.Free and dedup.
+	colIdx := make([]int, len(q.Free))
+	for i, x := range q.Free {
+		colIdx[i] = indexOf(resultVars, x)
+		if colIdx[i] < 0 {
+			return nil, fmt.Errorf("yannakakis: free variable %s lost during evaluation", x)
+		}
+	}
+	seen := make(map[string]bool, len(resultRows))
+	var out [][]term.Term
+	for _, row := range resultRows {
+		tuple := make([]term.Term, len(q.Free))
+		for i, c := range colIdx {
+			tuple[i] = row[c]
+		}
+		k := tupleKey(tuple)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, tuple)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return tupleKey(out[i]) < tupleKey(out[j]) })
+	return out, nil
+}
+
+func flexTerms(a instance.Atom) []term.Term {
+	ts := a.Terms()
+	out := ts[:0]
+	for _, t := range ts {
+		if !t.IsConst() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// matchRows scans the database atoms of a's predicate and keeps the
+// variable bindings compatible with a's constants and repeated terms.
+func matchRows(a instance.Atom, vars []term.Term, db *instance.Instance) [][]term.Term {
+	var rows [][]term.Term
+	sub := term.NewSubst()
+	for _, fact := range db.ByPred(a.Pred) {
+		added, ok := term.MatchTuple(sub, a.Args, fact.Args)
+		if !ok {
+			continue
+		}
+		row := make([]term.Term, len(vars))
+		for i, v := range vars {
+			row[i] = sub.Apply(v)
+		}
+		rows = append(rows, row)
+		term.Unbind(sub, added)
+	}
+	return rows
+}
+
+// semijoin keeps the rows of left having a join partner in right.
+func semijoin(left, right *node) {
+	shared, li, ri := sharedColumns(left.vars, right.vars)
+	if len(shared) == 0 {
+		if len(right.rows) == 0 {
+			left.rows = nil
+		}
+		return
+	}
+	keys := make(map[string]bool, len(right.rows))
+	for _, row := range right.rows {
+		keys[projKey(row, ri)] = true
+	}
+	kept := left.rows[:0]
+	for _, row := range left.rows {
+		if keys[projKey(row, li)] {
+			kept = append(kept, row)
+		}
+	}
+	left.rows = kept
+}
+
+// join hash-joins two relations on their shared variables.
+func join(lv []term.Term, lr [][]term.Term, rv []term.Term, rr [][]term.Term) ([]term.Term, [][]term.Term) {
+	_, li, ri := sharedColumns(lv, rv)
+	// Output vars: all of lv, then rv minus shared.
+	rExtra := make([]int, 0, len(rv))
+	outVars := append([]term.Term(nil), lv...)
+	for i, v := range rv {
+		if indexOf(lv, v) < 0 {
+			rExtra = append(rExtra, i)
+			outVars = append(outVars, v)
+		}
+	}
+	index := make(map[string][][]term.Term, len(rr))
+	for _, row := range rr {
+		k := projKey(row, ri)
+		index[k] = append(index[k], row)
+	}
+	var outRows [][]term.Term
+	for _, lrow := range lr {
+		for _, rrow := range index[projKey(lrow, li)] {
+			row := make([]term.Term, 0, len(outVars))
+			row = append(row, lrow...)
+			for _, i := range rExtra {
+				row = append(row, rrow[i])
+			}
+			outRows = append(outRows, row)
+		}
+	}
+	return outVars, outRows
+}
+
+// project restricts the relation to the keep columns, deduplicating.
+func project(vars []term.Term, rows [][]term.Term, keep []term.Term) ([]term.Term, [][]term.Term) {
+	idx := make([]int, len(keep))
+	for i, v := range keep {
+		idx[i] = indexOf(vars, v)
+	}
+	seen := make(map[string]bool, len(rows))
+	var out [][]term.Term
+	for _, row := range rows {
+		p := make([]term.Term, len(keep))
+		for i, c := range idx {
+			p[i] = row[c]
+		}
+		k := tupleKey(p)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, p)
+		}
+	}
+	return keep, out
+}
+
+func sharedColumns(lv, rv []term.Term) (shared []term.Term, li, ri []int) {
+	for i, v := range lv {
+		if j := indexOf(rv, v); j >= 0 {
+			shared = append(shared, v)
+			li = append(li, i)
+			ri = append(ri, j)
+		}
+	}
+	return shared, li, ri
+}
+
+func indexOf(vars []term.Term, v term.Term) int {
+	for i, u := range vars {
+		if u == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func containsTerm(vars []term.Term, v term.Term) bool { return indexOf(vars, v) >= 0 }
+
+func projKey(row []term.Term, cols []int) string {
+	var b []byte
+	for _, c := range cols {
+		t := row[c]
+		b = append(b, byte(t.K))
+		b = append(b, t.Name...)
+		b = append(b, 0)
+	}
+	return string(b)
+}
+
+func tupleKey(ts []term.Term) string {
+	var b []byte
+	for _, t := range ts {
+		b = append(b, byte(t.K))
+		b = append(b, t.Name...)
+		b = append(b, 0)
+	}
+	return string(b)
+}
+
+func postorder(f *hypergraph.Forest, roots []int, children [][]int) []int {
+	var out []int
+	var rec func(i int)
+	rec = func(i int) {
+		for _, ch := range children[i] {
+			rec(ch)
+		}
+		out = append(out, i)
+	}
+	for _, r := range roots {
+		rec(r)
+	}
+	return out
+}

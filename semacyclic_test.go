@@ -1,0 +1,168 @@
+package semacyclic
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the public API through the paper's
+// Example 1, touching every major entry point once.
+func TestFacadeEndToEnd(t *testing.T) {
+	q, err := ParseQuery("q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := ParseDependencies("Interest(x,z), Class(y,z) -> Owns(x,y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsAcyclic(q) {
+		t.Error("Example 1 query should be cyclic")
+	}
+	if _, ok := JoinTree(q); ok {
+		t.Error("cyclic query has no join tree")
+	}
+	if Core(q).Size() != 3 {
+		t.Error("Example 1 query is its own core")
+	}
+
+	res, err := Decide(q, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Yes || !IsAcyclic(res.Witness) {
+		t.Fatalf("Decide = %+v", res)
+	}
+
+	// Build a tiny satisfying database and evaluate three ways.
+	db, err := NewDatabase(
+		NewAtom("Interest", Const("alice"), Const("jazz")),
+		NewAtom("Class", Const("kind_of_blue"), Const("jazz")),
+		NewAtom("Owns", Const("alice"), Const("kind_of_blue")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Satisfies(db, sigma) {
+		t.Fatal("database should satisfy Σ")
+	}
+	direct := Evaluate(q, db)
+	fast, err := EvaluateAcyclic(res.Witness, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(q, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaEv, err := ev.Evaluate(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != 1 || len(fast) != 1 || len(viaEv) != 1 {
+		t.Fatalf("answer counts: direct=%d fast=%d evaluator=%d", len(direct), len(fast), len(viaEv))
+	}
+
+	// Containment and equivalence.
+	witness := res.Witness
+	eq, err := Equivalent(q, witness, sigma, ContainmentOptions{})
+	if err != nil || !eq.Holds {
+		t.Fatalf("Equivalent = %+v, %v", eq, err)
+	}
+	sub, err := Contains(witness, q, sigma, ContainmentOptions{})
+	if err != nil || !sub.Holds {
+		t.Fatalf("Contains = %+v, %v", sub, err)
+	}
+
+	// Chase.
+	cres, err := Chase(db, sigma, ChaseOptions{})
+	if err != nil || !cres.Complete {
+		t.Fatalf("Chase = %+v, %v", cres, err)
+	}
+	qres, frozen, err := ChaseQuery(witness, sigma, ChaseOptions{})
+	if err != nil || len(frozen) != 2 || qres.Instance.Len() != 3 {
+		t.Fatalf("ChaseQuery = %v, %v, %v", qres, frozen, err)
+	}
+
+	// Classes.
+	got := Classes(sigma)
+	found := false
+	for _, c := range got {
+		if c == ClassFull {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Classes = %v, missing full", got)
+	}
+}
+
+func TestFacadeUCQAndApproximation(t *testing.T) {
+	u, err := ParseUCQ("q :- E(x,y), E(y,z), E(z,x).\nq :- E(x,y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := MustParseDependencies("% none\nE(x,y) -> E(x,y).")
+	ures, err := DecideUCQ(u, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ures.Verdict != Yes {
+		t.Errorf("UCQ verdict = %s", ures.Verdict)
+	}
+
+	tri := MustParseQuery("q :- E(x,y), E(y,z), E(z,x).")
+	ap, err := Approximate(tri, &Dependencies{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsAcyclic(ap.Query) || ap.Equivalent {
+		t.Errorf("approximation = %+v", ap)
+	}
+}
+
+func TestFacadeRewriteAndGame(t *testing.T) {
+	set := MustParseDependencies("A(x) -> B(x).")
+	q := MustParseQuery("q(x) :- B(x).")
+	rw, err := RewriteUCQ(q, set, RewriteOptions{})
+	if err != nil || len(rw.UCQ.Disjuncts) != 2 {
+		t.Fatalf("RewriteUCQ = %v, %v", rw, err)
+	}
+
+	db, _ := NewDatabase(
+		NewAtom("E", Const("a"), Const("b")),
+		NewAtom("P", Const("a")),
+	)
+	qq := MustParseQuery("q(x) :- E(x,y), P(x).")
+	ans := EvaluateGuardedGame(qq, db)
+	if len(ans) != 1 || ans[0][0] != Const("a") {
+		t.Errorf("game answers = %v", ans)
+	}
+
+	key := MustParseDependencies("R(x,y), R(x,z) -> y = z.")
+	db2, _ := NewDatabase(
+		NewAtom("R", Const("a"), Const("b")),
+		NewAtom("P", Const("b")),
+		NewAtom("Q", Const("b")),
+	)
+	q2 := MustParseQuery("q(x) :- R(x,y), P(y), R(x,z), Q(z).")
+	ans2, err := EvaluateEGDGame(q2, key, db2)
+	if err != nil || len(ans2) != 1 {
+		t.Errorf("egd game answers = %v, %v", ans2, err)
+	}
+}
+
+func TestFacadeTermsAndVerdicts(t *testing.T) {
+	if !Const("a").IsConst() || !Var("x").IsVar() {
+		t.Error("term constructors wrong")
+	}
+	if Yes.String() != "yes" || No.String() != "no" || Unknown.String() != "unknown" {
+		t.Error("verdict constants wrong")
+	}
+	ins := NewInstance()
+	if err := ins.Add(NewAtom("R", Const("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if ins.Len() != 1 {
+		t.Error("instance add failed")
+	}
+}

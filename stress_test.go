@@ -1,0 +1,103 @@
+package semacyclic
+
+import (
+	"math/rand"
+	"testing"
+
+	"semacyclic/internal/chase"
+	"semacyclic/internal/containment"
+	"semacyclic/internal/core"
+	"semacyclic/internal/gen"
+	"semacyclic/internal/hom"
+	"semacyclic/internal/yannakakis"
+)
+
+// TestStressDecideSweep runs the full decision pipeline across a wide
+// random workload sweep and cross-validates every positive verdict.
+// Skipped with -short; the long form is part of the default CI run.
+func TestStressDecideSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress sweep skipped in -short mode")
+	}
+	r := rand.New(rand.NewSource(4242))
+	stats := map[core.Verdict]int{}
+	for trial := 0; trial < 250; trial++ {
+		var set *Dependencies
+		switch trial % 4 {
+		case 0:
+			set = gen.RandomInclusionDeps(r, 1+r.Intn(3), 2)
+		case 1:
+			set = gen.RandomNonRecursive(r, 1+r.Intn(3))
+		case 2:
+			set = gen.RandomKeys2(r, 1+r.Intn(2), 2)
+		default:
+			set = gen.RandomSticky(r, 1+r.Intn(2), 2)
+		}
+		preds := binaryPreds(set)
+		var q *CQ
+		if trial%2 == 0 {
+			q = gen.RandomCQ(r, 2+r.Intn(4), 2+r.Intn(3), preds)
+		} else {
+			q = gen.RandomAcyclicCQ(r, 2+r.Intn(4), preds)
+		}
+		res, err := core.Decide(q, set, core.Options{
+			SearchBudget:       400,
+			SkipCompleteSearch: true,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v (q=%s Σ=%s)", trial, err, q, set)
+		}
+		stats[res.Verdict]++
+		if res.Verdict != core.Yes {
+			continue
+		}
+		// Positive verdicts: witness must be acyclic, within any claimed
+		// bound, and equivalent per an independent containment check.
+		if !IsAcyclic(res.Witness) {
+			t.Fatalf("trial %d: cyclic witness %s", trial, res.Witness)
+		}
+		if res.Bound > 0 && res.Witness.Size() > res.Bound {
+			t.Fatalf("trial %d: witness size %d exceeds bound %d", trial, res.Witness.Size(), res.Bound)
+		}
+		eq, err := containment.Equivalent(q, res.Witness, set, containment.Options{})
+		if err != nil || !eq.Holds {
+			t.Fatalf("trial %d: witness fails recheck: %+v %v", trial, eq, err)
+		}
+		// Spot-check semantics on one random model when the chase
+		// terminates.
+		db := gen.RandomGraphDB(r, 15, 4)
+		for _, p := range set.Schema().Predicates() {
+			db.Schema().Add(p.Name, p.Arity)
+		}
+		closed, err := chase.Run(db, set, chase.Options{MaxSteps: 3000, MaxAtoms: 9000})
+		if err != nil || !closed.Complete {
+			continue
+		}
+		want := hom.Evaluate(q, closed.Instance)
+		got, err := yannakakis.Evaluate(res.Witness, closed.Instance)
+		if err != nil {
+			t.Fatalf("trial %d: witness evaluation failed: %v", trial, err)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: answer counts differ: %d vs %d\nq=%s\nw=%s\nΣ=%s",
+				trial, len(want), len(got), q, res.Witness, set)
+		}
+	}
+	if stats[core.Yes] == 0 {
+		t.Error("sweep produced no positive verdicts; generators too weak")
+	}
+	t.Logf("verdicts: yes=%d no=%d unknown=%d", stats[core.Yes], stats[core.No], stats[core.Unknown])
+}
+
+func binaryPreds(set *Dependencies) []string {
+	var out []string
+	for _, p := range set.Schema().Predicates() {
+		if p.Arity == 2 {
+			out = append(out, p.Name)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{"E"}
+	}
+	return out
+}
