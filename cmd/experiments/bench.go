@@ -1,0 +1,225 @@
+// Benchmark trajectory: `experiments -bench-out BENCH_1.json` measures
+// the witness-search configurations (sequential seed-equivalent,
+// memoized, memoized+parallel) and the hom key-construction micro
+// benchmarks, and persists the numbers as JSON so performance changes
+// travel with the repository. Absolute ns/op are machine-dependent; the
+// recorded speedups and allocation counts are the claims.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"semacyclic/internal/core"
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/gen"
+	"semacyclic/internal/hom"
+	"semacyclic/internal/term"
+)
+
+// benchCase is one witness-search workload: a query/dependency pair
+// driven through core.SearchComplete at a fixed bound and budget.
+type benchCase struct {
+	name   string
+	q      *cq.CQ
+	set    *deps.Set
+	bound  int
+	budget int
+}
+
+func benchCases() []benchCase {
+	// A sticky, non-guarded, recursive set: verification goes through
+	// UCQ rewriting, which the prepared checker hoists out of the
+	// per-candidate loop.
+	sticky := deps.MustParse("US1(x), US0(y) -> S0(x,y).\nS1(x,y) -> S1(y,w).\nUS0(x), US1(y) -> S1(x,y).")
+	// A guarded inclusion dependency with a recursive existential: each
+	// verification chases the candidate to the depth budget, so the
+	// isomorphism-collapse memo pays per avoided chase.
+	incl := deps.MustParse("E(x,y) -> E(y,z).")
+	return []benchCase{
+		{"triangle-selfloop", cq.MustParse("q :- E(x,y), E(y,z), E(z,x)."), deps.MustParse("E(x,y) -> E(x,x)."), 6, 1500},
+		{"triangle-inclusion", cq.MustParse("q :- E(x,y), E(y,z), E(z,x)."), incl, 6, 1500},
+		{"cycle4-inclusion", cq.MustParse("q :- E(x,y), E(y,z), E(z,w), E(w,x)."), incl, 7, 1500},
+		{"triangle-sticky", cq.MustParse("q :- S0(x,y), S0(y,z), S0(z,x)."), sticky, 6, 1500},
+		{"triangle-sticky-mixed", cq.MustParse("q :- S0(x,y), S1(y,z), S0(z,x)."), sticky, 6, 1500},
+		{"example1", gen.Example1Query(), gen.Example1TGD(), 6, 1500},
+	}
+}
+
+// benchModeResult is one (case, configuration) measurement.
+type benchModeResult struct {
+	Mode         string  `json:"mode"`
+	Parallelism  int     `json:"parallelism"`
+	Memo         bool    `json:"memo"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	Candidates   int     `json:"candidates_examined"`
+	WitnessFound bool    `json:"witness_found"`
+	Exhausted    bool    `json:"exhausted"`
+	Speedup      float64 `json:"speedup_vs_baseline"`
+}
+
+type benchCaseResult struct {
+	Case       string            `json:"case"`
+	QueryAtoms int               `json:"query_atoms"`
+	Bound      int               `json:"bound"`
+	Budget     int               `json:"budget"`
+	Modes      []benchModeResult `json:"modes"`
+}
+
+type homBenchResult struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+type benchReport struct {
+	GeneratedBy string            `json:"generated_by"`
+	GoVersion   string            `json:"go_version"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Search      []benchCaseResult `json:"witness_search"`
+	Hom         []homBenchResult  `json:"hom_keys"`
+}
+
+// runBenchOut measures everything and writes the JSON trajectory file.
+func runBenchOut(path string) int {
+	jmax := runtime.GOMAXPROCS(0)
+	report := benchReport{
+		GeneratedBy: "experiments -bench-out",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  jmax,
+	}
+
+	// The baseline is the seed-equivalent search: one worker, caches
+	// off. Every other mode must return the identical witness — the
+	// engine's determinism contract — so the speedups compare equal
+	// work.
+	modes := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"j1-nomemo-baseline", core.Options{Parallelism: 1, DisableSearchMemo: true}},
+		{"j1-memo", core.Options{Parallelism: 1}},
+		// Named "jmax" rather than the numeric value so the mode name
+		// stays unique even on a single-CPU machine, where GOMAXPROCS=1
+		// makes this arm coincide with j1-memo; the parallelism field
+		// records the actual worker count.
+		{"jmax-memo", core.Options{Parallelism: jmax}},
+	}
+
+	for _, c := range benchCases() {
+		cr := benchCaseResult{Case: c.name, QueryAtoms: c.q.Size(), Bound: c.bound, Budget: c.budget}
+		var baseNs int64
+		for i, m := range modes {
+			opt := m.opt
+			opt.SearchBudget = c.budget
+			w, examined, exhausted, err := core.SearchComplete(c.q, c.set, opt, c.bound)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bench %s/%s: %v\n", c.name, m.name, err)
+				return 1
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, _, _, err := core.SearchComplete(c.q, c.set, opt, c.bound)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			ns := r.NsPerOp()
+			if i == 0 {
+				baseNs = ns
+			}
+			speedup := 0.0
+			if ns > 0 {
+				speedup = float64(baseNs) / float64(ns)
+			}
+			cr.Modes = append(cr.Modes, benchModeResult{
+				Mode:         m.name,
+				Parallelism:  opt.Parallelism,
+				Memo:         !opt.DisableSearchMemo,
+				NsPerOp:      ns,
+				AllocsPerOp:  r.AllocsPerOp(),
+				BytesPerOp:   r.AllocedBytesPerOp(),
+				Candidates:   examined,
+				WitnessFound: w != nil,
+				Exhausted:    exhausted,
+				Speedup:      speedup,
+			})
+			fmt.Printf("bench %-20s %-20s %12d ns/op %8d allocs/op  examined=%d speedup=%.2fx\n",
+				c.name, m.name, ns, r.AllocsPerOp(), examined, speedup)
+		}
+		report.Search = append(report.Search, cr)
+	}
+
+	// Key-construction micro benchmarks: the byte-append scheme the
+	// repo used before against the exact-Grow builder it uses now.
+	tuple := benchTupleTerms(8)
+	for _, h := range []struct {
+		name string
+		run  func(b *testing.B)
+	}{
+		{"tuple-key-naive", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = naiveTupleKeyBench(tuple)
+			}
+		}},
+		{"tuple-key-builder", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf := hom.AppendTupleKey(nil, tuple)
+				_ = buf
+			}
+		}},
+	} {
+		r := testing.Benchmark(h.run)
+		report.Hom = append(report.Hom, homBenchResult{
+			Name:        h.name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Printf("bench %-20s %-20s %12d ns/op %8d allocs/op\n", "hom", h.name, r.NsPerOp(), r.AllocsPerOp())
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", path)
+	return 0
+}
+
+func benchTupleTerms(n int) []term.Term {
+	ts := make([]term.Term, n)
+	for i := range ts {
+		ts[i] = term.Const(fmt.Sprintf("value%d", i))
+	}
+	return ts
+}
+
+// naiveTupleKeyBench is the pre-optimization byte-append key scheme,
+// kept as the ablation baseline the JSON trajectory compares against.
+func naiveTupleKeyBench(ts []term.Term) string {
+	var b []byte
+	for _, t := range ts {
+		b = append(b, byte(t.K))
+		b = append(b, t.Name...)
+		b = append(b, 0)
+	}
+	return string(b)
+}

@@ -7,11 +7,13 @@
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments e1 t2 f2   # run selected experiments
+//	experiments                        # run everything
+//	experiments e1 t2 f2               # run selected experiments
+//	experiments -bench-out BENCH_1.json  # write the benchmark trajectory
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 	"os"
@@ -57,8 +59,13 @@ func main() {
 		{"t5", "Section 8.2: acyclic approximations", runT5},
 		{"t6", "Section 4: connecting operator", runT6},
 	}
+	benchOut := flag.String("bench-out", "", "measure the witness-search and hom-key benchmarks and write the JSON trajectory to this file")
+	flag.Parse()
+	if *benchOut != "" {
+		os.Exit(runBenchOut(*benchOut))
+	}
 	want := map[string]bool{}
-	for _, a := range os.Args[1:] {
+	for _, a := range flag.Args() {
 		want[strings.ToLower(a)] = true
 	}
 	ran := 0

@@ -34,6 +34,7 @@ func run() int {
 		ucqMode     = flag.Bool("ucq", false, "treat the query input as a UCQ (one CQ per line) and decide UCQ semantic acyclicity")
 		approximate = flag.Bool("approximate", false, "also print an acyclic approximation when the answer is not yes")
 		budget      = flag.Int("budget", 0, "search budget (candidate queries per layer)")
+		jobs        = flag.Int("j", 0, "parallel witness-search workers (0 = one per CPU, 1 = sequential; the answer is identical for every value)")
 		verbose     = flag.Bool("v", false, "print decision details")
 		showTree    = flag.Bool("join-tree", false, "print the witness's join tree")
 		showDot     = flag.Bool("join-tree-dot", false, "print the witness's join tree in Graphviz dot")
@@ -48,7 +49,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "semacyc:", err)
 		return 3
 	}
-	opt := semacyclic.Options{SearchBudget: *budget}
+	opt := semacyclic.Options{SearchBudget: *budget, Parallelism: *jobs}
 
 	if *ucqMode {
 		return runUCQ(*queryText, *queryFile, set, opt)

@@ -9,6 +9,9 @@ package chase
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"semacyclic/internal/cq"
 	"semacyclic/internal/deps"
@@ -45,6 +48,16 @@ type Options struct {
 	// Trace records every chase step in Result.Trace. Off by default:
 	// long chases produce long traces.
 	Trace bool
+	// Parallelism, when > 1, evaluates tgd-body applicability for the
+	// distinct dependencies of a round concurrently: each tgd's
+	// triggers are collected by one goroutine against the round-start
+	// instance (a read-only snapshot), and the collected triggers are
+	// then fired by a single writer in dependency order, re-checked
+	// against the mutated instance. The chase reaches the same fixpoint
+	// as the sequential rounds — triggers enabled mid-round are picked
+	// up next round — but null naming may differ from the sequential
+	// interleaving. Default (0 or 1): sequential rounds.
+	Parallelism int
 }
 
 // Step records one chase step for tracing: either a tgd application
@@ -170,9 +183,27 @@ func (s *state) run() error {
 // tgdPass applies every currently applicable tgd trigger once. It
 // reports whether anything fired and whether any application was
 // suppressed by a budget.
+//
+// Sequential rounds interleave collection and firing: tgd i's triggers
+// are collected against the instance already mutated by tgds < i.
+// Parallel rounds (Options.Parallelism > 1) snapshot-collect all tgds
+// concurrently first, then fire under a single writer; the restricted
+// re-check below keeps stale triggers sound, and triggers enabled by
+// this round's firings are collected next round. A round that fires
+// nothing left the instance untouched, so its snapshot was current and
+// the fixpoint claim is exact in both modes.
 func (s *state) tgdPass() (progressed, truncated bool, err error) {
+	var collected [][]trigger
+	if s.opt.Parallelism > 1 && len(s.set.TGDs) > 1 {
+		collected = s.collectTriggersParallel()
+	}
 	for ti, t := range s.set.TGDs {
-		triggers := s.collectTriggers(t)
+		var triggers []trigger
+		if collected != nil {
+			triggers = collected[ti]
+		} else {
+			triggers = s.collectTriggers(t)
+		}
 		for _, trig := range triggers {
 			if s.steps >= s.opt.MaxSteps || s.inst.Len() >= s.opt.MaxAtoms {
 				return progressed, true, nil
@@ -208,10 +239,13 @@ type trigger struct {
 
 // collectTriggers snapshots the homomorphisms from t's body into the
 // current instance, keeping the frontier bindings and body-image depth.
+// It only reads the instance, the depth map and the tgd, so distinct
+// calls may run concurrently between mutations.
 func (s *state) collectTriggers(t *deps.TGD) []trigger {
 	var out []trigger
 	frontier := t.FrontierVars()
 	bodyVars := t.BodyVars()
+	var keyBuf []byte
 	hom.Enumerate(t.Body, s.inst, nil, func(h term.Subst) bool {
 		f := term.NewSubst()
 		for _, v := range frontier {
@@ -226,14 +260,43 @@ func (s *state) collectTriggers(t *deps.TGD) []trigger {
 		}
 		d := 0
 		for _, b := range t.Body {
-			k := b.Apply(h).Key()
-			if dep, ok := s.depth[k]; ok && dep > d {
+			keyBuf = b.AppendKeyApplied(keyBuf[:0], h)
+			if dep, ok := s.depth[string(keyBuf)]; ok && dep > d {
 				d = dep
 			}
 		}
 		out = append(out, trigger{frontier: f, body: full, depth: d})
 		return true
 	})
+	return out
+}
+
+// collectTriggersParallel collects every tgd's triggers concurrently
+// against the current (round-start) instance. Collection is read-only;
+// per-tgd trigger order is preserved because each tgd is scanned by a
+// single goroutine, so firing order stays deterministic.
+func (s *state) collectTriggersParallel() [][]trigger {
+	out := make([][]trigger, len(s.set.TGDs))
+	workers := s.opt.Parallelism
+	if workers > len(s.set.TGDs) {
+		workers = len(s.set.TGDs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(s.set.TGDs) {
+					return
+				}
+				out[i] = s.collectTriggers(s.set.TGDs[i])
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 
@@ -428,12 +491,17 @@ func Satisfies(db *instance.Instance, set *deps.Set) bool {
 }
 
 func substKey(s term.Subst, vars []term.Term) string {
-	var b []byte
+	n := 0
+	for _, v := range vars {
+		n += len(s.Apply(v).Name) + 2
+	}
+	var b strings.Builder
+	b.Grow(n)
 	for _, v := range vars {
 		img := s.Apply(v)
-		b = append(b, byte(img.K))
-		b = append(b, img.Name...)
-		b = append(b, 0)
+		b.WriteByte(byte(img.K))
+		b.WriteString(img.Name)
+		b.WriteByte(0)
 	}
-	return string(b)
+	return b.String()
 }

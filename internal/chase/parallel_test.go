@@ -1,0 +1,91 @@
+package chase
+
+import (
+	"math/rand"
+	"testing"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/gen"
+	"semacyclic/internal/hom"
+	"semacyclic/internal/instance"
+)
+
+// homEquivalent reports whether the two instances are homomorphically
+// equivalent: nulls are bindable pattern terms, (frozen) constants are
+// rigid, so this is equivalence of the chase results as universal
+// models.
+func homEquivalent(a, b *instance.Instance) bool {
+	return hom.Exists(a.AtomsUnordered(), b, nil) && hom.Exists(b.AtomsUnordered(), a, nil)
+}
+
+// TestParallelChaseMatchesSequential: parallel trigger collection must
+// reach a fixpoint equivalent to the sequential rounds — same
+// completeness, same satisfied dependencies, homomorphically equivalent
+// instances (null naming may legitimately differ).
+func TestParallelChaseMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	cases := []struct {
+		name string
+		q    *cq.CQ
+		set  *deps.Set
+		opt  Options
+	}{
+		{"example1", gen.Example1Query(), gen.Example1TGD(), Options{}},
+		{"two-tgds", cq.MustParse("q :- R(x,y), P(y)."),
+			deps.MustParse("R(x,y) -> S(y,z).\nS(x,y), P(x) -> R(y,x).\nP(x) -> P2(x)."),
+			Options{MaxDepth: 4}},
+		{"guarded-random", gen.CycleCQ(3), gen.RandomGuarded(r, 5, 3), Options{MaxDepth: 3, MaxSteps: 500}},
+		{"nr-multihead", cq.MustParse("q :- R0(x,y)."), gen.RandomNonRecursiveMultiHead(r, 4), Options{}},
+		{"keys-egd", gen.Example4Query(), gen.Example4Key(), Options{}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			seqOpt, parOpt := c.opt, c.opt
+			seqOpt.Parallelism = 1
+			parOpt.Parallelism = 4
+			seq, _, err := Query(c.q, c.set, seqOpt)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			par, _, err := Query(c.q, c.set, parOpt)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if seq.Complete != par.Complete {
+				t.Fatalf("completeness diverged: seq=%v par=%v", seq.Complete, par.Complete)
+			}
+			if seq.Complete {
+				if !Satisfies(par.Instance, c.set) {
+					t.Errorf("parallel fixpoint does not satisfy the dependencies")
+				}
+			}
+			if !homEquivalent(seq.Instance, par.Instance) {
+				t.Errorf("instances not homomorphically equivalent:\nseq: %s\npar: %s", seq.Instance, par.Instance)
+			}
+		})
+	}
+}
+
+// TestParallelChaseDatabase runs Run (not Query) with a ground database
+// so the parallel path is also exercised without frozen constants.
+func TestParallelChaseDatabase(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	db := gen.RandomGraphDB(r, 40, 12)
+	set := deps.MustParse("E(x,y) -> E2(y,z).\nE2(x,y) -> P(x).\nE(x,y), P(x) -> Q(x,y).")
+	seq, err := Run(db, set, Options{MaxDepth: 3, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(db, set, Options{MaxDepth: 3, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Complete != par.Complete {
+		t.Fatalf("completeness diverged: seq=%v par=%v", seq.Complete, par.Complete)
+	}
+	if !homEquivalent(seq.Instance, par.Instance) {
+		t.Error("instances not homomorphically equivalent")
+	}
+}

@@ -150,6 +150,64 @@ func rewriteContains(q, qp *cq.CQ, set *deps.Set, opt Options) (Decision, error)
 	return Decision{Holds: false, Definitive: rw.Complete, Method: MethodRewrite}, nil
 }
 
+// Prepared fixes the right-hand query q' of a containment test and
+// precomputes everything that does not depend on the left-hand side:
+// the method selection, the chase depth budget, and — the expensive one
+// — the UCQ rewriting of q' for sticky sets, which is worst-case
+// exponential and identical across calls. Check(q) returns exactly what
+// Contains(q, q', Σ, opt) would. A Prepared value is immutable after
+// Prepare and safe for concurrent Check calls.
+type Prepared struct {
+	qp  *cq.CQ
+	set *deps.Set
+	opt Options
+	m   Method
+	rw  *rewrite.Result // only for MethodRewrite
+}
+
+// Prepare builds a Prepared checker for the fixed right-hand side q'.
+func Prepare(qp *cq.CQ, set *deps.Set, opt Options) (*Prepared, error) {
+	m := opt.Method
+	if m == "" {
+		m = pickMethod(set)
+	}
+	p := &Prepared{qp: qp, set: set, opt: opt, m: m}
+	if m == MethodRewrite {
+		rw, err := rewrite.Rewrite(qp, set, opt.Rewrite)
+		if err != nil {
+			return nil, err
+		}
+		p.rw = rw
+	}
+	if m == MethodBounded && p.opt.Chase.MaxDepth <= 0 {
+		p.opt.Chase.MaxDepth = defaultGuardedDepth(qp, set)
+	}
+	return p, nil
+}
+
+// Check decides q ⊆Σ q' for the prepared right-hand side.
+func (p *Prepared) Check(q *cq.CQ) (Decision, error) {
+	if len(q.Free) != len(p.qp.Free) {
+		return Decision{Holds: false, Definitive: true, Method: MethodPlain}, nil
+	}
+	switch p.m {
+	case MethodPlain:
+		return Decision{Holds: hom.Contained(q, p.qp), Definitive: true, Method: MethodPlain}, nil
+	case MethodRewrite:
+		db, frozen := q.Freeze()
+		for _, d := range p.rw.UCQ.Disjuncts {
+			if hom.HasTuple(d, db, frozen) {
+				return Decision{Holds: true, Definitive: true, Method: MethodRewrite}, nil
+			}
+		}
+		return Decision{Holds: false, Definitive: p.rw.Complete, Method: MethodRewrite}, nil
+	default:
+		// Chase methods chase the left-hand side, which varies per
+		// call; the depth budget above is the only precomputable part.
+		return chaseContains(q, p.qp, p.set, p.m, p.opt)
+	}
+}
+
 // Equivalent decides q ≡Σ q' as two containment checks. The decision is
 // definitive when both directions are.
 func Equivalent(q, qp *cq.CQ, set *deps.Set, opt Options) (Decision, error) {

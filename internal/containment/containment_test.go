@@ -188,3 +188,47 @@ func TestUnsatisfiableLeftSideTriviallyContained(t *testing.T) {
 		t.Errorf("satisfiable ⊆Σ unsatisfiable accepted: %+v", d)
 	}
 }
+
+// TestPreparedMatchesContains: Prepared.Check must return exactly what
+// Contains returns, across every method selection path — it is the
+// same procedure with the right-hand-side work hoisted.
+func TestPreparedMatchesContains(t *testing.T) {
+	cases := []struct {
+		name string
+		set  *deps.Set
+	}{
+		{"plain", &deps.Set{}},
+		{"full", deps.MustParse("Interest(x,z), Class(y,z) -> Owns(x,y).")},
+		{"guarded-recursive", deps.MustParse("Owns(x,y) -> Owns(y,w).")},
+		{"sticky", deps.MustParse("UA(x), UB(y) -> Owns(x,y).\nOwns(x,y) -> Owns(y,w).\nUB(x), UA(y) -> Interest(x,y).")},
+		{"egd", deps.MustParse("Owns(x,y), Owns(x,z) -> y = z.")},
+	}
+	qp := cq.MustParse("q(x) :- Interest(x,z), Class(y,z), Owns(x,y).")
+	lefts := []*cq.CQ{
+		cq.MustParse("q(x) :- Interest(x,z), Class(y,z), Owns(x,y), Owns(x,u)."),
+		cq.MustParse("q(x) :- Owns(x,y)."),
+		cq.MustParse("q(x) :- Interest(x,z), Class(x,z)."),
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			p, err := Prepare(qp, c.set, Options{})
+			if err != nil {
+				t.Fatalf("Prepare: %v", err)
+			}
+			for _, q := range lefts {
+				want, err := Contains(q, qp, c.set, Options{})
+				if err != nil {
+					t.Fatalf("Contains(%s): %v", q, err)
+				}
+				got, err := p.Check(q)
+				if err != nil {
+					t.Fatalf("Check(%s): %v", q, err)
+				}
+				if got != want {
+					t.Errorf("%s: Check=%+v Contains=%+v", q, got, want)
+				}
+			}
+		})
+	}
+}

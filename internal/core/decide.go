@@ -75,9 +75,19 @@ type Options struct {
 	// is closed (or receives); Decide then returns ErrCancelled. Wire a
 	// context's Done() channel here for deadline/cancellation support.
 	Cancel <-chan struct{}
-	// Parallelism bounds the worker goroutines DecideUCQ uses for
-	// independent disjunct decisions (default 1: sequential).
+	// Parallelism bounds the worker goroutines used by the layer-4
+	// complete search (branch fan-out) and by DecideUCQ (independent
+	// disjunct decisions). 0 means one worker per logical CPU
+	// (GOMAXPROCS); 1 restores the exact sequential behavior. Results
+	// are deterministic for every value: the canonically least witness
+	// wins regardless of scheduling.
 	Parallelism int
+	// DisableSearchMemo turns off the shared memoization caches of the
+	// complete search (prefix-pruning and candidate-containment
+	// verdicts). A benchmarking/debugging knob: the caches memoize pure
+	// functions, so the decision is identical either way — only the
+	// cost changes.
+	DisableSearchMemo bool
 }
 
 // ErrCancelled reports that a decision was aborted via Options.Cancel.
@@ -173,7 +183,7 @@ func Decide(q *cq.CQ, set *deps.Set, opt Options) (*Result, error) {
 
 	// Layer 4: complete bounded enumeration.
 	if !opt.SkipCompleteSearch && bound > 0 {
-		w, n, exhausted, err := searchComplete(q, set, opt, bound)
+		w, n, exhausted, err := SearchComplete(q, set, opt, bound)
 		if err != nil {
 			return nil, err
 		}

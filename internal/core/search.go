@@ -7,23 +7,33 @@ import (
 	"semacyclic/internal/containment"
 	"semacyclic/internal/cq"
 	"semacyclic/internal/deps"
-	"semacyclic/internal/hom"
-	"semacyclic/internal/hypergraph"
 	"semacyclic/internal/instance"
 	"semacyclic/internal/term"
 )
 
-// searchComplete is layer 4: the paper's NP guess realized as a
+// SearchComplete is layer 4: the paper's NP guess realized as a
 // canonical enumeration of candidate CQs over the joint schema with at
 // most `bound` atoms, pruned by homomorphism into a chase of q (a
 // candidate without a pinned homomorphism into chase(q,Σ) cannot
 // satisfy q ⊆Σ candidate, by Lemma 1). Acyclic candidates passing the
 // pruning get a full equivalence verification.
 //
+// The enumeration is branch-decomposed: the top-level choices (first
+// atom = predicate × canonical argument seed) become independent
+// branches fanned across Options.Parallelism workers, with shared
+// step/examined budgets and shared memoization of pruning and
+// containment verdicts (see psearch.go). The witness is deterministic
+// for every parallelism level: each branch yields its canonically first
+// witness and the canonically least branch wins.
+//
 // Returns the witness (if any), the number of candidates examined, and
 // whether the enumeration exhausted the search space definitively —
 // which additionally requires the pruning chase to have been complete.
-func searchComplete(q *cq.CQ, set *deps.Set, opt Options, bound int) (*cq.CQ, int, bool, error) {
+//
+// Exported within the module so cmd/experiments can benchmark layer 4
+// directly; the public facade does not re-export it.
+func SearchComplete(q *cq.CQ, set *deps.Set, opt Options, bound int) (*cq.CQ, int, bool, error) {
+	opt = opt.withDefaults()
 	sch, err := q.Schema().Union(set.Schema())
 	if err != nil {
 		return nil, 0, false, err
@@ -54,7 +64,6 @@ func searchComplete(q *cq.CQ, set *deps.Set, opt Options, bound int) (*cq.CQ, in
 		// unsatisfiable queries before this layer); no claims here.
 		return nil, 0, false, nil
 	}
-	target := chres.Instance
 
 	// Pin the candidate's free variables to the frozen head tuple.
 	pin := term.NewSubst()
@@ -65,119 +74,37 @@ func searchComplete(q *cq.CQ, set *deps.Set, opt Options, bound int) (*cq.CQ, in
 		pin[x] = frozen[i]
 	}
 
-	// Constants available to candidates: those of q and Σ.
-	consts := availableConstants(q, set)
-
-	free := append([]term.Term(nil), q.Free...)
-
-	examined := 0
-	steps := 0
-	budget := opt.SearchBudget
-	exhausted := true
-	var witness *cq.CQ
-
-	// Canonical fresh variables are introduced in order s0, s1, ... so
-	// isomorphic candidates are enumerated once.
-	varName := func(i int) term.Term { return term.Var("s" + itoa(i)) }
-
-	var extend func(atoms []instance.Atom, nextVar int) (bool, error)
-
-	// tryCandidate verifies a complete candidate. The enumeration
-	// pruning has already certified q ⊆Σ cand — the candidate has a
-	// pinned homomorphism into chase(q,Σ), which by Lemma 1 is exactly
-	// that containment (sound even on a chase prefix) — so only the
-	// converse direction needs checking here.
-	tryCandidate := func(atoms []instance.Atom) (bool, error) {
-		cand := &cq.CQ{Name: q.Name, Free: free, Atoms: cloneAtoms(atoms)}
-		if err := cand.Validate(); err != nil {
-			return false, nil
-		}
-		if !hypergraph.IsAcyclic(cand.Atoms) {
-			return false, nil
-		}
-		examined++
-		dec, err := containment.Contains(cand, q, set, opt.Containment)
+	eng := &searchEngine{
+		q:      q,
+		set:    set,
+		opt:    opt,
+		bound:  bound,
+		preds:  preds,
+		target: chres.Instance,
+		pin:    pin,
+		// Constants available to candidates: those of q and Σ.
+		consts:   availableConstants(q, set),
+		free:     append([]term.Term(nil), q.Free...),
+		budget:   int64(opt.SearchBudget),
+		maxSteps: 50 * int64(opt.SearchBudget),
+	}
+	if !opt.DisableSearchMemo {
+		// Prepare the fixed right-hand side of every verification once:
+		// for sticky sets this hoists the exponential UCQ rewriting out
+		// of the per-candidate loop. Gated with the memo flag so the
+		// ablation baseline re-derives it per candidate, as the
+		// unoptimized search did.
+		checker, err := containment.Prepare(q, set, opt.Containment)
 		if err != nil {
-			return false, err
+			return nil, 0, false, err
 		}
-		if dec.Holds {
-			witness = cand.Clone()
-			return true, nil
-		}
-		if !dec.Definitive {
-			exhausted = false
-		}
-		return false, nil
+		eng.checker = checker
 	}
-
-	extend = func(atoms []instance.Atom, nextVar int) (bool, error) {
-		steps++
-		if steps > 50*budget || examined >= budget {
-			exhausted = false
-			return false, nil
-		}
-		if steps%256 == 0 && opt.cancelled() {
-			return false, ErrCancelled
-		}
-		if len(atoms) > 0 {
-			// Prune: q ⊆Σ candidate requires a pinned homomorphism of
-			// the candidate into chase(q,Σ).
-			if !hom.Exists(atoms, target, pin) {
-				return false, nil
-			}
-			if done, err := tryCandidate(atoms); err != nil || done {
-				return done, err
-			}
-		}
-		if len(atoms) >= bound {
-			return false, nil
-		}
-		// Extend with one atom over each predicate; arguments drawn from
-		// free variables, variables used so far, one fresh variable rank
-		// beyond, and the available constants.
-		for _, p := range preds {
-			pool := argumentPool(free, nextVar, consts, varName)
-			args := make([]term.Term, p.Arity)
-			var fill func(pos, maxNew int) (bool, error)
-			fill = func(pos, maxNew int) (bool, error) {
-				if pos == p.Arity {
-					atom := instance.NewAtom(p.Name, args...)
-					if containsAtom(atoms, atom) {
-						return false, nil
-					}
-					return extend(append(atoms, atom), nextVar+maxNew)
-				}
-				for _, t := range pool {
-					// Canonical introduction: a fresh variable may only
-					// be used if all earlier fresh ranks are in use.
-					rank, fresh := freshRank(t, nextVar)
-					if fresh && rank > maxNew {
-						continue
-					}
-					newMax := maxNew
-					if fresh && rank == maxNew {
-						newMax = maxNew + 1
-					}
-					args[pos] = t
-					done, err := fill(pos+1, newMax)
-					if err != nil || done {
-						return done, err
-					}
-				}
-				return false, nil
-			}
-			if done, err := fill(0, 0); err != nil || done {
-				return done, err
-			}
-		}
-		return false, nil
-	}
-
-	done, err := extend(nil, 0)
+	witness, examined, exhausted, err := eng.run()
 	if err != nil {
 		return nil, examined, false, err
 	}
-	if done {
+	if witness != nil {
 		return witness, examined, false, nil
 	}
 	return nil, examined, exhausted && chres.Complete && !capped, nil
@@ -254,16 +181,27 @@ func availableConstants(q *cq.CQ, set *deps.Set) []term.Term {
 }
 
 // itoa is a tiny strconv.Itoa to keep hot paths allocation-obvious.
+// Negative inputs are handled (the uint conversion of the negation is
+// correct even for the minimum int, where -n wraps).
 func itoa(n int) string {
 	if n == 0 {
 		return "0"
 	}
-	var buf [20]byte
+	neg := n < 0
+	un := uint(n)
+	if neg {
+		un = uint(-n)
+	}
+	var buf [21]byte
 	i := len(buf)
-	for n > 0 {
+	for un > 0 {
 		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
+		buf[i] = byte('0' + un%10)
+		un /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
 	}
 	return string(buf[i:])
 }

@@ -19,7 +19,7 @@ func TestSearchCompleteFindsWitness(t *testing.T) {
 	set := deps.MustParse("E(x,y) -> E(x,x).")
 	q := cq.MustParse("q :- E(x,y), E(y,z), E(z,x).")
 	opt := Options{SearchBudget: 5000}.withDefaults()
-	w, examined, _, err := searchComplete(q, set, opt, 1)
+	w, examined, _, err := SearchComplete(q, set, opt, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestSearchCompleteExhaustsTinyBound(t *testing.T) {
 	set := deps.MustParse("E(x,y) -> E(y,x).")
 	q := cq.MustParse("q :- E(x,y), E(y,z), E(z,x).")
 	opt := Options{SearchBudget: 5000}.withDefaults()
-	w, _, exhausted, err := searchComplete(q, set, opt, 1)
+	w, _, exhausted, err := SearchComplete(q, set, opt, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestSearchCompleteCapReportsNonExhaustive(t *testing.T) {
 	q := cq.MustParse("q :- E(x,y), E(y,z), E(z,x), B(x).")
 	opt := Options{SearchBudget: 30}.withDefaults()
 	// Class bound far above the cap.
-	_, _, exhausted, err := searchComplete(q, set, opt, 500)
+	_, _, exhausted, err := SearchComplete(q, set, opt, 500)
 	if err != nil {
 		t.Fatal(err)
 	}

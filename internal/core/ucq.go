@@ -73,10 +73,7 @@ func DecideUCQ(u *cq.UCQ, set *deps.Set, opt Options) (*UCQResult, error) {
 	// Decide the surviving disjuncts — concurrently when asked: the
 	// decisions are independent (all shared inputs are read-only) and
 	// results land in per-index slots, so the outcome is deterministic.
-	workers := opt.Parallelism
-	if workers < 1 {
-		workers = 1
-	}
+	workers := opt.parallelism()
 	type job struct{ i int }
 	jobs := make(chan job)
 	errs := make([]error, len(u.Disjuncts))

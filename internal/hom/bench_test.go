@@ -57,3 +57,62 @@ func BenchmarkContainment(b *testing.B) {
 		}
 	}
 }
+
+// naiveTupleKey is the pre-optimization key construction (plain byte
+// append, reallocating as it grows), kept as the ablation baseline for
+// the allocation benchmarks below.
+func naiveTupleKey(ts []term.Term) string {
+	var b []byte
+	for _, t := range ts {
+		b = append(b, byte(t.K))
+		b = append(b, t.Name...)
+		b = append(b, 0)
+	}
+	return string(b)
+}
+
+func benchTuple(n int) []term.Term {
+	out := make([]term.Term, n)
+	for i := range out {
+		out[i] = term.Const(fmt.Sprintf("const-value-%d", i))
+	}
+	return out
+}
+
+// BenchmarkTupleKeyNaive / BenchmarkTupleKeyBuilder: the exact-Grow
+// builder materializes a key in one allocation where the byte-append
+// version pays one per growth step.
+func BenchmarkTupleKeyNaive(b *testing.B) {
+	tuple := benchTuple(6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if naiveTupleKey(tuple) == "" {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+func BenchmarkTupleKeyBuilder(b *testing.B) {
+	tuple := benchTuple(6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tupleKey(tuple) == "" {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+// BenchmarkEvaluateAllocsPath3 measures the full evaluation pipeline's
+// allocation profile: answer dedup probes a reused key buffer and the
+// final sort compares retained keys instead of re-deriving them.
+func BenchmarkEvaluateAllocsPath3(b *testing.B) {
+	db := benchDB(2000, 200)
+	q := cq.MustParse("q(x,w) :- E(x,y), E(y,z), E(z,w).")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(q, db)
+	}
+}

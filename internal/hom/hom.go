@@ -6,6 +6,7 @@ package hom
 
 import (
 	"sort"
+	"strings"
 
 	"semacyclic/internal/cq"
 	"semacyclic/internal/instance"
@@ -62,6 +63,11 @@ func candidates(target *instance.Instance, a instance.Atom, sub term.Subst) []in
 		img := sub.Apply(t)
 		if img.IsVar() {
 			continue // still unbound
+		}
+		if img.IsNull() {
+			if _, bound := sub[t]; !bound {
+				continue // free pattern null: bindable, not a fixed value
+			}
 		}
 		if list := target.ByPos(a.Pred, i, img); len(list) < len(best) {
 			best = list
@@ -122,30 +128,66 @@ func Exists(pattern []instance.Atom, target *instance.Instance, init term.Subst)
 
 // Evaluate computes q(I): the set of answer tuples, each a tuple over
 // the terms of I, deduplicated, in deterministic order.
+//
+// Allocation discipline: duplicate answers are rejected through a
+// reused key buffer (the map probe with string(buf) does not allocate),
+// a key string is materialized once per distinct tuple, and the final
+// sort compares those retained keys instead of re-deriving them per
+// comparison.
 func Evaluate(q *cq.CQ, target *instance.Instance) [][]term.Term {
+	type keyed struct {
+		key   string
+		tuple []term.Term
+	}
 	seen := make(map[string]bool)
-	var out [][]term.Term
+	var answers []keyed
+	var buf []byte
 	Enumerate(q.Atoms, target, nil, func(s term.Subst) bool {
 		tuple := s.ResolveTuple(q.Free)
-		key := tupleKey(tuple)
-		if !seen[key] {
+		buf = AppendTupleKey(buf[:0], tuple)
+		if !seen[string(buf)] {
+			key := string(buf)
 			seen[key] = true
-			out = append(out, tuple)
+			answers = append(answers, keyed{key: key, tuple: tuple})
 		}
 		return true
 	})
-	sort.Slice(out, func(i, j int) bool { return tupleKey(out[i]) < tupleKey(out[j]) })
+	sort.Slice(answers, func(i, j int) bool { return answers[i].key < answers[j].key })
+	out := make([][]term.Term, len(answers))
+	for i, a := range answers {
+		out[i] = a.tuple
+	}
 	return out
 }
 
-func tupleKey(ts []term.Term) string {
-	var b []byte
+// AppendTupleKey appends a canonical byte key for the tuple to buf and
+// returns the extended slice: two tuples have equal keys iff they are
+// equal termwise. Callers reuse one buffer across tuples to keep key
+// construction allocation-free.
+func AppendTupleKey(buf []byte, ts []term.Term) []byte {
 	for _, t := range ts {
-		b = append(b, byte(t.K))
-		b = append(b, t.Name...)
-		b = append(b, 0)
+		buf = append(buf, byte(t.K))
+		buf = append(buf, t.Name...)
+		buf = append(buf, 0)
 	}
-	return string(b)
+	return buf
+}
+
+// tupleKey materializes a tuple key as a string in one exact-sized
+// allocation.
+func tupleKey(ts []term.Term) string {
+	n := 0
+	for _, t := range ts {
+		n += len(t.Name) + 2
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for _, t := range ts {
+		b.WriteByte(byte(t.K))
+		b.WriteString(t.Name)
+		b.WriteByte(0)
+	}
+	return b.String()
 }
 
 // EvaluateBool reports whether the Boolean query holds (for non-Boolean

@@ -42,6 +42,32 @@ func (a Atom) Key() string {
 	return b.String()
 }
 
+// AppendKey appends the atom's canonical key (the bytes of Key) to buf
+// and returns the extended slice. Hot paths that probe key-indexed maps
+// reuse one buffer across atoms and look up with string(buf), which the
+// compiler compiles to an allocation-free map access.
+func (a Atom) AppendKey(buf []byte) []byte {
+	buf = append(buf, a.Pred...)
+	for _, t := range a.Args {
+		buf = append(buf, 0, byte(t.K))
+		buf = append(buf, t.Name...)
+	}
+	return buf
+}
+
+// AppendKeyApplied appends the canonical key of a.Apply(s) to buf
+// without materializing the substituted atom: the key of the atom whose
+// arguments are the (chain-resolved) images of a's arguments under s.
+func (a Atom) AppendKeyApplied(buf []byte, s term.Subst) []byte {
+	buf = append(buf, a.Pred...)
+	for _, t := range a.Args {
+		img := s.Resolve(t)
+		buf = append(buf, 0, byte(img.K))
+		buf = append(buf, img.Name...)
+	}
+	return buf
+}
+
 // Equal reports structural equality.
 func (a Atom) Equal(b Atom) bool {
 	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {

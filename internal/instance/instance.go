@@ -101,10 +101,10 @@ func (ins *Instance) Remove(a Atom) bool {
 		return false
 	}
 	delete(ins.atoms, k)
-	ins.byPred[stored.Pred] = dropAtom(ins.byPred[stored.Pred], k)
+	ins.byPred[stored.Pred] = dropAtom(ins.byPred[stored.Pred], stored)
 	for i, t := range stored.Args {
 		pk := posKey{stored.Pred, i, t}
-		ins.byPos[pk] = dropAtom(ins.byPos[pk], k)
+		ins.byPos[pk] = dropAtom(ins.byPos[pk], stored)
 		if len(ins.byPos[pk]) == 0 {
 			delete(ins.byPos, pk)
 		}
@@ -112,9 +112,11 @@ func (ins *Instance) Remove(a Atom) bool {
 	return true
 }
 
-func dropAtom(list []Atom, key string) []Atom {
+// dropAtom removes a from the list by structural equality, avoiding the
+// per-element Key allocations the removal path used to pay.
+func dropAtom(list []Atom, a Atom) []Atom {
 	for i := range list {
-		if list[i].Key() == key {
+		if list[i].Equal(a) {
 			list[i] = list[len(list)-1]
 			return list[:len(list)-1]
 		}

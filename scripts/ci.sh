@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything here must pass before a change lands.
+#
+#   scripts/ci.sh          # vet + build + race-enabled tests + short benchmarks
+#
+# The test step runs with -race on purpose: the witness search, the
+# parallel chase and the UCQ layer all run goroutine pools, and their
+# determinism contract (same answer at every -j) is enforced by tests
+# that only mean something when the race detector watches them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== short benchmarks (compile + one iteration) =="
+go test -run '^$' -bench . -benchtime 1x ./...
+
+echo "ci: all green"
