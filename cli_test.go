@@ -1,6 +1,7 @@
 package semacyclic
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -173,6 +174,68 @@ func TestCLIChaseErrors(t *testing.T) {
 		"-db", "R(k,a). R(k,b).",
 		"-deps", "R(x,y), R(x,z) -> y = z."); code != 1 {
 		t.Errorf("egd failure exit = %d", code)
+	}
+}
+
+func TestCLISemacycStats(t *testing.T) {
+	// -stats prints the decision's stats JSON after the verdict; a
+	// layer-4 run populates the search section. The tight budget keeps
+	// the run fast (verdict unknown, exit 2).
+	out, code := runTool(t, "semacyc",
+		"-query", "q :- E(x,y), E(y,z), E(z,x).",
+		"-deps", "E(x,y) -> E(y,x).",
+		"-budget", "200",
+		"-stats")
+	if code != 2 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"verdict: unknown", `"chase"`, `"search"`, `"branches"`, `"layers"`, `"wall_ns"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// -stats-out writes the same JSON to a file instead of stdout.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stats.json")
+	out, code = runTool(t, "semacyc",
+		"-query", "q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y).",
+		"-deps", "Interest(x,z), Class(y,z) -> Owns(x,y).",
+		"-stats-out", path)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if strings.Contains(out, `"chase"`) {
+		t.Errorf("-stats-out leaked JSON to stdout:\n%s", out)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]any
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("stats file is not JSON: %v\n%s", err, b)
+	}
+	for _, key := range []string{"chase", "search", "containment", "hom", "layers"} {
+		if _, ok := st[key]; !ok {
+			t.Errorf("stats file missing %q: %s", key, b)
+		}
+	}
+}
+
+func TestCLISemacycVerboseStatsSummary(t *testing.T) {
+	out, code := runTool(t, "semacyc",
+		"-query", "q :- E(x,y), E(y,z), E(z,x).",
+		"-deps", "E(x,y) -> E(y,x).",
+		"-budget", "200",
+		"-v")
+	if code != 2 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"layer complete", "search: branches=", "chase: rounds=", "hom: enumerations="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
 	}
 }
 

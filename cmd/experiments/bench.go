@@ -1,9 +1,10 @@
-// Benchmark trajectory: `experiments -bench-out BENCH_1.json` measures
+// Benchmark trajectory: `experiments -bench-out BENCH_2.json` measures
 // the witness-search configurations (sequential seed-equivalent,
-// memoized, memoized+parallel) and the hom key-construction micro
+// memoized, memoized+parallel), their observability counters, the cost
+// of stats collection itself, and the hom key-construction micro
 // benchmarks, and persists the numbers as JSON so performance changes
 // travel with the repository. Absolute ns/op are machine-dependent; the
-// recorded speedups and allocation counts are the claims.
+// recorded speedups, counters and allocation counts are the claims.
 package main
 
 import (
@@ -50,7 +51,10 @@ func benchCases() []benchCase {
 	}
 }
 
-// benchModeResult is one (case, configuration) measurement.
+// benchModeResult is one (case, configuration) measurement. The counter
+// columns come from one SearchCompleteStats run per mode; the ones
+// marked deterministic in internal/obs are comparable across machines,
+// the rest (nodes, pruned, memo rates) are workload shape indicators.
 type benchModeResult struct {
 	Mode         string  `json:"mode"`
 	Parallelism  int     `json:"parallelism"`
@@ -62,6 +66,17 @@ type benchModeResult struct {
 	WitnessFound bool    `json:"witness_found"`
 	Exhausted    bool    `json:"exhausted"`
 	Speedup      float64 `json:"speedup_vs_baseline"`
+
+	Branches           int   `json:"branches"`
+	WinnerBranch       int   `json:"winner_branch"`
+	DecisiveCandidates int   `json:"decisive_candidates"`
+	NodesVisited       int64 `json:"nodes_visited"`
+	PrunedByHom        int64 `json:"pruned_by_hom"`
+	Verified           int64 `json:"verified"`
+	PruneMemoHits      int64 `json:"prune_memo_hits"`
+	PruneMemoMisses    int64 `json:"prune_memo_misses"`
+	CandMemoHits       int64 `json:"cand_memo_hits"`
+	CandMemoMisses     int64 `json:"cand_memo_misses"`
 }
 
 type benchCaseResult struct {
@@ -70,6 +85,10 @@ type benchCaseResult struct {
 	Bound      int               `json:"bound"`
 	Budget     int               `json:"budget"`
 	Modes      []benchModeResult `json:"modes"`
+	// StatsOverheadPct is the cost of stats collection: the ns/op delta
+	// of SearchCompleteStats over SearchComplete at j1-memo, in percent.
+	// Benchmark noise makes small negatives possible.
+	StatsOverheadPct float64 `json:"stats_overhead_pct"`
 }
 
 type homBenchResult struct {
@@ -115,11 +134,11 @@ func runBenchOut(path string) int {
 
 	for _, c := range benchCases() {
 		cr := benchCaseResult{Case: c.name, QueryAtoms: c.q.Size(), Bound: c.bound, Budget: c.budget}
-		var baseNs int64
+		var baseNs, memoNs int64
 		for i, m := range modes {
 			opt := m.opt
 			opt.SearchBudget = c.budget
-			w, examined, exhausted, err := core.SearchComplete(c.q, c.set, opt, c.bound)
+			w, st, examined, exhausted, err := core.SearchCompleteStats(c.q, c.set, opt, c.bound)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: bench %s/%s: %v\n", c.name, m.name, err)
 				return 1
@@ -137,6 +156,9 @@ func runBenchOut(path string) int {
 			if i == 0 {
 				baseNs = ns
 			}
+			if m.name == "j1-memo" {
+				memoNs = ns
+			}
 			speedup := 0.0
 			if ns > 0 {
 				speedup = float64(baseNs) / float64(ns)
@@ -152,10 +174,38 @@ func runBenchOut(path string) int {
 				WitnessFound: w != nil,
 				Exhausted:    exhausted,
 				Speedup:      speedup,
+
+				Branches:           st.Search.Branches,
+				WinnerBranch:       st.Search.WinnerBranch,
+				DecisiveCandidates: st.Search.Candidates,
+				NodesVisited:       st.Search.NodesVisited,
+				PrunedByHom:        st.Search.PrunedByHom,
+				Verified:           st.Search.Verified,
+				PruneMemoHits:      st.Search.PruneMemoHits,
+				PruneMemoMisses:    st.Search.PruneMemoMisses,
+				CandMemoHits:       st.Search.CandMemoHits,
+				CandMemoMisses:     st.Search.CandMemoMisses,
 			})
 			fmt.Printf("bench %-20s %-20s %12d ns/op %8d allocs/op  examined=%d speedup=%.2fx\n",
 				c.name, m.name, ns, r.AllocsPerOp(), examined, speedup)
 		}
+
+		// Stats-overhead arm: the same j1-memo workload with collection
+		// on, against the SearchComplete (nil-stats) arm timed above.
+		statsOpt := core.Options{Parallelism: 1, SearchBudget: c.budget}
+		rs := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, _, _, err := core.SearchCompleteStats(c.q, c.set, statsOpt, c.bound)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if memoNs > 0 {
+			cr.StatsOverheadPct = 100 * (float64(rs.NsPerOp()) - float64(memoNs)) / float64(memoNs)
+		}
+		fmt.Printf("bench %-20s %-20s %12d ns/op  stats overhead=%.2f%%\n",
+			c.name, "j1-memo-stats", rs.NsPerOp(), cr.StatsOverheadPct)
 		report.Search = append(report.Search, cr)
 	}
 

@@ -9,13 +9,16 @@
 //
 //	experiments                        # run everything
 //	experiments e1 t2 f2               # run selected experiments
-//	experiments -bench-out BENCH_1.json  # write the benchmark trajectory
+//	experiments -bench-out BENCH_2.json  # write the benchmark trajectory
+//	experiments -pprof :6060 t1          # serve pprof + expvar while running
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof" // -pprof: profiles + /debug/vars on DefaultServeMux
 	"os"
 	"sort"
 	"strings"
@@ -31,6 +34,7 @@ import (
 	"semacyclic/internal/gen"
 	"semacyclic/internal/hom"
 	"semacyclic/internal/hypergraph"
+	"semacyclic/internal/obs"
 	"semacyclic/internal/pcp"
 	"semacyclic/internal/rewrite"
 	"semacyclic/internal/yannakakis"
@@ -60,7 +64,17 @@ func main() {
 		{"t6", "Section 4: connecting operator", runT6},
 	}
 	benchOut := flag.String("bench-out", "", "measure the witness-search and hom-key benchmarks and write the JSON trajectory to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar (the semacyclic.* counters) on this address, e.g. :6060")
 	flag.Parse()
+	if *pprofAddr != "" {
+		obs.Publish()
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof+expvar on http://%s/debug/pprof/ and /debug/vars\n", *pprofAddr)
+	}
 	if *benchOut != "" {
 		os.Exit(runBenchOut(*benchOut))
 	}

@@ -13,10 +13,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	semacyclic "semacyclic"
 )
@@ -35,7 +37,9 @@ func run() int {
 		approximate = flag.Bool("approximate", false, "also print an acyclic approximation when the answer is not yes")
 		budget      = flag.Int("budget", 0, "search budget (candidate queries per layer)")
 		jobs        = flag.Int("j", 0, "parallel witness-search workers (0 = one per CPU, 1 = sequential; the answer is identical for every value)")
-		verbose     = flag.Bool("v", false, "print decision details")
+		verbose     = flag.Bool("v", false, "print decision details and a stats summary")
+		showStats   = flag.Bool("stats", false, "print the decision's observability stats as JSON")
+		statsOut    = flag.String("stats-out", "", "write the stats JSON to this file instead of stdout")
 		showTree    = flag.Bool("join-tree", false, "print the witness's join tree")
 		showDot     = flag.Bool("join-tree-dot", false, "print the witness's join tree in Graphviz dot")
 		explain     = flag.Bool("explain", false, "print a re-checkable certificate for yes answers")
@@ -90,6 +94,12 @@ func run() int {
 		if classes := semacyclic.Classes(set); len(classes) > 0 {
 			fmt.Printf("classes: %v\n", classes)
 		}
+		printStatsSummary(res.Stats)
+	}
+	if *showStats || *statsOut != "" {
+		if code := emitStats(res.Stats, *statsOut); code != 0 {
+			return code
+		}
 	}
 	if *explain && res.Verdict == semacyclic.Yes {
 		cert, err := semacyclic.Explain(q, set, res, opt)
@@ -122,6 +132,56 @@ func run() int {
 	default:
 		return 2
 	}
+}
+
+// printStatsSummary renders the -v one-line-per-subsystem stats view.
+func printStatsSummary(st *semacyclic.Stats) {
+	if st == nil {
+		return
+	}
+	fmt.Printf("wall: %s\n", time.Duration(st.WallNS))
+	for _, l := range st.Layers {
+		fmt.Printf("layer %-13s candidates=%-6d wall=%s\n", l.Name, l.Candidates, time.Duration(l.WallNS))
+	}
+	c := st.Chase
+	if c.Rounds > 0 {
+		fmt.Printf("chase: rounds=%d triggers=%d/%d nulls=%d merges=%d atoms=%d complete=%v\n",
+			c.Rounds, c.TriggersFired, c.TriggersCollected, c.NullsCreated, c.Merges, c.Atoms, c.Complete)
+	}
+	s := st.Search
+	if s.Branches > 0 {
+		fmt.Printf("search: branches=%d bound=%d budget=%d candidates=%d observed=%d winner=%d exhausted=%v\n",
+			s.Branches, s.Bound, s.Budget, s.Candidates, s.CandidatesObserved, s.WinnerBranch, s.Exhausted)
+		fmt.Printf("search: nodes=%d pruned=%d verified=%d memo prune=%d/%d cand=%d/%d workers=%d\n",
+			s.NodesVisited, s.PrunedByHom, s.Verified,
+			s.PruneMemoHits, s.PruneMemoHits+s.PruneMemoMisses,
+			s.CandMemoHits, s.CandMemoHits+s.CandMemoMisses, s.Workers)
+	}
+	if st.Containment.Method != "" {
+		ct := st.Containment
+		fmt.Printf("containment: method=%s prepared-checks=%d rewrite-disjuncts=%d\n",
+			ct.Method, ct.PreparedChecks, ct.RewriteDisjuncts)
+	}
+	fmt.Printf("hom: enumerations=%d backtracks=%d\n", st.Hom.Enumerations, st.Hom.Backtracks)
+}
+
+// emitStats writes the stats JSON to the file (or stdout when empty).
+func emitStats(st *semacyclic.Stats, path string) int {
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semacyc: stats:", err)
+		return 3
+	}
+	b = append(b, '\n')
+	if path == "" {
+		os.Stdout.Write(b)
+		return 0
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "semacyc: stats:", err)
+		return 3
+	}
+	return 0
 }
 
 // evaluateOnDB evaluates the query on a user database: through the

@@ -17,6 +17,7 @@ import (
 	"semacyclic/internal/deps"
 	"semacyclic/internal/hom"
 	"semacyclic/internal/instance"
+	"semacyclic/internal/obs"
 	"semacyclic/internal/term"
 )
 
@@ -98,6 +99,12 @@ type Result struct {
 	Depth map[string]int
 	// Trace lists the chase steps in order when Options.Trace was set.
 	Trace []Step
+	// Stats holds the always-on run counters (rounds, triggers, nulls,
+	// merges). Unlike Trace these cost a handful of integer increments,
+	// so they are collected unconditionally; with Trace on, TriggersFired
+	// equals the number of tgd entries and Merges the number of merge
+	// entries in the trace.
+	Stats obs.ChaseStats
 }
 
 // Run chases db with the dependency set under the given options. The
@@ -118,6 +125,13 @@ func Run(db *instance.Instance, set *deps.Set, opt Options) (*Result, error) {
 	if err := st.run(); err != nil {
 		return nil, err
 	}
+	st.stats.Atoms = st.inst.Len()
+	st.stats.Complete = st.complete
+	obs.ChaseRuns.Add(1)
+	obs.ChaseRounds.Add(int64(st.stats.Rounds))
+	obs.ChaseTriggersFired.Add(int64(st.stats.TriggersFired))
+	obs.ChaseNulls.Add(int64(st.stats.NullsCreated))
+	obs.ChaseMerges.Add(int64(st.stats.Merges))
 	return &Result{
 		Instance: st.inst,
 		Complete: st.complete,
@@ -125,6 +139,7 @@ func Run(db *instance.Instance, set *deps.Set, opt Options) (*Result, error) {
 		Merges:   st.merges,
 		Depth:    st.depth,
 		Trace:    st.trace,
+		Stats:    st.stats,
 	}, nil
 }
 
@@ -154,6 +169,7 @@ type state struct {
 	merges   term.Subst
 	depth    map[string]int
 	trace    []Step
+	stats    obs.ChaseStats
 	// fired remembers body-homomorphism fingerprints for the oblivious
 	// chase so each trigger fires at most once.
 	fired map[string]bool
@@ -193,6 +209,7 @@ func (s *state) run() error {
 // nothing left the instance untouched, so its snapshot was current and
 // the fixpoint claim is exact in both modes.
 func (s *state) tgdPass() (progressed, truncated bool, err error) {
+	s.stats.Rounds++
 	var collected [][]trigger
 	if s.opt.Parallelism > 1 && len(s.set.TGDs) > 1 {
 		collected = s.collectTriggersParallel()
@@ -204,6 +221,7 @@ func (s *state) tgdPass() (progressed, truncated bool, err error) {
 		} else {
 			triggers = s.collectTriggers(t)
 		}
+		s.stats.TriggersCollected += len(triggers)
 		for _, trig := range triggers {
 			if s.steps >= s.opt.MaxSteps || s.inst.Len() >= s.opt.MaxAtoms {
 				return progressed, true, nil
@@ -311,6 +329,7 @@ func (s *state) fire(t *deps.TGD, frontier term.Subst, depth int) {
 	sub := frontier.Clone()
 	for _, z := range t.ExistentialVars() {
 		sub[z] = term.FreshNull()
+		s.stats.NullsCreated++
 	}
 	var step *Step
 	if s.opt.Trace {
@@ -340,6 +359,7 @@ func (s *state) fire(t *deps.TGD, frontier term.Subst, depth int) {
 		s.trace = append(s.trace, *step)
 	}
 	s.steps++
+	s.stats.TriggersFired++
 }
 
 // egdFixpoint applies egds until none is applicable, identifying terms.
@@ -409,6 +429,7 @@ func (s *state) egdStep() (bool, error) {
 
 // replace rewrites old→new everywhere, maintaining merges and depths.
 func (s *state) replace(old, new term.Term) {
+	s.stats.Merges++
 	if s.opt.Trace {
 		s.trace = append(s.trace, Step{TGD: -1, Merged: [2]term.Term{old, new}})
 	}

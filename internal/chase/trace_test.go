@@ -60,3 +60,91 @@ func TestTraceOffByDefault(t *testing.T) {
 		t.Errorf("trace recorded without opt-in: %v", res.Trace)
 	}
 }
+
+// traceCounts splits a trace into tgd firings and merges — the two
+// event kinds the always-on stats counters must agree with.
+func traceCounts(trace []Step) (fired, merged int) {
+	for _, s := range trace {
+		if s.TGD >= 0 {
+			fired++
+		} else {
+			merged++
+		}
+	}
+	return fired, merged
+}
+
+// TestStatsAgreeWithTrace: the always-on counters are the cheap view of
+// what the opt-in trace records event by event — TriggersFired must
+// equal the tgd entries and Merges the merge entries, on tgd-only,
+// egd-only and mixed runs.
+func TestStatsAgreeWithTrace(t *testing.T) {
+	n := term.FreshNull()
+	cases := []struct {
+		name string
+		set  *deps.Set
+		db   *instance.Instance
+	}{
+		{"tgd-chain", deps.MustParse("A(x) -> B(x).\nB(x) -> C(x)."),
+			instance.MustFromAtoms(instance.NewAtom("A", term.Const("a")))},
+		{"egd-merge", deps.MustParse("R(x,y), R(x,z) -> y = z."),
+			instance.MustFromAtoms(
+				instance.NewAtom("R", term.Const("k"), term.Const("a")),
+				instance.NewAtom("R", term.Const("k"), n))},
+		{"mixed", deps.MustParse("A(x) -> R(x,z).\nR(x,y), R(x,z) -> y = z."),
+			instance.MustFromAtoms(
+				instance.NewAtom("A", term.Const("a")),
+				instance.NewAtom("R", term.Const("a"), term.Const("b")))},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Run(c.db, c.set, Options{Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fired, merged := traceCounts(res.Trace)
+			if res.Stats.TriggersFired != fired {
+				t.Errorf("TriggersFired=%d, trace has %d tgd entries", res.Stats.TriggersFired, fired)
+			}
+			if res.Stats.Merges != merged {
+				t.Errorf("Merges=%d, trace has %d merge entries", res.Stats.Merges, merged)
+			}
+			if res.Stats.TriggersFired != res.Steps {
+				t.Errorf("TriggersFired=%d, Steps=%d", res.Stats.TriggersFired, res.Steps)
+			}
+			if res.Stats.Atoms != res.Instance.Len() {
+				t.Errorf("Stats.Atoms=%d, instance has %d", res.Stats.Atoms, res.Instance.Len())
+			}
+		})
+	}
+}
+
+// TestStatsAlwaysOn: the counters populate without Options.Trace — they
+// are the always-on layer; the structural trace stays opt-in.
+func TestStatsAlwaysOn(t *testing.T) {
+	set := deps.MustParse("A(x) -> B(x,z).\nB(x,y) -> C(y).")
+	db := instance.MustFromAtoms(instance.NewAtom("A", term.Const("a")))
+	res, err := Run(db, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatalf("trace recorded without opt-in")
+	}
+	st := res.Stats
+	if st.TriggersFired != 2 {
+		t.Errorf("TriggersFired=%d, want 2", st.TriggersFired)
+	}
+	if st.NullsCreated != 1 {
+		t.Errorf("NullsCreated=%d, want 1 (the existential z)", st.NullsCreated)
+	}
+	if st.Rounds < 2 {
+		t.Errorf("Rounds=%d, want ≥2 (two strata plus the certifying pass)", st.Rounds)
+	}
+	if !st.Complete {
+		t.Error("terminating chase not marked Complete")
+	}
+	if st.TriggersCollected < st.TriggersFired {
+		t.Errorf("TriggersCollected=%d < TriggersFired=%d", st.TriggersCollected, st.TriggersFired)
+	}
+}

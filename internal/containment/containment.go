@@ -18,11 +18,13 @@ package containment
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"semacyclic/internal/chase"
 	"semacyclic/internal/cq"
 	"semacyclic/internal/deps"
 	"semacyclic/internal/hom"
+	"semacyclic/internal/obs"
 	"semacyclic/internal/rewrite"
 )
 
@@ -58,13 +60,11 @@ type Decision struct {
 // Contains decides q ⊆Σ q'. See the package comment for the guarantees
 // attached to the returned Decision.
 func Contains(q, qp *cq.CQ, set *deps.Set, opt Options) (Decision, error) {
+	obs.ContainmentChecks.Add(1)
 	if len(q.Free) != len(qp.Free) {
 		return Decision{Holds: false, Definitive: true, Method: MethodPlain}, nil
 	}
-	m := opt.Method
-	if m == "" {
-		m = pickMethod(set)
-	}
+	m := SelectMethod(set, opt)
 	switch m {
 	case MethodPlain:
 		return Decision{Holds: hom.Contained(q, qp), Definitive: true, Method: MethodPlain}, nil
@@ -75,6 +75,17 @@ func Contains(q, qp *cq.CQ, set *deps.Set, opt Options) (Decision, error) {
 	default:
 		return Decision{}, fmt.Errorf("containment: unknown method %q", m)
 	}
+}
+
+// SelectMethod resolves the decision procedure a Contains/Prepare call
+// with these options would run: the forced Options.Method when set,
+// else the per-class default. Exposed so the observability layer can
+// report the method even when no Prepared checker was built.
+func SelectMethod(set *deps.Set, opt Options) Method {
+	if opt.Method != "" {
+		return opt.Method
+	}
+	return pickMethod(set)
 }
 
 // pickMethod selects the default decision procedure for the set.
@@ -156,21 +167,20 @@ func rewriteContains(q, qp *cq.CQ, set *deps.Set, opt Options) (Decision, error)
 // — the UCQ rewriting of q' for sticky sets, which is worst-case
 // exponential and identical across calls. Check(q) returns exactly what
 // Contains(q, q', Σ, opt) would. A Prepared value is immutable after
-// Prepare and safe for concurrent Check calls.
+// Prepare — except the Checks reuse counter, an atomic — and safe for
+// concurrent Check calls.
 type Prepared struct {
-	qp  *cq.CQ
-	set *deps.Set
-	opt Options
-	m   Method
-	rw  *rewrite.Result // only for MethodRewrite
+	qp     *cq.CQ
+	set    *deps.Set
+	opt    Options
+	m      Method
+	rw     *rewrite.Result // only for MethodRewrite
+	checks atomic.Int64    // Check calls served — the Prepare reuse count
 }
 
 // Prepare builds a Prepared checker for the fixed right-hand side q'.
 func Prepare(qp *cq.CQ, set *deps.Set, opt Options) (*Prepared, error) {
-	m := opt.Method
-	if m == "" {
-		m = pickMethod(set)
-	}
+	m := SelectMethod(set, opt)
 	p := &Prepared{qp: qp, set: set, opt: opt, m: m}
 	if m == MethodRewrite {
 		rw, err := rewrite.Rewrite(qp, set, opt.Rewrite)
@@ -187,6 +197,8 @@ func Prepare(qp *cq.CQ, set *deps.Set, opt Options) (*Prepared, error) {
 
 // Check decides q ⊆Σ q' for the prepared right-hand side.
 func (p *Prepared) Check(q *cq.CQ) (Decision, error) {
+	p.checks.Add(1)
+	obs.ContainmentChecks.Add(1)
 	if len(q.Free) != len(p.qp.Free) {
 		return Decision{Holds: false, Definitive: true, Method: MethodPlain}, nil
 	}
@@ -206,6 +218,24 @@ func (p *Prepared) Check(q *cq.CQ) (Decision, error) {
 		// call; the depth budget above is the only precomputable part.
 		return chaseContains(q, p.qp, p.set, p.m, p.opt)
 	}
+}
+
+// Checks returns the number of Check calls this prepared right-hand
+// side has served — the reuse count that measures what Prepare's
+// hoisting amortized.
+func (p *Prepared) Checks() int64 { return p.checks.Load() }
+
+// SelectedMethod returns the decision procedure Prepare resolved.
+func (p *Prepared) SelectedMethod() Method { return p.m }
+
+// RewriteSize reports the size of the hoisted UCQ rewriting and whether
+// it was exhaustive; (0, true) when the selected method does not
+// rewrite.
+func (p *Prepared) RewriteSize() (disjuncts int, complete bool) {
+	if p.rw == nil {
+		return 0, true
+	}
+	return len(p.rw.UCQ.Disjuncts), p.rw.Complete
 }
 
 // Equivalent decides q ≡Σ q' as two containment checks. The decision is

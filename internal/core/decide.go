@@ -23,12 +23,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"semacyclic/internal/containment"
 	"semacyclic/internal/cq"
 	"semacyclic/internal/deps"
 	"semacyclic/internal/hom"
 	"semacyclic/internal/hypergraph"
+	"semacyclic/internal/obs"
 	"semacyclic/internal/rewrite"
 )
 
@@ -88,6 +90,14 @@ type Options struct {
 	// functions, so the decision is identical either way — only the
 	// cost changes.
 	DisableSearchMemo bool
+	// DisableStats turns off per-decision stats collection: Result.Stats
+	// is then nil and the engines skip their counter flushes. Like
+	// DisableSearchMemo this is a benchmarking ablation knob — stats
+	// collection never influences the verdict or witness, only the cost,
+	// and the stats-overhead arm of the BENCH_* trajectory measures that
+	// cost against this baseline. The process-global obs counters stay on
+	// regardless (they are not per-decision state).
+	DisableStats bool
 }
 
 // ErrCancelled reports that a decision was aborted via Options.Cancel.
@@ -124,28 +134,65 @@ type Result struct {
 	Bound int
 	// Candidates counts queries examined across layers.
 	Candidates int
+	// Stats is the decision's observability snapshot (nil when
+	// Options.DisableStats). Collection is passive: the verdict, witness
+	// and determinism contract are identical with stats on or off.
+	Stats *obs.Stats
 }
 
 // Decide determines whether q is semantically acyclic under the set.
 func Decide(q *cq.CQ, set *deps.Set, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	var st *obs.Stats
+	if !opt.DisableStats {
+		st = obs.NewStats()
+	}
+	start := time.Now()
+	snap := obs.TakeSnapshot()
+	res, err := decide(q, set, opt, st)
+	if err != nil {
+		return nil, err
+	}
+	obs.Decisions.Add(1)
+	if st != nil {
+		st.WallNS = time.Since(start).Nanoseconds()
+		st.Hom = snap.HomDelta()
+		res.Stats = st
+	}
+	return res, nil
+}
+
+// decide is the layered procedure; st (nil = collection off) receives
+// per-layer records as each layer completes.
+func decide(q *cq.CQ, set *deps.Set, opt Options, st *obs.Stats) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %v", err)
 	}
 	if set == nil {
 		set = &deps.Set{}
 	}
+	layerStart := time.Now()
+	record := func(name string, candidates int) {
+		if st != nil {
+			now := time.Now()
+			st.AddLayer(name, candidates, now.Sub(layerStart).Nanoseconds())
+			layerStart = now
+		}
+	}
 
 	// Layer 1: the classical no-constraint criterion. Sound under any
 	// Σ: if core(q) is acyclic then q ≡ core(q) ≡Σ core(q).
 	c := hom.Core(q)
 	if hypergraph.IsAcyclic(c.Atoms) {
+		record("core", 1)
 		return &Result{Verdict: Yes, Witness: c, Definitive: true, Layer: "core", Candidates: 1}, nil
 	}
 	if set.Len() == 0 {
 		// Without constraints, semantic acyclicity ⇔ core acyclic.
+		record("core", 1)
 		return &Result{Verdict: No, Definitive: true, Layer: "core", Candidates: 1}, nil
 	}
+	record("core", 1)
 
 	// Σ-unsatisfiable queries (failing egd chase) are equivalent to any
 	// acyclic Σ-unsatisfiable query; handle them before the chase-based
@@ -153,8 +200,10 @@ func Decide(q *cq.CQ, set *deps.Set, opt Options) (*Result, error) {
 	if res, handled, err := decideUnsatisfiable(q, set, opt); err != nil {
 		return nil, err
 	} else if handled {
+		record("unsatisfiable", res.Candidates)
 		return res, nil
 	}
+	record("unsatisfiable", 0)
 
 	bound := witnessBound(q, set, opt)
 	res := &Result{Bound: bound}
@@ -164,6 +213,7 @@ func Decide(q *cq.CQ, set *deps.Set, opt Options) (*Result, error) {
 		return nil, err
 	} else {
 		res.Candidates += n
+		record("quotient", n)
 		if w != nil {
 			res.Verdict, res.Witness, res.Definitive, res.Layer = Yes, polishWitness(w), true, "quotient"
 			return res, nil
@@ -175,6 +225,7 @@ func Decide(q *cq.CQ, set *deps.Set, opt Options) (*Result, error) {
 		return nil, err
 	} else {
 		res.Candidates += n
+		record("chase-subset", n)
 		if w != nil {
 			res.Verdict, res.Witness, res.Definitive, res.Layer = Yes, polishWitness(w), true, "chase-subset"
 			return res, nil
@@ -183,11 +234,19 @@ func Decide(q *cq.CQ, set *deps.Set, opt Options) (*Result, error) {
 
 	// Layer 4: complete bounded enumeration.
 	if !opt.SkipCompleteSearch && bound > 0 {
-		w, n, exhausted, err := SearchComplete(q, set, opt, bound)
+		w, n, exhausted, err := searchComplete(q, set, opt, bound, st)
 		if err != nil {
 			return nil, err
 		}
 		res.Candidates += n
+		// The layer record uses the DETERMINISTIC decisive count — -1
+		// sentinel included; the raw examined count is scheduling-
+		// dependent and stays in Search.CandidatesObserved.
+		layerN := n
+		if st != nil {
+			layerN = st.Search.Candidates
+		}
+		record("complete", layerN)
 		if w != nil {
 			res.Verdict, res.Witness, res.Definitive, res.Layer = Yes, polishWitness(w), true, "complete"
 			return res, nil

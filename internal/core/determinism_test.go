@@ -144,6 +144,128 @@ func TestSearchCompleteDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestStatsDeterministicAcrossParallelism: the fields obs classifies as
+// DETERMINISTIC must be byte-identical at -j 1, 4 and 8 — the stats
+// extension of the determinism contract. Run under -race this also
+// exercises the collection-side synchronization (per-branch flushes,
+// worker-slot writes).
+func TestStatsDeterministicAcrossParallelism(t *testing.T) {
+	for _, c := range determinismCorpus() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var want string
+			for _, j := range []int{1, 4, 8} {
+				res, err := Decide(c.q, c.set, Options{Parallelism: j, SearchBudget: 1500, MaxWitnessSize: 5})
+				if err != nil {
+					t.Fatalf("-j %d: %v", j, err)
+				}
+				if res.Stats == nil {
+					t.Fatalf("-j %d: stats collection is on by default, got nil", j)
+				}
+				got := res.Stats.DeterministicFingerprint()
+				if j == 1 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("-j %d stats diverged:\n  -j 1: %s\n  -j %d: %s", j, want, j, got)
+				}
+			}
+		})
+	}
+}
+
+// TestStatsDeterministicAcrossMemo: the memo ablation recomputes the
+// same pure functions, so the chase and search deterministic fields are
+// unchanged. The containment group is excluded by design: with the memo
+// off no Prepared checker exists and RewriteDisjuncts is the -1
+// sentinel.
+func TestStatsDeterministicAcrossMemo(t *testing.T) {
+	for _, c := range determinismCorpus() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			bound := witnessBound(c.q, c.set, Options{})
+			if bound <= 0 || bound > 6 {
+				bound = 6
+			}
+			var want string
+			for i, opt := range []Options{
+				{Parallelism: 1, SearchBudget: 1500},
+				{Parallelism: 4, SearchBudget: 1500, DisableSearchMemo: true},
+			} {
+				_, st, _, _, err := SearchCompleteStats(c.q, c.set, opt, bound)
+				if err != nil {
+					t.Fatalf("opt %+v: %v", opt, err)
+				}
+				got := st.Chase.Fingerprint() + " " + st.Search.Fingerprint()
+				if i == 0 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("memo ablation changed deterministic stats:\n  memo:   %s\n  nomemo: %s", want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestDisableStatsSameAnswer: stats collection is passive — turning it
+// off must not change the verdict, witness or definitiveness, and must
+// leave Result.Stats nil.
+func TestDisableStatsSameAnswer(t *testing.T) {
+	for _, c := range determinismCorpus() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			on, err := Decide(c.q, c.set, Options{SearchBudget: 1500, MaxWitnessSize: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			off, err := Decide(c.q, c.set, Options{SearchBudget: 1500, MaxWitnessSize: 5, DisableStats: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if off.Stats != nil {
+				t.Error("DisableStats left Result.Stats non-nil")
+			}
+			if got, want := fingerprintResult(off), fingerprintResult(on); got != want {
+				t.Errorf("DisableStats changed the answer:\n  on:  %s\n  off: %s", want, got)
+			}
+		})
+	}
+}
+
+// TestStatsDecisiveCandidatesSequential: at -j 1 the decisive candidate
+// count on non-truncated runs is just the examined count — pin the two
+// together so the decisive aggregation cannot silently drift from the
+// sequential meaning it encodes.
+func TestStatsDecisiveCandidatesSequential(t *testing.T) {
+	for _, c := range determinismCorpus() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			bound := witnessBound(c.q, c.set, Options{})
+			if bound <= 0 || bound > 6 {
+				bound = 6
+			}
+			w, st, examined, exhausted, err := SearchCompleteStats(c.q, c.set, Options{Parallelism: 1, SearchBudget: 1500}, bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch {
+			case w != nil || exhausted:
+				if st.Search.Candidates != examined {
+					t.Errorf("sequential decisive=%d, examined=%d (witness=%v exhausted=%v)",
+						st.Search.Candidates, examined, w != nil, exhausted)
+				}
+			default:
+				if st.Search.Candidates != -1 {
+					t.Errorf("truncated no-witness run: decisive=%d, want -1 sentinel", st.Search.Candidates)
+				}
+			}
+		})
+	}
+}
+
 // TestParallelSearchSharedBudgetStops: a starved budget must stop the
 // parallel search without claiming exhaustion, at every -j.
 func TestParallelSearchSharedBudgetStops(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 	"semacyclic/internal/hom"
 	"semacyclic/internal/hypergraph"
 	"semacyclic/internal/instance"
+	"semacyclic/internal/obs"
 	"semacyclic/internal/schema"
 	"semacyclic/internal/term"
 )
@@ -86,6 +87,42 @@ type searchEngine struct {
 	// right-hand side q (nil when memoization is disabled, in which
 	// case every verification re-derives the right-hand side).
 	checker *containment.Prepared
+
+	// st receives the run's observability counters; nil disables
+	// collection entirely (the benchmarking baseline). Shared counters
+	// are aggregated per branch in a local branchStats and flushed with
+	// a handful of atomic adds when the branch ends, so the enumeration
+	// hot loop pays plain increments only.
+	st             *obs.Stats
+	prunedByHom    atomic.Int64
+	verified       atomic.Int64
+	indefinite     atomic.Int64
+	pruneHits      atomic.Int64
+	pruneMisses    atomic.Int64
+	candHits       atomic.Int64
+	candMisses     atomic.Int64
+	workerBranches []int64 // one slot per worker, written only by its owner
+}
+
+// branchStats accumulates one branch's counters locally; flush moves
+// them to the engine aggregates in O(1) atomic operations.
+type branchStats struct {
+	pruned, pruneHits, pruneMisses int64
+	candHits, candMisses           int64
+	verified, indefinite           int64
+}
+
+func (e *searchEngine) flush(bs *branchStats) {
+	if e.st == nil {
+		return
+	}
+	e.prunedByHom.Add(bs.pruned)
+	e.pruneHits.Add(bs.pruneHits)
+	e.pruneMisses.Add(bs.pruneMisses)
+	e.candHits.Add(bs.candHits)
+	e.candMisses.Add(bs.candMisses)
+	e.verified.Add(bs.verified)
+	e.indefinite.Add(bs.indefinite)
 }
 
 // pruneMemoMinTarget is the chase-target size below which the pinned
@@ -110,6 +147,7 @@ type branch struct {
 type branchOutcome struct {
 	witness  *cq.CQ
 	complete bool // subtree fully enumerated: no truncation, no indefinite verdicts
+	examined int  // verification slots this branch was granted (deterministic per branch)
 	err      error
 }
 
@@ -165,16 +203,24 @@ func (e *searchEngine) run() (*cq.CQ, int, bool, error) {
 	if workers > len(branches) {
 		workers = len(branches)
 	}
+	if e.st != nil {
+		e.st.Search.Branches = len(branches)
+		e.st.Search.Workers = workers
+		e.workerBranches = make([]int64, workers)
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				idx := int(next.Add(1) - 1)
 				if idx >= len(branches) {
 					return
+				}
+				if e.workerBranches != nil {
+					e.workerBranches[w]++
 				}
 				switch {
 				case e.aborted.Load():
@@ -199,7 +245,7 @@ func (e *searchEngine) run() (*cq.CQ, int, bool, error) {
 					outcomes[idx] = oc
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 
@@ -220,15 +266,65 @@ func (e *searchEngine) run() (*cq.CQ, int, bool, error) {
 	// reached, so claiming it would make the answer depend on
 	// scheduling. (The suppressed witness was still verified; the run
 	// just reports a non-exhaustive miss, identically at every -j.)
-	for _, oc := range outcomes {
+	//
+	// The scan also accumulates the DETERMINISTIC decisive-candidate
+	// count: the verifications the sequential order performs up to the
+	// decision point. A returned witness at branch w implies branches
+	// < w completed (their per-branch counts are schedule-free) and
+	// branch w stopped depth-first at its first witness (its prefix
+	// count is schedule-free too — an earlier refusal in the branch
+	// would have emptied the shared pot and refused the witness as
+	// well). An exhausted run completed every branch. A truncated
+	// no-witness run has no reconstructible sequential prefix: -1.
+	decisive := 0
+	for i, oc := range outcomes {
 		if oc.witness != nil {
+			decisive += oc.examined
+			e.fillStats(examined, decisive, i, false)
 			return oc.witness, examined, false, nil
 		}
 		if !oc.complete {
+			e.fillStats(examined, -1, -1, false)
 			return nil, examined, false, nil
 		}
+		decisive += oc.examined
 	}
+	e.fillStats(examined, decisive, -1, true)
 	return nil, examined, true, nil
+}
+
+// fillStats writes the run's counters into the attached obs.Stats.
+func (e *searchEngine) fillStats(examined, decisive, winner int, exhausted bool) {
+	if e.st == nil {
+		return
+	}
+	s := &e.st.Search
+	s.Bound = e.bound
+	s.Budget = int(e.budget)
+	s.WinnerBranch = winner
+	s.Exhausted = exhausted
+	s.Candidates = decisive
+	s.CandidatesObserved = examined
+	s.NodesVisited = e.steps.Load()
+	s.PrunedByHom = e.prunedByHom.Load()
+	s.Verified = e.verified.Load()
+	s.Indefinite = e.indefinite.Load()
+	s.PruneMemoHits = e.pruneHits.Load()
+	s.PruneMemoMisses = e.pruneMisses.Load()
+	s.CandMemoHits = e.candHits.Load()
+	s.CandMemoMisses = e.candMisses.Load()
+	s.WorkerBranches = e.workerBranches
+	c := &e.st.Containment
+	if e.checker != nil {
+		c.Method = string(e.checker.SelectedMethod())
+		c.RewriteDisjuncts, c.RewriteComplete = e.checker.RewriteSize()
+		c.PreparedChecks = e.checker.Checks()
+	} else {
+		c.Method = string(containment.SelectMethod(e.set, e.opt.Containment))
+		c.RewriteDisjuncts = -1 // no prepared rewriting (memo disabled)
+	}
+	obs.SearchRuns.Add(1)
+	obs.SearchCandidates.Add(int64(examined))
 }
 
 // runBranch explores one branch's subtree depth-first, mirroring the
@@ -237,6 +333,8 @@ func (e *searchEngine) run() (*cq.CQ, int, bool, error) {
 // containment, extend canonically up to the bound.
 func (e *searchEngine) runBranch(idx int, b branch) (out branchOutcome) {
 	out.complete = true
+	var bs branchStats
+	defer e.flush(&bs)
 
 	// tryCandidate verifies a complete candidate. The enumeration
 	// pruning has already certified q ⊆Σ cand — the candidate has a
@@ -258,7 +356,8 @@ func (e *searchEngine) runBranch(idx int, b branch) (out branchOutcome) {
 			out.complete = false
 			return false, nil
 		}
-		v, err := e.verifyMemo(cand)
+		out.examined++
+		v, err := e.verifyMemo(cand, &bs)
 		if err != nil {
 			return false, err
 		}
@@ -268,6 +367,7 @@ func (e *searchEngine) runBranch(idx int, b branch) (out branchOutcome) {
 		}
 		if !v.definitive {
 			out.complete = false
+			bs.indefinite++
 		}
 		return false, nil
 	}
@@ -295,7 +395,8 @@ func (e *searchEngine) runBranch(idx int, b branch) (out branchOutcome) {
 		}
 		// Prune: q ⊆Σ candidate requires a pinned homomorphism of the
 		// candidate into chase(q,Σ).
-		if !e.pinnedHomExists(atoms) {
+		if !e.pinnedHomExists(atoms, &bs) {
+			bs.pruned++
 			return false, nil
 		}
 		if done, err := tryCandidate(atoms); err != nil || done {
@@ -360,7 +461,7 @@ func (e *searchEngine) runBranch(idx int, b branch) (out branchOutcome) {
 // essentially one naming — so the hits that matter come from
 // isomorphic prefixes in sibling subtrees, which an order-insensitive
 // but renaming-sensitive fingerprint would all miss.
-func (e *searchEngine) pinnedHomExists(atoms []instance.Atom) bool {
+func (e *searchEngine) pinnedHomExists(atoms []instance.Atom, bs *branchStats) bool {
 	// The memo key (a canonical form) costs about as much as the
 	// homomorphism test it avoids when the target chase is small or the
 	// prefix short — and short prefixes have the fewest isomorphic
@@ -372,8 +473,10 @@ func (e *searchEngine) pinnedHomExists(atoms []instance.Atom) bool {
 	prefix := cq.CQ{Name: e.q.Name, Free: e.free, Atoms: atoms}
 	fp := prefix.CanonicalKey()
 	if v, ok := e.pruneMemo.Load(fp); ok {
+		bs.pruneHits++
 		return v.(bool)
 	}
+	bs.pruneMisses++
 	ok := hom.Exists(atoms, e.target, e.pin)
 	e.pruneMemo.Store(fp, ok)
 	return ok
@@ -383,14 +486,17 @@ func (e *searchEngine) pinnedHomExists(atoms []instance.Atom) bool {
 // candidate's renaming-invariant canonical key so the up-to-k!
 // permutations of a k-atom candidate pay for one chase-based
 // verification between them.
-func (e *searchEngine) verifyMemo(cand *cq.CQ) (candVerdict, error) {
+func (e *searchEngine) verifyMemo(cand *cq.CQ, bs *branchStats) (candVerdict, error) {
 	var key string
 	if !e.opt.DisableSearchMemo {
 		key = cand.CanonicalKey()
 		if v, ok := e.candMemo.Load(key); ok {
+			bs.candHits++
 			return v.(candVerdict), nil
 		}
+		bs.candMisses++
 	}
+	bs.verified++
 	var dec containment.Decision
 	var err error
 	if e.checker != nil {

@@ -8,6 +8,7 @@ import (
 	"semacyclic/internal/cq"
 	"semacyclic/internal/deps"
 	"semacyclic/internal/instance"
+	"semacyclic/internal/obs"
 	"semacyclic/internal/term"
 )
 
@@ -32,7 +33,27 @@ import (
 //
 // Exported within the module so cmd/experiments can benchmark layer 4
 // directly; the public facade does not re-export it.
+//
+// SearchComplete collects no observability counters — it is the
+// zero-overhead baseline the stats-overhead benchmark compares against.
+// Use SearchCompleteStats to get the same answer plus an obs.Stats.
 func SearchComplete(q *cq.CQ, set *deps.Set, opt Options, bound int) (*cq.CQ, int, bool, error) {
+	return searchComplete(q, set, opt, bound, nil)
+}
+
+// SearchCompleteStats is SearchComplete with observability: it returns
+// the identical witness/examined/exhausted answer (stats collection
+// never influences the search; see the determinism contract in
+// psearch.go) plus the run's counters. The returned Stats carries the
+// chase, search and containment sections; Hom and Layers are left to
+// Decide, which owns the process-wide delta and the pipeline view.
+func SearchCompleteStats(q *cq.CQ, set *deps.Set, opt Options, bound int) (*cq.CQ, *obs.Stats, int, bool, error) {
+	st := obs.NewStats()
+	witness, examined, exhausted, err := searchComplete(q, set, opt, bound, st)
+	return witness, st, examined, exhausted, err
+}
+
+func searchComplete(q *cq.CQ, set *deps.Set, opt Options, bound int, st *obs.Stats) (*cq.CQ, int, bool, error) {
 	opt = opt.withDefaults()
 	sch, err := q.Schema().Union(set.Schema())
 	if err != nil {
@@ -64,11 +85,20 @@ func SearchComplete(q *cq.CQ, set *deps.Set, opt Options, bound int) (*cq.CQ, in
 		// unsatisfiable queries before this layer); no claims here.
 		return nil, 0, false, nil
 	}
+	if st != nil {
+		st.Chase = chres.Stats
+		st.Search.Bound = bound
+		st.Search.Budget = opt.SearchBudget
+	}
 
 	// Pin the candidate's free variables to the frozen head tuple.
 	pin := term.NewSubst()
 	for i, x := range q.Free {
 		if prev, ok := pin[x]; ok && prev != frozen[i] {
+			if st != nil {
+				st.Search.Exhausted = chres.Complete
+				st.Search.Candidates = 0
+			}
 			return nil, 0, chres.Complete, nil
 		}
 		pin[x] = frozen[i]
@@ -87,6 +117,7 @@ func SearchComplete(q *cq.CQ, set *deps.Set, opt Options, bound int) (*cq.CQ, in
 		free:     append([]term.Term(nil), q.Free...),
 		budget:   int64(opt.SearchBudget),
 		maxSteps: 50 * int64(opt.SearchBudget),
+		st:       st,
 	}
 	if !opt.DisableSearchMemo {
 		// Prepare the fixed right-hand side of every verification once:
@@ -107,7 +138,14 @@ func SearchComplete(q *cq.CQ, set *deps.Set, opt Options, bound int) (*cq.CQ, in
 	if witness != nil {
 		return witness, examined, false, nil
 	}
-	return nil, examined, exhausted && chres.Complete && !capped, nil
+	exhausted = exhausted && chres.Complete && !capped
+	if st != nil {
+		// fillStats recorded the enumerator's own exhaustion; fold in the
+		// chase-completeness and depth-cap conditions so the reported flag
+		// matches the returned one.
+		st.Search.Exhausted = exhausted
+	}
+	return nil, examined, exhausted, nil
 }
 
 // argumentPool lists the terms an atom argument may take: the query's

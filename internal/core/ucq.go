@@ -25,6 +25,9 @@ type UCQResult struct {
 	// disjunct (nil entries for redundant ones).
 	PerDisjunct []*Result
 	Definitive  bool
+	// RedundancyChecks counts the containment tests the redundancy-
+	// marking phase ran. DETERMINISTIC: the phase is sequential.
+	RedundancyChecks int
 }
 
 // DecideUCQ determines whether the UCQ is equivalent under Σ to a
@@ -49,6 +52,7 @@ func DecideUCQ(u *cq.UCQ, set *deps.Set, opt Options) (*UCQResult, error) {
 			if i == j || out.Redundant[j] {
 				continue
 			}
+			out.RedundancyChecks++
 			dec, err := containment.Contains(qi, qj, set, opt.Containment)
 			if err != nil {
 				return nil, err
@@ -57,6 +61,7 @@ func DecideUCQ(u *cq.UCQ, set *deps.Set, opt Options) (*UCQResult, error) {
 				out.Definitive = false
 			}
 			if dec.Holds {
+				out.RedundancyChecks++
 				back, err := containment.Contains(qj, qi, set, opt.Containment)
 				if err != nil {
 					return nil, err

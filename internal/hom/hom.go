@@ -10,6 +10,7 @@ import (
 
 	"semacyclic/internal/cq"
 	"semacyclic/internal/instance"
+	"semacyclic/internal/obs"
 	"semacyclic/internal/term"
 )
 
@@ -88,6 +89,10 @@ func Enumerate(pattern []instance.Atom, target *instance.Instance, init term.Sub
 		sub = term.NewSubst()
 	}
 	ordered := orderAtoms(pattern, sub)
+	// Backtracks are counted in a local and flushed to the process-
+	// global counter once per enumeration: the hot loop pays a plain
+	// increment, the observability layer two atomic adds per call.
+	var backtracks int64
 	var rec func(i int) bool
 	rec = func(i int) bool {
 		if i == len(ordered) {
@@ -97,6 +102,7 @@ func Enumerate(pattern []instance.Atom, target *instance.Instance, init term.Sub
 		for _, cand := range candidates(target, a, sub) {
 			added, ok := term.MatchTuple(sub, a.Args, cand.Args)
 			if !ok {
+				backtracks++
 				continue
 			}
 			cont := rec(i + 1)
@@ -108,6 +114,10 @@ func Enumerate(pattern []instance.Atom, target *instance.Instance, init term.Sub
 		return true
 	}
 	rec(0)
+	obs.HomEnumerations.Add(1)
+	if backtracks > 0 {
+		obs.HomBacktracks.Add(backtracks)
+	}
 }
 
 // Find returns one homomorphism extending init, or nil/false.

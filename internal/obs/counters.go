@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a named process-global counter: always-on, lock-free, and
+// publishable through expvar. Counters only ever grow; readers take
+// snapshots and diff them.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Name returns the counter's expvar name.
+func (c *Counter) Name() string { return c.name }
+
+var registry []*Counter
+
+func reg(name string) *Counter {
+	c := &Counter{name: name}
+	registry = append(registry, c)
+	return c
+}
+
+// The process-global always-on counters. Cumulative across the process
+// lifetime; all NONDETERMINISTIC in the per-run sense (they aggregate
+// every goroutine's work).
+var (
+	// Decisions counts core.Decide calls completed.
+	Decisions = reg("semacyclic.decisions")
+
+	// ChaseRuns / ChaseRounds / ChaseTriggersFired / ChaseNulls /
+	// ChaseMerges aggregate the chase engine's work.
+	ChaseRuns          = reg("semacyclic.chase.runs")
+	ChaseRounds        = reg("semacyclic.chase.rounds")
+	ChaseTriggersFired = reg("semacyclic.chase.triggers_fired")
+	ChaseNulls         = reg("semacyclic.chase.nulls_created")
+	ChaseMerges        = reg("semacyclic.chase.merges")
+
+	// SearchRuns / SearchCandidates aggregate the layer-4 enumerator.
+	SearchRuns       = reg("semacyclic.search.runs")
+	SearchCandidates = reg("semacyclic.search.candidates")
+
+	// ContainmentChecks counts containment decisions (Contains and
+	// Prepared.Check calls).
+	ContainmentChecks = reg("semacyclic.containment.checks")
+
+	// HomEnumerations / HomBacktracks aggregate the backtracking
+	// homomorphism engine — the innermost hot loop of everything.
+	HomEnumerations = reg("semacyclic.hom.enumerations")
+	HomBacktracks   = reg("semacyclic.hom.backtracks")
+)
+
+// Snapshot is a point-in-time copy of every global counter, for
+// computing deltas across a region of work.
+type Snapshot map[string]int64
+
+// TakeSnapshot copies the current global counter values.
+func TakeSnapshot() Snapshot {
+	s := make(Snapshot, len(registry))
+	for _, c := range registry {
+		s[c.name] = c.Load()
+	}
+	return s
+}
+
+// HomDelta returns the homomorphism-engine counters accumulated since
+// the snapshot was taken. Process-global: concurrent work by other
+// goroutines is included (see HomStats).
+func (s Snapshot) HomDelta() HomStats {
+	return HomStats{
+		Enumerations: HomEnumerations.Load() - s[HomEnumerations.Name()],
+		Backtracks:   HomBacktracks.Load() - s[HomBacktracks.Name()],
+	}
+}
+
+var publishOnce sync.Once
+
+// Publish registers every global counter with expvar (idempotent).
+// Importing expvar also installs the /debug/vars handler on
+// http.DefaultServeMux, so any caller that serves DefaultServeMux —
+// cmd/experiments -pprof does — exposes the counters over HTTP.
+func Publish() {
+	publishOnce.Do(func() {
+		for _, c := range registry {
+			c := c
+			expvar.Publish(c.name, expvar.Func(func() any { return c.Load() }))
+		}
+	})
+}

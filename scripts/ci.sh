@@ -10,6 +10,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 

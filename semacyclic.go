@@ -39,6 +39,7 @@ import (
 	"semacyclic/internal/hom"
 	"semacyclic/internal/hypergraph"
 	"semacyclic/internal/instance"
+	"semacyclic/internal/obs"
 	"semacyclic/internal/rewrite"
 	"semacyclic/internal/term"
 	"semacyclic/internal/yannakakis"
@@ -101,6 +102,21 @@ type (
 	RewriteResult = rewrite.Result
 	// JoinForest is an explicit join forest certifying acyclicity.
 	JoinForest = hypergraph.Forest
+
+	// Stats is the per-decision observability snapshot on Result.Stats;
+	// see the internal/obs package comment for the DETERMINISTIC vs
+	// NONDETERMINISTIC field classification.
+	Stats = obs.Stats
+	// ChaseStats observes one chase run (also on ChaseResult.Stats).
+	ChaseStats = obs.ChaseStats
+	// SearchStats observes the complete-search layer.
+	SearchStats = obs.SearchStats
+	// ContainmentStats observes the verification side of the search.
+	ContainmentStats = obs.ContainmentStats
+	// HomStats is a delta of the homomorphism-engine counters.
+	HomStats = obs.HomStats
+	// LayerStats is one decision layer's record.
+	LayerStats = obs.LayerStats
 )
 
 // Verdict values of Decide.
