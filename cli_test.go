@@ -223,6 +223,28 @@ func TestCLISemacycStats(t *testing.T) {
 	}
 }
 
+func TestCLISemacycStatsOutFailure(t *testing.T) {
+	// A -stats-out path that cannot be created must fail loudly: the
+	// verdict alone is not the contract when the caller asked for a
+	// stats artifact. Exit 3 distinguishes the I/O failure from the
+	// decision outcome codes 0/1/2.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "no", "such", "dir", "stats.json")
+	out, code := runTool(t, "semacyc",
+		"-query", "q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y).",
+		"-deps", "Interest(x,z), Class(y,z) -> Owns(x,y).",
+		"-stats-out", path)
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3\n%s", code, out)
+	}
+	if !strings.Contains(out, "semacyc: stats:") {
+		t.Errorf("missing diagnostic in:\n%s", out)
+	}
+	if _, err := os.Stat(path); err == nil {
+		t.Errorf("stats file unexpectedly created")
+	}
+}
+
 func TestCLISemacycVerboseStatsSummary(t *testing.T) {
 	out, code := runTool(t, "semacyc",
 		"-query", "q :- E(x,y), E(y,z), E(z,x).",

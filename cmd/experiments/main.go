@@ -64,6 +64,9 @@ func main() {
 		{"t6", "Section 4: connecting operator", runT6},
 	}
 	benchOut := flag.String("bench-out", "", "measure the witness-search and hom-key benchmarks and write the JSON trajectory to this file")
+	serveOut := flag.String("serve-out", "", "stand up an in-process semacycd, drive it with a mixed decide/batch load and write the serving trajectory JSON to this file")
+	serveN := flag.Int("serve-n", 10000, "decision count for the -serve-out mixed workload")
+	serveClients := flag.Int("serve-clients", 16, "concurrent client connections for -serve-out")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar (the semacyclic.* counters) on this address, e.g. :6060")
 	flag.Parse()
 	if *pprofAddr != "" {
@@ -77,6 +80,9 @@ func main() {
 	}
 	if *benchOut != "" {
 		os.Exit(runBenchOut(*benchOut))
+	}
+	if *serveOut != "" {
+		os.Exit(runServeOut(*serveOut, *serveN, *serveClients))
 	}
 	want := map[string]bool{}
 	for _, a := range flag.Args() {

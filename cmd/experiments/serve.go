@@ -1,0 +1,429 @@
+// Serving-throughput trajectory: `experiments -serve-out BENCH_3.json`
+// stands up an in-process semacycd (internal/server), drives it with a
+// mixed decide/batch load built from the internal/gen workloads, and
+// persists throughput, latency percentiles, cache behavior and the
+// cancellation-latency distribution as JSON. It also asserts the
+// service invariants the numbers depend on: cache hits byte-identical
+// to the fresh response, backpressure visible as 429s under a burst,
+// and zero goroutine leak across drain.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"semacyclic/internal/gen"
+	"semacyclic/internal/obs"
+	"semacyclic/internal/server"
+)
+
+// serveTemplate is one reusable request shape of the load mix.
+type serveTemplate struct {
+	name  string
+	query string
+	deps  string
+}
+
+// serveTemplates builds the request pool from the internal/gen
+// families: acyclic fast-path queries, cyclic queries under inclusion
+// and guarded sets (chase-backed verification), the Example 1 workload,
+// and sticky sets (UCQ-rewriting verification, the prepared-Σ cache's
+// reason to exist).
+func serveTemplates() []serveTemplate {
+	sticky := "US1(x), US0(y) -> S0(x,y).\nS1(x,y) -> S1(y,w).\nUS0(x), US1(y) -> S1(x,y)."
+	incl := "E(x,y) -> E(y,z)."
+	self := "E(x,y) -> E(x,x)."
+	var ts []serveTemplate
+	for _, n := range []int{3, 5, 8} {
+		ts = append(ts, serveTemplate{fmt.Sprintf("path%d", n), gen.PathCQ(n).String(), ""})
+		ts = append(ts, serveTemplate{fmt.Sprintf("star%d", n), gen.StarCQ(n).String(), ""})
+	}
+	for _, n := range []int{3, 4} {
+		c := gen.CycleCQ(n).String()
+		ts = append(ts,
+			serveTemplate{fmt.Sprintf("cycle%d", n), c, ""},
+			serveTemplate{fmt.Sprintf("cycle%d-incl", n), c, incl},
+			serveTemplate{fmt.Sprintf("cycle%d-self", n), c, self},
+		)
+	}
+	ts = append(ts,
+		serveTemplate{"clique3", gen.CliqueCQ(3).String(), ""},
+		serveTemplate{"example1", gen.Example1Query().String(), gen.Example1TGD().String()},
+		serveTemplate{"tri-sticky", "q :- S0(x,y), S0(y,z), S0(z,x).", sticky},
+		serveTemplate{"tri-sticky-mixed", "q :- S0(x,y), S1(y,z), S0(z,x).", sticky},
+	)
+	return ts
+}
+
+// quantilesMS summarizes a latency sample in milliseconds.
+type quantilesMS struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+func summarize(d []time.Duration) quantilesMS {
+	if len(d) == 0 {
+		return quantilesMS{}
+	}
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(d)-1))
+		return float64(d[i]) / float64(time.Millisecond)
+	}
+	return quantilesMS{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: at(1.0)}
+}
+
+// serveWorkloadResult is one workload's measurements.
+type serveWorkloadResult struct {
+	Name string `json:"name"`
+	// HTTPRequests counts requests sent; Decisions counts decision
+	// units (a batch of 16 is one request, 16 decisions).
+	HTTPRequests int `json:"http_requests"`
+	Decisions    int `json:"decisions"`
+	// OK / Cancelled / Shed / Errors partition the TERMINAL responses
+	// by status (200 / 504 / 429 / anything else). Workloads that retry
+	// on backpressure never terminate on 429; their shed events appear
+	// in ShedEvents instead.
+	OK        int `json:"ok"`
+	Cancelled int `json:"cancelled"`
+	Shed      int `json:"shed"`
+	Errors    int `json:"errors"`
+	// CacheHits and ShedEvents are server-side counter deltas over the
+	// workload (ShedEvents counts every 429 sent, retried or not).
+	CacheHits  int64 `json:"cache_hits"`
+	ShedEvents int64 `json:"shed_events"`
+	// WallMS and Throughput (decisions per second, wall-clock).
+	WallMS     float64 `json:"wall_ms"`
+	Throughput float64 `json:"decisions_per_sec"`
+	// Latency is the per-HTTP-request wall-time distribution.
+	Latency quantilesMS `json:"latency"`
+	// CancelOvershoot, for the deadline workload, is the distribution
+	// of (request wall time − deadline): how long past its deadline a
+	// request ran before the cancellation poll caught it. The
+	// acceptance claim is p99 < 50ms on the sticky workload.
+	CancelOvershoot *quantilesMS `json:"cancel_overshoot,omitempty"`
+}
+
+type serveReport struct {
+	GeneratedBy string                `json:"generated_by"`
+	GoVersion   string                `json:"go_version"`
+	GOMAXPROCS  int                   `json:"gomaxprocs"`
+	Workers     int                   `json:"workers"`
+	QueueDepth  int                   `json:"queue_depth"`
+	Clients     int                   `json:"clients"`
+	Workloads   []serveWorkloadResult `json:"workloads"`
+	// ByteIdenticalHit records the invariant check: a cache hit's body
+	// equals the fresh response's body byte for byte.
+	ByteIdenticalHit bool `json:"byte_identical_hit"`
+	// GoroutinesBefore/After bracket the full run (servers started,
+	// loaded, shut down, drained): equality within the slack of the
+	// runtime's own pool is the no-leak claim.
+	GoroutinesBefore int `json:"goroutines_before"`
+	GoroutinesAfter  int `json:"goroutines_after"`
+}
+
+// postJSON sends one request and returns status, body and wall time.
+func postJSON(c *http.Client, url string, v any) (int, []byte, time.Duration, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	start := time.Now()
+	resp, err := c.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, time.Since(start), err
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, buf.Bytes(), time.Since(start), nil
+}
+
+// postRetry is postJSON with backpressure handling: a 429 is retried
+// after a short backoff, the way a well-behaved client drains a
+// loaded service. The returned duration covers the whole exchange,
+// retries included.
+func postRetry(c *http.Client, url string, v any) (int, []byte, time.Duration, error) {
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		status, body, _, err := postJSON(c, url, v)
+		if err != nil || status != http.StatusTooManyRequests || attempt >= 500 {
+			return status, body, time.Since(start), err
+		}
+		time.Sleep(time.Duration(2+attempt) * time.Millisecond)
+	}
+}
+
+// runLoad fires the jobs over `clients` concurrent connections and
+// aggregates statuses and latencies. Each job returns its decision
+// count, HTTP status and wall time.
+func runLoad(clients int, jobs []func(c *http.Client) (int, int, time.Duration)) serveWorkloadResult {
+	var (
+		mu  sync.Mutex
+		res serveWorkloadResult
+		lat []time.Duration
+	)
+	ch := make(chan func(c *http.Client) (int, int, time.Duration))
+	var wg sync.WaitGroup
+	hits0 := obs.ServerCacheHits.Load()
+	shed0 := obs.ServerShed.Load()
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &http.Client{}
+			for job := range ch {
+				n, status, d := job(c)
+				mu.Lock()
+				res.HTTPRequests++
+				res.Decisions += n
+				lat = append(lat, d)
+				switch {
+				case status == http.StatusOK:
+					res.OK++
+				case status == http.StatusGatewayTimeout:
+					res.Cancelled++
+				case status == http.StatusTooManyRequests:
+					res.Shed++
+				default:
+					res.Errors++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	wall := time.Since(start)
+	res.CacheHits = obs.ServerCacheHits.Load() - hits0
+	res.ShedEvents = obs.ServerShed.Load() - shed0
+	res.WallMS = float64(wall) / float64(time.Millisecond)
+	if wall > 0 {
+		res.Throughput = float64(res.Decisions) / wall.Seconds()
+	}
+	res.Latency = summarize(lat)
+	return res
+}
+
+// runServeOut measures the serving trajectory and writes the JSON
+// report. n scales the mixed workload's decision count (the committed
+// BENCH_3.json uses the 10k default).
+func runServeOut(path string, n, clients int) int {
+	if n <= 0 {
+		n = 10000
+	}
+	if clients <= 0 {
+		clients = 16
+	}
+	runtime.GC()
+	goBefore := runtime.NumGoroutine()
+
+	workers := runtime.GOMAXPROCS(0)
+	queueDepth := 4*workers + 2*clients
+	cfg := server.Config{Workers: workers, QueueDepth: queueDepth, DefaultDeadline: 30 * time.Second}
+	srv := server.New(cfg)
+	hs := httptest.NewServer(srv.Handler())
+
+	report := serveReport{
+		GeneratedBy: "experiments -serve-out",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     workers,
+		QueueDepth:  queueDepth,
+		Clients:     clients,
+	}
+	templates := serveTemplates()
+	r := rand.New(rand.NewSource(42))
+
+	// Invariant check up front: the same request twice, second served
+	// from cache, bodies byte-identical.
+	{
+		c := &http.Client{}
+		req := server.DecideRequest{Query: templates[0].query, Deps: templates[0].deps}
+		_, fresh, _, err := postJSON(c, hs.URL+"/decide", req)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: serve:", err)
+			return 1
+		}
+		_, hit, _, err := postJSON(c, hs.URL+"/decide", req)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: serve:", err)
+			return 1
+		}
+		report.ByteIdenticalHit = bytes.Equal(fresh, hit)
+	}
+
+	// Workload 1 — mixed: ~60% single /decide, ~40% via /decide/batch
+	// in batches of 16, drawn from the template pool. The small pool
+	// against a large n is the long-lived-service shape: most requests
+	// repeat earlier ones, so the decision cache carries the load.
+	// mixedBudget bounds the cold-miss cost of the hardest templates
+	// (the sticky ones drive a complete layer-4 search) the same way
+	// the BENCH_2 witness-search cases do; it is part of the cache key,
+	// so the whole workload shares one warmed entry per template.
+	const mixedBudget = 1500
+	const batchSize = 16
+	singles := n * 3 / 5
+	batches := (n - singles) / batchSize
+	var jobs []func(c *http.Client) (int, int, time.Duration)
+	for i := 0; i < singles; i++ {
+		t := templates[r.Intn(len(templates))]
+		req := server.DecideRequest{Query: t.query, Deps: t.deps, Budget: mixedBudget}
+		jobs = append(jobs, func(c *http.Client) (int, int, time.Duration) {
+			status, _, d, err := postRetry(c, hs.URL+"/decide", req)
+			if err != nil {
+				return 1, 0, d
+			}
+			return 1, status, d
+		})
+	}
+	for i := 0; i < batches; i++ {
+		var breq server.BatchRequest
+		for j := 0; j < batchSize; j++ {
+			t := templates[r.Intn(len(templates))]
+			breq.Requests = append(breq.Requests, server.DecideRequest{Query: t.query, Deps: t.deps, Budget: mixedBudget})
+		}
+		jobs = append(jobs, func(c *http.Client) (int, int, time.Duration) {
+			status, _, d, err := postRetry(c, hs.URL+"/decide/batch", &breq)
+			if err != nil {
+				return batchSize, 0, d
+			}
+			return batchSize, status, d
+		})
+	}
+	r.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+	mixed := runLoad(clients, jobs)
+	mixed.Name = "mixed-decide-batch"
+	report.Workloads = append(report.Workloads, mixed)
+	fmt.Printf("serve %-22s %6d req %6d decisions  %8.1f dec/s  p50=%.2fms p99=%.2fms  hits=%d shed-events=%d\n",
+		mixed.Name, mixed.HTTPRequests, mixed.Decisions, mixed.Throughput,
+		mixed.Latency.P50, mixed.Latency.P99, mixed.CacheHits, mixed.ShedEvents)
+
+	// Workload 2 — sticky-cancel: sticky-set decisions under a 25ms
+	// deadline. The budget varies per request to defeat the decision
+	// cache (budget is part of the key) while the prepared-Σ cache
+	// still hoists the rewriting, so every request exercises the
+	// cancellation polls in live search work. Overshoot = wall − 25ms.
+	stickyQ := "q :- S0(x,y), S0(y,z), S0(z,x)."
+	stickyD := "US1(x), US0(y) -> S0(x,y).\nS1(x,y) -> S1(y,w).\nUS0(x), US1(y) -> S1(x,y)."
+	{
+		// Warm the prepared-Σ cache without a deadline so the cancel
+		// runs measure decision work, not the one-time Prepare.
+		c := &http.Client{}
+		warm := server.DecideRequest{Query: stickyQ, Deps: stickyD, Budget: 50, DeadlineMS: 60000}
+		if _, _, _, err := postJSON(c, hs.URL+"/decide", warm); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: serve:", err)
+			return 1
+		}
+	}
+	const deadlineMS = 25
+	cancelN := n / 20
+	if cancelN < 100 {
+		cancelN = 100
+	}
+	var (
+		overMu sync.Mutex
+		over   []time.Duration
+	)
+	var cjobs []func(c *http.Client) (int, int, time.Duration)
+	for i := 0; i < cancelN; i++ {
+		req := server.DecideRequest{
+			Query:      stickyQ,
+			Deps:       stickyD,
+			Budget:     100000 + i, // distinct cache key per request
+			DeadlineMS: deadlineMS,
+		}
+		cjobs = append(cjobs, func(c *http.Client) (int, int, time.Duration) {
+			status, _, d, err := postJSON(c, hs.URL+"/decide", req)
+			if status == http.StatusGatewayTimeout {
+				o := d - deadlineMS*time.Millisecond
+				if o < 0 {
+					o = 0
+				}
+				overMu.Lock()
+				over = append(over, o)
+				overMu.Unlock()
+			}
+			if err != nil {
+				return 1, 0, d
+			}
+			return 1, status, d
+		})
+	}
+	// Concurrency is pinned to the worker count: with more clients than
+	// workers the wall time of a deadline-bound request includes queue
+	// wait, and the overshoot would measure scheduling, not the
+	// cancellation polls it is meant to bound.
+	cancelClients := workers
+	if cancelClients > clients {
+		cancelClients = clients
+	}
+	cancelRes := runLoad(cancelClients, cjobs)
+	cancelRes.Name = "sticky-cancel-25ms"
+	oq := summarize(over)
+	cancelRes.CancelOvershoot = &oq
+	report.Workloads = append(report.Workloads, cancelRes)
+	fmt.Printf("serve %-22s %6d req  cancelled=%d  overshoot p50=%.2fms p99=%.2fms max=%.2fms\n",
+		cancelRes.Name, cancelRes.HTTPRequests, cancelRes.Cancelled, oq.P50, oq.P99, oq.Max)
+
+	// Workload 3 — shed-burst: a deliberately tiny server (1 worker,
+	// queue of 2) under a concurrent burst of slow un-cached requests.
+	// The overflow must come back as immediate 429s, not queued work.
+	tiny := server.New(server.Config{Workers: 1, QueueDepth: 2, DefaultDeadline: time.Second})
+	ths := httptest.NewServer(tiny.Handler())
+	var sjobs []func(c *http.Client) (int, int, time.Duration)
+	for i := 0; i < 24; i++ {
+		req := server.DecideRequest{Query: stickyQ, Deps: stickyD, Budget: 200000 + i}
+		sjobs = append(sjobs, func(c *http.Client) (int, int, time.Duration) {
+			status, _, d, err := postJSON(c, ths.URL+"/decide", req)
+			if err != nil {
+				return 1, 0, d
+			}
+			return 1, status, d
+		})
+	}
+	shedRes := runLoad(24, sjobs)
+	shedRes.Name = "shed-burst"
+	report.Workloads = append(report.Workloads, shedRes)
+	fmt.Printf("serve %-22s %6d req  ok=%d shed=%d cancelled=%d\n",
+		shedRes.Name, shedRes.HTTPRequests, shedRes.OK, shedRes.Shed, shedRes.Cancelled)
+	ths.Close()
+	tiny.Drain()
+
+	// Shut everything down and verify nothing leaked.
+	hs.Close()
+	srv.Drain()
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	report.GoroutinesBefore = goBefore
+	report.GoroutinesAfter = runtime.NumGoroutine()
+	fmt.Printf("serve goroutines: before=%d after=%d\n", report.GoroutinesBefore, report.GoroutinesAfter)
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", path)
+	return 0
+}

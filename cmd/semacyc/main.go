@@ -166,6 +166,9 @@ func printStatsSummary(st *semacyclic.Stats) {
 }
 
 // emitStats writes the stats JSON to the file (or stdout when empty).
+// Every failure on the way out — create, write, sync, close, even a
+// broken stdout pipe — exits 3 with a diagnostic: a stats run whose
+// output silently vanished must not report success.
 func emitStats(st *semacyclic.Stats, path string) int {
 	b, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
@@ -174,12 +177,27 @@ func emitStats(st *semacyclic.Stats, path string) int {
 	}
 	b = append(b, '\n')
 	if path == "" {
-		os.Stdout.Write(b)
+		if _, err := os.Stdout.Write(b); err != nil {
+			fmt.Fprintln(os.Stderr, "semacyc: stats:", err)
+			return 3
+		}
 		return 0
 	}
-	if err := os.WriteFile(path, b, 0o644); err != nil {
+	f, err := os.Create(path)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "semacyc: stats:", err)
 		return 3
+	}
+	_, werr := f.Write(b)
+	serr := f.Sync()
+	if cerr := f.Close(); werr == nil && serr == nil {
+		serr = cerr
+	}
+	for _, err := range []error{werr, serr} {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semacyc: stats:", err)
+			return 3
+		}
 	}
 	return 0
 }

@@ -1,0 +1,73 @@
+// Command semacycd serves the SemAc(C) decision pipeline as a
+// long-lived HTTP/JSON service: POST /decide, /decide/batch and
+// /approximate, with a decision cache, per-request deadlines, bounded
+// worker-pool backpressure (429 + Retry-After), and graceful drain on
+// SIGTERM/SIGINT. See internal/server and the README quick-start.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"semacyclic/internal/obs"
+	"semacyclic/internal/server"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("semacycd", flag.ExitOnError)
+	addr := fs.String("addr", ":8787", "listen address")
+	workers := fs.Int("workers", 0, "decision workers (0 = one per logical CPU)")
+	queue := fs.Int("queue", 0, "admission queue depth (0 = 4x workers); full queue sheds with 429")
+	cache := fs.Int("cache", 4096, "decision cache entries")
+	deadline := fs.Duration("deadline", 10*time.Second, "default per-request deadline (0 = none)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown connection-drain budget")
+	_ = fs.Parse(args)
+
+	// Publish is idempotent: server.New publishes again, harmlessly.
+	obs.Publish()
+
+	cfg := server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cache,
+		DefaultDeadline: *deadline,
+	}
+	if *deadline == 0 {
+		cfg.DefaultDeadline = -1 // flag 0 means "no default deadline"
+	}
+	srv := server.New(cfg)
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	fmt.Fprintf(os.Stderr, "semacycd: listening on %s (workers=%d)\n", *addr, srv.Workers())
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "semacycd: serve: %v\n", err)
+		return 1
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "semacycd: %v: draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "semacycd: shutdown: %v\n", err)
+		code = 1
+	}
+	srv.Drain()
+	fmt.Fprintln(os.Stderr, "semacycd: drained")
+	return code
+}

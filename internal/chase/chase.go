@@ -25,6 +25,11 @@ import (
 // distinct rigid constants.
 var ErrFailed = errors.New("chase: egd chase failed (constant clash)")
 
+// ErrCancelled reports a chase aborted via Options.Cancel. Callers that
+// need layer-specific cancellation errors (core wraps this into its own
+// ErrCancelled) should test with errors.Is.
+var ErrCancelled = errors.New("chase: cancelled")
+
 // Options tunes a chase run. The zero value picks safe defaults.
 type Options struct {
 	// MaxSteps caps the number of tgd applications (default 100000).
@@ -59,6 +64,12 @@ type Options struct {
 	// up next round — but null naming may differ from the sequential
 	// interleaving. Default (0 or 1): sequential rounds.
 	Parallelism int
+	// Cancel, when non-nil, aborts the run as soon as the channel is
+	// closed (or receives); Run then returns ErrCancelled. The channel
+	// is polled before every trigger firing, every egd application and
+	// every few collected triggers, so cancellation latency is bounded
+	// by one chase step, not one fixpoint round.
+	Cancel <-chan struct{}
 }
 
 // Step records one chase step for tracing: either a tgd application
@@ -175,12 +186,26 @@ type state struct {
 	fired map[string]bool
 }
 
+// cancelled polls the cancel channel without blocking (a nil channel
+// never fires, so the poll is a no-op select for unconfigured runs).
+func (s *state) cancelled() bool {
+	select {
+	case <-s.opt.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
 func (s *state) run() error {
 	if s.opt.Oblivious {
 		s.fired = make(map[string]bool)
 	}
 	truncated := false
 	for {
+		if s.cancelled() {
+			return ErrCancelled
+		}
 		if err := s.egdFixpoint(); err != nil {
 			return err
 		}
@@ -223,6 +248,9 @@ func (s *state) tgdPass() (progressed, truncated bool, err error) {
 		}
 		s.stats.TriggersCollected += len(triggers)
 		for _, trig := range triggers {
+			if s.cancelled() {
+				return progressed, truncated, ErrCancelled
+			}
 			if s.steps >= s.opt.MaxSteps || s.inst.Len() >= s.opt.MaxAtoms {
 				return progressed, true, nil
 			}
@@ -265,6 +293,11 @@ func (s *state) collectTriggers(t *deps.TGD) []trigger {
 	bodyVars := t.BodyVars()
 	var keyBuf []byte
 	hom.Enumerate(t.Body, s.inst, nil, func(h term.Subst) bool {
+		// Stop collecting on cancellation: the partial trigger list is
+		// never fired, because tgdPass polls before every firing.
+		if len(out)%64 == 63 && s.cancelled() {
+			return false
+		}
 		f := term.NewSubst()
 		for _, v := range frontier {
 			f[v] = h.Resolve(v)
@@ -365,6 +398,9 @@ func (s *state) fire(t *deps.TGD, frontier term.Subst, depth int) {
 // egdFixpoint applies egds until none is applicable, identifying terms.
 func (s *state) egdFixpoint() error {
 	for {
+		if s.cancelled() {
+			return ErrCancelled
+		}
 		applied, err := s.egdStep()
 		if err != nil {
 			return err

@@ -170,18 +170,21 @@ func rewriteContains(q, qp *cq.CQ, set *deps.Set, opt Options) (Decision, error)
 // Prepare — except the Checks reuse counter, an atomic — and safe for
 // concurrent Check calls.
 type Prepared struct {
-	qp     *cq.CQ
-	set    *deps.Set
-	opt    Options
-	m      Method
-	rw     *rewrite.Result // only for MethodRewrite
-	checks atomic.Int64    // Check calls served — the Prepare reuse count
+	qp  *cq.CQ
+	set *deps.Set
+	opt Options
+	m   Method
+	rw  *rewrite.Result // only for MethodRewrite
+	// checks counts Check calls served — the Prepare reuse count. A
+	// pointer so WithCancel copies share one counter (and so the struct
+	// stays copyable by value inside WithCancel).
+	checks *atomic.Int64
 }
 
 // Prepare builds a Prepared checker for the fixed right-hand side q'.
 func Prepare(qp *cq.CQ, set *deps.Set, opt Options) (*Prepared, error) {
 	m := SelectMethod(set, opt)
-	p := &Prepared{qp: qp, set: set, opt: opt, m: m}
+	p := &Prepared{qp: qp, set: set, opt: opt, m: m, checks: new(atomic.Int64)}
 	if m == MethodRewrite {
 		rw, err := rewrite.Rewrite(qp, set, opt.Rewrite)
 		if err != nil {
@@ -193,6 +196,21 @@ func Prepare(qp *cq.CQ, set *deps.Set, opt Options) (*Prepared, error) {
 		p.opt.Chase.MaxDepth = defaultGuardedDepth(qp, set)
 	}
 	return p, nil
+}
+
+// WithCancel returns a view of the prepared checker whose Check calls
+// abort when the channel fires (wired into the chase/rewrite budgets of
+// the per-call left-hand-side work). The precomputed right-hand-side
+// state — the hoisted UCQ rewriting and the reuse counter — is shared
+// with the receiver, so a long-lived cache can hold one Prepared per
+// (q', Σ) and hand out per-request cancellable views for free. A nil
+// channel yields a view with cancellation cleared: caches store that
+// view so a stale per-request channel never outlives its request.
+func (p *Prepared) WithCancel(cancel <-chan struct{}) *Prepared {
+	cp := *p
+	cp.opt.Chase.Cancel = cancel
+	cp.opt.Rewrite.Cancel = cancel
+	return &cp
 }
 
 // Check decides q ⊆Σ q' for the prepared right-hand side.
@@ -222,7 +240,7 @@ func (p *Prepared) Check(q *cq.CQ) (Decision, error) {
 
 // Checks returns the number of Check calls this prepared right-hand
 // side has served — the reuse count that measures what Prepare's
-// hoisting amortized.
+// hoisting amortized. WithCancel views share the receiver's counter.
 func (p *Prepared) Checks() int64 { return p.checks.Load() }
 
 // SelectedMethod returns the decision procedure Prepare resolved.

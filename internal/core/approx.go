@@ -112,14 +112,14 @@ func Approximate(q *cq.CQ, set *deps.Set, opt Options) (*Approximation, error) {
 		// If best ⊆Σ c and not conversely, c is strictly more general.
 		up, err := containment.Contains(best, c, set, opt.Containment)
 		if err != nil {
-			return nil, err
+			return nil, mapCancelled(err)
 		}
 		if !up.Holds {
 			continue
 		}
 		down, err := containment.Contains(c, best, set, opt.Containment)
 		if err != nil {
-			return nil, err
+			return nil, mapCancelled(err)
 		}
 		if !down.Holds {
 			best = c

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"semacyclic/internal/chase"
 	"semacyclic/internal/cq"
 	"semacyclic/internal/deps"
@@ -119,6 +121,9 @@ func searchChaseSubsets(q *cq.CQ, set *deps.Set, opt Options, bound int) (*cq.CQ
 	}
 	res, frozen, err := chase.Query(q, set, copt)
 	if err != nil {
+		if errors.Is(err, chase.ErrCancelled) {
+			return nil, 0, ErrCancelled
+		}
 		// A failing egd chase means no instance satisfies q's pattern
 		// constraints; no candidates from this layer.
 		return nil, 0, nil

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"semacyclic/internal/chase"
 	"semacyclic/internal/containment"
 	"semacyclic/internal/cq"
 	"semacyclic/internal/deps"
@@ -76,6 +77,11 @@ type Options struct {
 	// Cancel, when non-nil, aborts the decision as soon as the channel
 	// is closed (or receives); Decide then returns ErrCancelled. Wire a
 	// context's Done() channel here for deadline/cancellation support.
+	// The channel is propagated into every layer — the chase apply
+	// loop, the quotient/subquery searches, the parallel branch
+	// workers' enumeration, the containment chases and the sticky UCQ
+	// rewriting — so cancellation latency is bounded by one chase step
+	// (or one rewriting step), not one decision layer.
 	Cancel <-chan struct{}
 	// Parallelism bounds the worker goroutines used by the layer-4
 	// complete search (branch fan-out) and by DecideUCQ (independent
@@ -98,6 +104,15 @@ type Options struct {
 	// cost against this baseline. The process-global obs counters stay on
 	// regardless (they are not per-decision state).
 	DisableStats bool
+	// Prepared, when non-nil, supplies a pre-built containment checker
+	// for the layer-4 verification right-hand side. It MUST have been
+	// built by containment.Prepare with this decision's query as q' and
+	// the same dependency set — Decide cannot verify the match and a
+	// mismatched checker yields wrong verdicts. Long-lived callers (the
+	// semacycd server) cache one per (query, Σ) so repeated decisions
+	// skip the worst-case-exponential UCQ rewriting. Ignored when
+	// DisableSearchMemo is set (the ablation re-derives per candidate).
+	Prepared *containment.Prepared
 }
 
 // ErrCancelled reports that a decision was aborted via Options.Cancel.
@@ -117,7 +132,31 @@ func (o Options) withDefaults() Options {
 	if o.SearchBudget <= 0 {
 		o.SearchBudget = 20000
 	}
+	if o.Cancel != nil {
+		// Propagate cancellation into the sub-engines unless the caller
+		// wired those budgets explicitly: every containment chase, the
+		// layer pruning chases (which copy Containment.Chase) and the
+		// sticky rewriting then poll the same channel.
+		if o.Containment.Chase.Cancel == nil {
+			o.Containment.Chase.Cancel = o.Cancel
+		}
+		if o.Containment.Rewrite.Cancel == nil {
+			o.Containment.Rewrite.Cancel = o.Cancel
+		}
+	}
 	return o
+}
+
+// mapCancelled folds the sub-engines' cancellation errors into the
+// package's ErrCancelled so callers have a single sentinel to test.
+func mapCancelled(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, chase.ErrCancelled) || errors.Is(err, rewrite.ErrCancelled) {
+		return ErrCancelled
+	}
+	return err
 }
 
 // Result reports a SemAc decision.
@@ -151,7 +190,7 @@ func Decide(q *cq.CQ, set *deps.Set, opt Options) (*Result, error) {
 	snap := obs.TakeSnapshot()
 	res, err := decide(q, set, opt, st)
 	if err != nil {
-		return nil, err
+		return nil, mapCancelled(err)
 	}
 	obs.Decisions.Add(1)
 	if st != nil {

@@ -257,6 +257,15 @@ func (e *searchEngine) run() (*cq.CQ, int, bool, error) {
 	}
 	for _, oc := range outcomes {
 		if oc.err != nil {
+			// Abort path (cancellation or a worker error): every branch
+			// has flushed its local counters (the flush is deferred in
+			// runBranch), so fill the stats before returning — with the
+			// deterministic fields at their "not defined" sentinels,
+			// because a truncated run has no reconstructible sequential
+			// prefix. This keeps a cancelled run's partial Stats (and
+			// the process-global expvar counters) consistent instead of
+			// dropping the buffered flushes.
+			e.fillStats(examined, -1, -1, false)
 			return nil, examined, false, oc.err
 		}
 	}
@@ -386,6 +395,10 @@ func (e *searchEngine) runBranch(idx int, b branch) (out branchOutcome) {
 		}
 		if steps%256 == 0 {
 			if e.opt.cancelled() {
+				// Flag the shared abort immediately (not only when this
+				// branch's outcome lands) so sibling workers stop at
+				// their next poll rather than at branch granularity.
+				e.aborted.Store(true)
 				return false, ErrCancelled
 			}
 			if e.aborted.Load() || e.bestBranch.Load() < int64(idx) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sort"
 
 	"semacyclic/internal/chase"
@@ -38,7 +39,8 @@ import (
 // zero-overhead baseline the stats-overhead benchmark compares against.
 // Use SearchCompleteStats to get the same answer plus an obs.Stats.
 func SearchComplete(q *cq.CQ, set *deps.Set, opt Options, bound int) (*cq.CQ, int, bool, error) {
-	return searchComplete(q, set, opt, bound, nil)
+	w, examined, exhausted, err := searchComplete(q, set, opt, bound, nil)
+	return w, examined, exhausted, mapCancelled(err)
 }
 
 // SearchCompleteStats is SearchComplete with observability: it returns
@@ -50,7 +52,7 @@ func SearchComplete(q *cq.CQ, set *deps.Set, opt Options, bound int) (*cq.CQ, in
 func SearchCompleteStats(q *cq.CQ, set *deps.Set, opt Options, bound int) (*cq.CQ, *obs.Stats, int, bool, error) {
 	st := obs.NewStats()
 	witness, examined, exhausted, err := searchComplete(q, set, opt, bound, st)
-	return witness, st, examined, exhausted, err
+	return witness, st, examined, exhausted, mapCancelled(err)
 }
 
 func searchComplete(q *cq.CQ, set *deps.Set, opt Options, bound int, st *obs.Stats) (*cq.CQ, int, bool, error) {
@@ -81,6 +83,9 @@ func searchComplete(q *cq.CQ, set *deps.Set, opt Options, bound int, st *obs.Sta
 	}
 	chres, frozen, err := chase.Query(q, set, copt)
 	if err != nil {
+		if errors.Is(err, chase.ErrCancelled) {
+			return nil, 0, false, err
+		}
 		// Failing egd chase: Lemma 1 does not apply (Decide handles
 		// unsatisfiable queries before this layer); no claims here.
 		return nil, 0, false, nil
@@ -120,16 +125,23 @@ func searchComplete(q *cq.CQ, set *deps.Set, opt Options, bound int, st *obs.Sta
 		st:       st,
 	}
 	if !opt.DisableSearchMemo {
-		// Prepare the fixed right-hand side of every verification once:
-		// for sticky sets this hoists the exponential UCQ rewriting out
-		// of the per-candidate loop. Gated with the memo flag so the
-		// ablation baseline re-derives it per candidate, as the
-		// unoptimized search did.
-		checker, err := containment.Prepare(q, set, opt.Containment)
-		if err != nil {
-			return nil, 0, false, err
+		if opt.Prepared != nil {
+			// A long-lived caller (the semacycd server) already hoisted
+			// the right-hand side for this (q, Σ); reuse it, re-wired to
+			// this run's cancel channel.
+			eng.checker = opt.Prepared.WithCancel(opt.Cancel)
+		} else {
+			// Prepare the fixed right-hand side of every verification
+			// once: for sticky sets this hoists the exponential UCQ
+			// rewriting out of the per-candidate loop. Gated with the
+			// memo flag so the ablation baseline re-derives it per
+			// candidate, as the unoptimized search did.
+			checker, err := containment.Prepare(q, set, opt.Containment)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			eng.checker = checker
 		}
-		eng.checker = checker
 	}
 	witness, examined, exhausted, err := eng.run()
 	if err != nil {

@@ -46,16 +46,22 @@ func DecideUCQ(u *cq.UCQ, set *deps.Set, opt Options) (*UCQResult, error) {
 	}
 
 	// Mark redundant disjuncts: q_i ⊆Σ q_j for some j ≠ i. Ties (mutual
-	// containment) keep the earlier disjunct.
+	// containment) keep the earlier disjunct. opt carries the caller's
+	// cancel channel into each containment chase/rewrite via
+	// withDefaults, so the phase aborts within one check.
+	opt = opt.withDefaults()
 	for i, qi := range u.Disjuncts {
 		for j, qj := range u.Disjuncts {
 			if i == j || out.Redundant[j] {
 				continue
 			}
+			if opt.cancelled() {
+				return nil, ErrCancelled
+			}
 			out.RedundancyChecks++
 			dec, err := containment.Contains(qi, qj, set, opt.Containment)
 			if err != nil {
-				return nil, err
+				return nil, mapCancelled(err)
 			}
 			if !dec.Definitive {
 				out.Definitive = false
@@ -64,7 +70,7 @@ func DecideUCQ(u *cq.UCQ, set *deps.Set, opt Options) (*UCQResult, error) {
 				out.RedundancyChecks++
 				back, err := containment.Contains(qj, qi, set, opt.Containment)
 				if err != nil {
-					return nil, err
+					return nil, mapCancelled(err)
 				}
 				if back.Holds && i < j {
 					continue // mutual: keep i, let j be marked on its turn

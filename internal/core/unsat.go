@@ -34,6 +34,9 @@ func decideUnsatisfiable(q *cq.CQ, set *deps.Set, opt Options) (*Result, bool, e
 		copt.MaxSteps = 2000
 	}
 	_, _, err := chase.Query(q, set, copt)
+	if errors.Is(err, chase.ErrCancelled) {
+		return nil, false, ErrCancelled
+	}
 	if !errors.Is(err, chase.ErrFailed) {
 		return nil, false, nil
 	}
@@ -48,6 +51,9 @@ func decideUnsatisfiable(q *cq.CQ, set *deps.Set, opt Options) (*Result, bool, e
 			continue
 		}
 		_, _, werr := chase.Query(w, set, copt)
+		if errors.Is(werr, chase.ErrCancelled) {
+			return nil, false, ErrCancelled
+		}
 		if errors.Is(werr, chase.ErrFailed) {
 			return &Result{
 				Verdict:    Yes,

@@ -58,6 +58,15 @@ var (
 	// homomorphism engine — the innermost hot loop of everything.
 	HomEnumerations = reg("semacyclic.hom.enumerations")
 	HomBacktracks   = reg("semacyclic.hom.backtracks")
+
+	// The semacycd serving-layer counters (see internal/server):
+	// requests accepted, decision-cache hits served byte-identically,
+	// requests aborted by their deadline, and requests shed with 429
+	// because the worker queue was full.
+	ServerRequests  = reg("server.requests")
+	ServerCacheHits = reg("server.cache_hits")
+	ServerCancelled = reg("server.cancelled")
+	ServerShed      = reg("server.shed")
 )
 
 // Snapshot is a point-in-time copy of every global counter, for

@@ -15,6 +15,7 @@
 package rewrite
 
 import (
+	"errors"
 	"fmt"
 
 	"semacyclic/internal/cq"
@@ -23,6 +24,9 @@ import (
 	"semacyclic/internal/instance"
 	"semacyclic/internal/term"
 )
+
+// ErrCancelled reports a rewriting aborted via Options.Cancel.
+var ErrCancelled = errors.New("rewrite: cancelled")
 
 // Options bounds the rewriting closure. The zero value picks defaults
 // that comfortably cover the f_C(q,Σ) bounds on laptop-scale inputs.
@@ -41,6 +45,21 @@ type Options struct {
 	// recursive sticky sets (see the Rewrite implementation comment)
 	// and the UCQ carries redundant disjuncts.
 	NoCoreReduction bool
+	// Cancel, when non-nil, aborts the closure as soon as the channel
+	// is closed (or receives); Rewrite then returns ErrCancelled. The
+	// channel is polled once per (disjunct, tgd) rewriting step, so a
+	// diverging sticky closure stops within one piece-rewriting step.
+	Cancel <-chan struct{}
+}
+
+// cancelled polls the cancel channel without blocking.
+func (o Options) cancelled() bool {
+	select {
+	case <-o.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +109,9 @@ func Rewrite(q *cq.CQ, set *deps.Set, opt Options) (*Result, error) {
 		var next []*cq.CQ
 		for _, p := range frontier {
 			for _, t := range set.TGDs {
+				if opt.cancelled() {
+					return nil, ErrCancelled
+				}
 				for _, r := range rewriteStep(p, t) {
 					if opt.MaxAtomsPerCQ > 0 && r.Size() > opt.MaxAtomsPerCQ {
 						complete = false

@@ -27,6 +27,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== cancellation & server gate (race) =="
+# The semacycd service package and the per-layer cancellation tests are
+# the PR-acceptance surface for deadline propagation; run them again
+# with -count=1 so a cached 'ok' can never satisfy the gate.
+go test -race -count=1 ./internal/server/
+go test -race -count=1 -run 'Cancel' ./internal/chase/ ./internal/rewrite/ ./internal/core/
+
 echo "== short benchmarks (compile + one iteration) =="
 go test -run '^$' -bench . -benchtime 1x ./...
 
