@@ -1,0 +1,377 @@
+// Evaluation trajectory: `experiments -eval-out BENCH_4.json` measures
+// the evaluation subsystem behind POST /evaluate and persists the JSON
+// trajectory. Three arms:
+//
+//   - indexed-vs-scan: Yannakakis leaf loading through the per-position
+//     indexes against the full-scan ablation (Options.DisableIndex) on
+//     constant-anchored acyclic queries; the acceptance claim is ≥2x,
+//     with answers checked identical to each other and to the generic
+//     evaluator.
+//   - plan-cache: an in-process semacycd answering /evaluate twice for
+//     the same (q, Σ); the second response must come from the plan
+//     cache (skipping decide + GYO) and the answers must match the
+//     library-level evaluation of the same plan.
+//   - crossover: the Theorem 25 game evaluator against the compiled
+//     Yannakakis plan as |D| grows — the game is polynomial but
+//     superlinear, so the plan pulls away.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"semacyclic/internal/core"
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/game"
+	"semacyclic/internal/gen"
+	"semacyclic/internal/hom"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/obs"
+	"semacyclic/internal/server"
+	"semacyclic/internal/term"
+	"semacyclic/internal/yannakakis"
+)
+
+// evalIndexCase is one scale point of the indexed-vs-scan arm.
+type evalIndexCase struct {
+	DBAtoms int `json:"db_atoms"`
+	Answers int `json:"answers"`
+	// ScanMS / IndexedMS are median evaluation times with the index
+	// disabled / enabled; Speedup is their ratio.
+	ScanMS    float64 `json:"scan_ms"`
+	IndexedMS float64 `json:"indexed_ms"`
+	Speedup   float64 `json:"speedup"`
+	// RowsScanned* come from the per-run EvalStats: the rows the leaf
+	// load actually touched under each mode.
+	RowsScannedScan    int64 `json:"rows_scanned_scan"`
+	RowsScannedIndexed int64 `json:"rows_scanned_indexed"`
+	IndexHits          int64 `json:"index_hits"`
+	// Agree: scan and indexed answers identical (checked at every
+	// scale) and both identical to hom.Evaluate (checked at the
+	// smallest scale, where the generic evaluator is affordable).
+	Agree bool `json:"agree"`
+}
+
+// planCacheResult is the plan-cache arm's measurements.
+type planCacheResult struct {
+	Query string `json:"query"`
+	// MissMS is the first /evaluate (decide + GYO + execute); HitMS the
+	// median of the cached repeats (execute only).
+	MissMS     float64 `json:"miss_ms"`
+	HitMS      float64 `json:"hit_ms"`
+	HitSpeedup float64 `json:"hit_speedup"`
+	// PlanCacheHits is the server.plan_cache_hits counter delta.
+	PlanCacheHits int64 `json:"plan_cache_hits"`
+	// HitFlagged: the repeats reported plan_cached=true.
+	HitFlagged bool `json:"hit_flagged"`
+	// AnswersMatchLibrary: the HTTP answers equal the library-level
+	// CompilePlan+Execute answers on the same database.
+	AnswersMatchLibrary bool `json:"answers_match_library"`
+	Answers             int  `json:"answers"`
+}
+
+// crossoverPoint is one scale point of the game-vs-plan arm.
+type crossoverPoint struct {
+	DBAtoms      int     `json:"db_atoms"`
+	GameMS       float64 `json:"game_ms"`
+	YannakakisMS float64 `json:"yannakakis_ms"`
+	Agree        bool    `json:"agree"`
+}
+
+type evalReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	IndexVsScan []evalIndexCase `json:"index_vs_scan"`
+	// MinSpeedup is the smallest indexed-vs-scan speedup across scales
+	// (the acceptance claim is ≥2).
+	MinSpeedup float64          `json:"min_speedup"`
+	PlanCache  planCacheResult  `json:"plan_cache"`
+	Crossover  []crossoverPoint `json:"crossover"`
+}
+
+// indexWorkloadDB builds the constant-anchored workload: per predicate,
+// rows facts P(g_i, v_j) with g_i drawn from `groups` group constants
+// and v_j from `vals` value constants. A query anchored at one group
+// constant touches ~rows/groups facts through the index but all rows
+// under a scan.
+func indexWorkloadDB(r *rand.Rand, preds []string, rows, groups, vals int) *instance.Instance {
+	db := instance.New()
+	for _, p := range preds {
+		for i := 0; i < rows; i++ {
+			g := term.Const(fmt.Sprintf("g%d", r.Intn(groups)))
+			v := term.Const(fmt.Sprintf("v%d", r.Intn(vals)))
+			if err := db.Add(instance.NewAtom(p, g, v)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return db
+}
+
+// medianMS runs f reps times and returns the median wall time in ms.
+func medianMS(reps int, f func()) float64 {
+	ds := make([]time.Duration, reps)
+	for i := range ds {
+		ds[i] = timeIt(f)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return float64(ds[reps/2]) / float64(time.Millisecond)
+}
+
+// answerKeySet canonicalizes an answer set for comparison.
+func answerKeySet(ans [][]term.Term) map[string]bool {
+	m := make(map[string]bool, len(ans))
+	var buf []byte
+	for _, t := range ans {
+		buf = hom.AppendTupleKey(buf[:0], t)
+		m[string(buf)] = true
+	}
+	return m
+}
+
+func sameAnswerSet(a, b [][]term.Term) bool {
+	ka, kb := answerKeySet(a), answerKeySet(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for k := range ka {
+		if !kb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+const evalReps = 5
+
+// runIndexVsScan measures the indexed-vs-scan arm.
+func runIndexVsScan() []evalIndexCase {
+	// Three atoms anchored at the same group constant, joined on x:
+	// every leaf is index-selective.
+	q := cq.MustParse("q(x) :- R0('g0',x), R1('g0',x), R2('g0',x).")
+	r := rand.New(rand.NewSource(41))
+	var out []evalIndexCase
+	for ci, rows := range []int{8000, 32000, 64000} {
+		db := indexWorkloadDB(r, []string{"R0", "R1", "R2"}, rows, 100, 2000)
+		var scanAns, idxAns [][]term.Term
+		var scanStats, idxStats obs.EvalStats
+		evalOnce := func(disable bool, stats *obs.EvalStats) [][]term.Term {
+			*stats = obs.EvalStats{}
+			ans, err := yannakakis.EvaluateOpt(q, db, yannakakis.Options{DisableIndex: disable, Stats: stats})
+			must(err)
+			return ans
+		}
+		scanMS := medianMS(evalReps, func() { scanAns = evalOnce(true, &scanStats) })
+		idxMS := medianMS(evalReps, func() { idxAns = evalOnce(false, &idxStats) })
+		agree := sameAnswerSet(scanAns, idxAns)
+		if ci == 0 {
+			agree = agree && sameAnswerSet(idxAns, hom.Evaluate(q, db))
+		}
+		c := evalIndexCase{
+			DBAtoms:            db.Len(),
+			Answers:            len(idxAns),
+			ScanMS:             scanMS,
+			IndexedMS:          idxMS,
+			RowsScannedScan:    scanStats.RowsScanned,
+			RowsScannedIndexed: idxStats.RowsScanned,
+			IndexHits:          idxStats.IndexHits,
+			Agree:              agree,
+		}
+		if idxMS > 0 {
+			c.Speedup = scanMS / idxMS
+		}
+		out = append(out, c)
+		fmt.Printf("eval index-vs-scan |D|=%-7d answers=%-5d scan=%.2fms indexed=%.2fms speedup=%.1fx rows %d→%d agree=%v\n",
+			c.DBAtoms, c.Answers, c.ScanMS, c.IndexedMS, c.Speedup, c.RowsScannedScan, c.RowsScannedIndexed, c.Agree)
+	}
+	return out
+}
+
+// runPlanCacheArm measures /evaluate miss-vs-hit through an in-process
+// semacycd and cross-checks the HTTP answers against the library path.
+func runPlanCacheArm() (planCacheResult, error) {
+	res := planCacheResult{}
+	// The sticky set drives a budgeted complete search inside Decide, so
+	// plan compilation is the expensive part of the request; the
+	// database is tiny, so execution is not. A cache hit then skips
+	// almost the whole request.
+	q := cq.MustParse("q :- S0(x,y), S0(y,z), S0(z,x).")
+	set := deps.MustParse("US1(x), US0(y) -> S0(x,y).\nS1(x,y) -> S1(y,w).\nUS0(x), US1(y) -> S1(x,y).")
+	const planBudget = 1500
+	res.Query = q.String()
+	db, err := instance.Parse("S0(a,b). S0(b,c). S0(c,a).")
+	if err != nil {
+		return res, err
+	}
+	dump, err := db.Dump()
+	if err != nil {
+		return res, err
+	}
+
+	srv := server.New(server.Config{DefaultDeadline: 60 * time.Second})
+	hs := httptest.NewServer(srv.Handler())
+	defer func() { hs.Close(); srv.Drain() }()
+	c := &http.Client{}
+
+	status, body, _, err := postJSON(c, hs.URL+"/instances", server.InstanceRequest{Name: "triangle", Atoms: dump})
+	if err != nil {
+		return res, err
+	}
+	if status != http.StatusCreated {
+		return res, fmt.Errorf("load instance: status %d: %s", status, body)
+	}
+
+	ereq := server.EvaluateRequest{Query: q.String(), Deps: set.String(), Instance: "triangle", Budget: planBudget}
+	hits0 := obs.ServerPlanCacheHits.Load()
+	var first server.EvaluateResponse
+	missMS := medianMS(1, func() {
+		status, body, _, err = postJSON(c, hs.URL+"/evaluate", ereq)
+	})
+	if err != nil {
+		return res, err
+	}
+	if status != http.StatusOK {
+		return res, fmt.Errorf("evaluate: status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(body), &first); err != nil {
+		return res, err
+	}
+	res.MissMS = missMS
+	res.Answers = len(first.Answers)
+
+	hitFlagged := true
+	hitMS := medianMS(evalReps, func() {
+		status, body, _, err = postJSON(c, hs.URL+"/evaluate", ereq)
+		var resp server.EvaluateResponse
+		if err == nil && json.Unmarshal(bytes.TrimSpace(body), &resp) == nil {
+			hitFlagged = hitFlagged && resp.PlanCached
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	res.HitMS = hitMS
+	res.HitFlagged = hitFlagged && !first.PlanCached
+	if hitMS > 0 {
+		res.HitSpeedup = missMS / hitMS
+	}
+	res.PlanCacheHits = obs.ServerPlanCacheHits.Load() - hits0
+
+	// Library-level cross-check: same plan, same database, answers
+	// rendered the same way the server renders them.
+	plan, err := core.CompilePlan(q, set, core.Options{SearchBudget: planBudget}, "")
+	if err != nil {
+		return res, err
+	}
+	ans, _, err := plan.Execute(db, core.EvalOptions{})
+	if err != nil {
+		return res, err
+	}
+	res.AnswersMatchLibrary = len(ans) == len(first.Answers)
+	for i := 0; res.AnswersMatchLibrary && i < len(ans); i++ {
+		if len(ans[i]) != len(first.Answers[i]) {
+			res.AnswersMatchLibrary = false
+			break
+		}
+		for j, t := range ans[i] {
+			if t.Name != first.Answers[i][j] {
+				res.AnswersMatchLibrary = false
+				break
+			}
+		}
+	}
+	fmt.Printf("eval plan-cache miss=%.2fms hit=%.2fms speedup=%.1fx hits=%d flagged=%v answers=%d match-library=%v\n",
+		res.MissMS, res.HitMS, res.HitSpeedup, res.PlanCacheHits, res.HitFlagged, res.Answers, res.AnswersMatchLibrary)
+	return res, nil
+}
+
+// runCrossoverArm compares the Theorem 25 game evaluator with a
+// compiled Yannakakis plan as |D| grows.
+func runCrossoverArm() []crossoverPoint {
+	q := cq.MustParse("q(x) :- E(x,y), P(x).")
+	plan, err := core.CompilePlan(q, &deps.Set{}, core.Options{}, "")
+	must(err)
+	r := rand.New(rand.NewSource(43))
+	var out []crossoverPoint
+	for _, scale := range []int{50, 100, 200, 400} {
+		db := gen.RandomGraphDB(r, scale, scale/3)
+		var gameAns, planAns [][]term.Term
+		gameMS := medianMS(evalReps, func() { gameAns = game.Evaluate(q, db) })
+		planMS := medianMS(evalReps, func() {
+			var err error
+			planAns, _, err = plan.Execute(db, core.EvalOptions{})
+			must(err)
+		})
+		p := crossoverPoint{
+			DBAtoms:      db.Len(),
+			GameMS:       gameMS,
+			YannakakisMS: planMS,
+			Agree:        sameAnswerSet(gameAns, planAns),
+		}
+		out = append(out, p)
+		fmt.Printf("eval crossover |D|=%-6d game=%.2fms yannakakis=%.2fms agree=%v\n",
+			p.DBAtoms, p.GameMS, p.YannakakisMS, p.Agree)
+	}
+	return out
+}
+
+// runEvalOut measures the evaluation trajectory and writes BENCH_4.
+func runEvalOut(path string) int {
+	report := evalReport{
+		GeneratedBy: "experiments -eval-out",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	report.IndexVsScan = runIndexVsScan()
+	report.MinSpeedup = report.IndexVsScan[0].Speedup
+	for _, c := range report.IndexVsScan {
+		if c.Speedup < report.MinSpeedup {
+			report.MinSpeedup = c.Speedup
+		}
+		if !c.Agree {
+			fmt.Fprintln(os.Stderr, "experiments: eval: indexed and scan answers disagree")
+			return 1
+		}
+	}
+	pc, err := runPlanCacheArm()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: eval:", err)
+		return 1
+	}
+	if !pc.AnswersMatchLibrary || !pc.HitFlagged || pc.PlanCacheHits < 1 {
+		fmt.Fprintln(os.Stderr, "experiments: eval: plan-cache invariants violated")
+		return 1
+	}
+	report.PlanCache = pc
+	report.Crossover = runCrossoverArm()
+	for _, p := range report.Crossover {
+		if !p.Agree {
+			fmt.Fprintln(os.Stderr, "experiments: eval: game and plan answers disagree")
+			return 1
+		}
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	fmt.Printf("wrote %s (min indexed speedup %.1fx)\n", path, report.MinSpeedup)
+	return 0
+}

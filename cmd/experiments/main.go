@@ -67,6 +67,7 @@ func main() {
 	serveOut := flag.String("serve-out", "", "stand up an in-process semacycd, drive it with a mixed decide/batch load and write the serving trajectory JSON to this file")
 	serveN := flag.Int("serve-n", 10000, "decision count for the -serve-out mixed workload")
 	serveClients := flag.Int("serve-clients", 16, "concurrent client connections for -serve-out")
+	evalOut := flag.String("eval-out", "", "measure the evaluation trajectory (indexed vs scan Yannakakis, plan cache, game crossover) and write the JSON to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar (the semacyclic.* counters) on this address, e.g. :6060")
 	flag.Parse()
 	if *pprofAddr != "" {
@@ -83,6 +84,9 @@ func main() {
 	}
 	if *serveOut != "" {
 		os.Exit(runServeOut(*serveOut, *serveN, *serveClients))
+	}
+	if *evalOut != "" {
+		os.Exit(runEvalOut(*evalOut))
 	}
 	want := map[string]bool{}
 	for _, a := range flag.Args() {

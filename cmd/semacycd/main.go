@@ -1,8 +1,12 @@
 // Command semacycd serves the SemAc(C) decision pipeline as a
 // long-lived HTTP/JSON service: POST /decide, /decide/batch and
-// /approximate, with a decision cache, per-request deadlines, bounded
-// worker-pool backpressure (429 + Retry-After), and graceful drain on
-// SIGTERM/SIGINT. See internal/server and the README quick-start.
+// /approximate for decisions; POST/GET/DELETE /instances to manage
+// named databases (indexed at load time) and POST /evaluate to run
+// queries against them with a cached evaluation plan. All endpoints
+// share the decision cache, per-request deadlines, bounded worker-pool
+// backpressure (429 + Retry-After), and graceful drain on
+// SIGTERM/SIGINT. See internal/server, docs/API.md and the README
+// quick-start.
 package main
 
 import (
@@ -27,6 +31,9 @@ func run(args []string) int {
 	workers := fs.Int("workers", 0, "decision workers (0 = one per logical CPU)")
 	queue := fs.Int("queue", 0, "admission queue depth (0 = 4x workers); full queue sheds with 429")
 	cache := fs.Int("cache", 4096, "decision cache entries")
+	planCache := fs.Int("plan-cache", 1024, "evaluation plan cache entries")
+	maxInstances := fs.Int("max-instances", 64, "named-instance registry capacity")
+	maxAtoms := fs.Int("max-instance-atoms", 1_000_000, "per-instance atom limit (larger loads get 413)")
 	deadline := fs.Duration("deadline", 10*time.Second, "default per-request deadline (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown connection-drain budget")
 	_ = fs.Parse(args)
@@ -35,10 +42,13 @@ func run(args []string) int {
 	obs.Publish()
 
 	cfg := server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheSize:       *cache,
-		DefaultDeadline: *deadline,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheSize:        *cache,
+		PlanCacheSize:    *planCache,
+		MaxInstances:     *maxInstances,
+		MaxInstanceAtoms: *maxAtoms,
+		DefaultDeadline:  *deadline,
 	}
 	if *deadline == 0 {
 		cfg.DefaultDeadline = -1 // flag 0 means "no default deadline"

@@ -128,6 +128,65 @@ func ExampleDecideUCQ() {
 	// [true false]
 }
 
+// Theorem 25: for guarded Σ, a semantically acyclic query is evaluated
+// in polynomial time via the existential 1-cover game — no witness is
+// ever computed. The caller guarantees the premises (Σ guarded, q
+// semantically acyclic under Σ, the database satisfies Σ).
+func ExampleEvaluateGuardedGame() {
+	// Σ = E(x,y) -> P(x) is linear, hence guarded; q is semantically
+	// acyclic under it; the database satisfies it.
+	q := semacyclic.MustParseQuery("q(x) :- E(x,y), P(x).")
+	db, err := semacyclic.ParseDatabase("E(a,b). E(b,c). P(a). P(b).")
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range semacyclic.EvaluateGuardedGame(q, db) {
+		fmt.Println(t[0].Name)
+	}
+	// Unordered output:
+	// a
+	// b
+}
+
+// Section 7 (closing remark): under a pure egd set, evaluation chases
+// the query once and then plays the 1-cover game per tuple.
+func ExampleEvaluateEGDGame() {
+	// The key makes E's second position a function of the first, so the
+	// two-atom query collapses to a single atom — semantically acyclic.
+	q := semacyclic.MustParseQuery("q(x,y) :- E(x,y), E(x,z).")
+	sigma := semacyclic.MustParseDependencies("E(x,y), E(x,z) -> y = z.")
+	db, err := semacyclic.ParseDatabase("E(a,b). E(c,d).")
+	if err != nil {
+		panic(err)
+	}
+	answers, err := semacyclic.EvaluateEGDGame(q, sigma, db)
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range answers {
+		fmt.Println(t[0].Name, t[1].Name)
+	}
+	// Unordered output:
+	// a b
+	// c d
+}
+
+// Evaluate is the generic (NP-hard in general) backtracking evaluator —
+// the always-sound fallback every fast path is checked against.
+func ExampleEvaluate() {
+	q := semacyclic.MustParseQuery("q(x,z) :- E(x,y), E(y,z).")
+	db, err := semacyclic.ParseDatabase("E(a,b). E(b,c). E(b,d).")
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range semacyclic.Evaluate(q, db) {
+		fmt.Println(t[0].Name, t[1].Name)
+	}
+	// Unordered output:
+	// a c
+	// a d
+}
+
 func ExampleExplain() {
 	q := semacyclic.MustParseQuery(
 		"q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y).")

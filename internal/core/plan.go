@@ -1,0 +1,330 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"semacyclic/internal/chase"
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/game"
+	"semacyclic/internal/hom"
+	"semacyclic/internal/hypergraph"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/obs"
+	"semacyclic/internal/term"
+	"semacyclic/internal/yannakakis"
+)
+
+// Evaluation method tags carried on Plan.Method and accepted by
+// CompilePlan. MethodAuto (or "") picks exactly as the package's
+// one-shot helpers do: Yannakakis on the acyclic witness when the
+// decision is Yes, the generic backtracking evaluator otherwise.
+const (
+	MethodAuto        = "auto"
+	MethodYannakakis  = "yannakakis"
+	MethodGuardedGame = "guarded-game"
+	MethodEGDGame     = "egd-game"
+	MethodGeneric     = "generic"
+)
+
+// Plan is a compiled evaluation plan for a fixed (q, Σ): the decision
+// verdict, the selected method and — for the Yannakakis method — the
+// acyclic witness with its join forest. Compilation performs all the
+// data-independent work (the expensive part of Proposition 24); Execute
+// then runs in time linear in each database for the tractable methods.
+// Plans are immutable after CompilePlan and safe for concurrent
+// Execute calls, which is what lets the semacycd server cache them.
+type Plan struct {
+	// Query is the original query (evaluated directly by the game and
+	// generic methods).
+	Query *cq.CQ
+	// Set is the dependency set (needed at execution time only by the
+	// egd-game method, whose pattern is the chased query).
+	Set *deps.Set
+	// Method is the selected evaluation method tag.
+	Method string
+	// Witness and Forest are the acyclic reformulation and its join
+	// forest; non-nil exactly for MethodYannakakis.
+	Witness *cq.CQ
+	Forest  *hypergraph.Forest
+	// Verdict and Layer record the semantic-acyclicity decision behind
+	// the method selection (Verdict is Unknown for methods that skip
+	// the decision: explicit game or generic requests).
+	Verdict Verdict
+	Layer   string
+	// pattern and frozen are the chased query for MethodEGDGame,
+	// computed once at compile time.
+	pattern []instance.Atom
+	frozen  []term.Term
+}
+
+// EvalOptions tunes one Plan.Execute run.
+type EvalOptions struct {
+	// Cancel, when non-nil, aborts the evaluation as soon as the
+	// channel is closed; Execute then returns ErrCancelled. Wire a
+	// context's Done() channel here.
+	Cancel <-chan struct{}
+	// DisableIndex forces the Yannakakis leaf-load to scan instead of
+	// using the per-position indexes (benchmarking ablation).
+	DisableIndex bool
+}
+
+// CompilePlan compiles an evaluation plan for (q, Σ). method is one of
+// the Method tags or "" (auto):
+//
+//   - auto: Decide(q, Σ, opt); verdict Yes selects Yannakakis on the
+//     verified witness, anything else falls back to the generic
+//     backtracking evaluator (sound on every database, just not
+//     guaranteed tractable).
+//   - yannakakis: like auto but fails unless the decision is Yes.
+//   - guarded-game: the Theorem 25 evaluator; requires a guarded pure
+//     tgd set. The decision is skipped — that is the theorem's point —
+//     so the semantic-acyclicity precondition is the caller's, exactly
+//     as for EvaluateGuardedGame.
+//   - egd-game: the Section 7 chase-then-game evaluator; requires a
+//     pure egd set. The chase of q happens here, once.
+//   - generic: the backtracking evaluator, no decision at all.
+func CompilePlan(q *cq.CQ, set *deps.Set, opt Options, method string) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %v", err)
+	}
+	if set == nil {
+		set = &deps.Set{}
+	}
+	p := &Plan{Query: q, Set: set, Verdict: Unknown}
+	switch method {
+	case MethodGeneric:
+		p.Method = MethodGeneric
+		return p, nil
+	case MethodGuardedGame:
+		if !set.PureTGDs() || !set.IsGuarded() {
+			return nil, fmt.Errorf("core: method %s requires a guarded pure tgd set", MethodGuardedGame)
+		}
+		p.Method = MethodGuardedGame
+		return p, nil
+	case MethodEGDGame:
+		if !set.PureEGDs() {
+			return nil, fmt.Errorf("core: method %s requires a pure egd set", MethodEGDGame)
+		}
+		res, frozen, err := chase.Query(q, set, chase.Options{Cancel: opt.Cancel})
+		if err != nil {
+			if errors.Is(err, chase.ErrCancelled) {
+				return nil, ErrCancelled
+			}
+			// A failing egd chase means q is unsatisfiable on databases
+			// ⊨ Σ: the plan evaluates to the empty answer set.
+			p.Method = MethodEGDGame
+			return p, nil
+		}
+		p.Method = MethodEGDGame
+		p.pattern = res.Instance.Atoms()
+		p.frozen = frozen
+		return p, nil
+	case "", MethodAuto, MethodYannakakis:
+		res, err := Decide(q, set, opt)
+		if err != nil {
+			return nil, err
+		}
+		p.Verdict, p.Layer = res.Verdict, res.Layer
+		if res.Verdict == Yes {
+			forest, ok := hypergraph.GYO(res.Witness.Atoms)
+			if !ok {
+				return nil, fmt.Errorf("core: verified witness %s is not acyclic", res.Witness)
+			}
+			p.Method, p.Witness, p.Forest = MethodYannakakis, res.Witness, forest
+			return p, nil
+		}
+		if method == MethodYannakakis {
+			return nil, fmt.Errorf("core: query is not verifiably semantically acyclic (verdict %s)", res.Verdict)
+		}
+		p.Method = MethodGeneric
+		return p, nil
+	default:
+		return nil, fmt.Errorf("core: unknown evaluation method %q", method)
+	}
+}
+
+// Execute runs the plan against one database, returning the answer set
+// in canonical (sorted, deduplicated) order together with the
+// evaluation stats. Safe for concurrent use.
+func (p *Plan) Execute(db *instance.Instance, eopt EvalOptions) ([][]term.Term, *obs.EvalStats, error) {
+	st := &obs.EvalStats{Method: p.Method}
+	start := time.Now()
+	var (
+		ans [][]term.Term
+		err error
+	)
+	switch p.Method {
+	case MethodYannakakis:
+		ans, err = yannakakis.EvaluateWithForestOpt(p.Witness, p.Forest, db, yannakakis.Options{
+			Cancel:       eopt.Cancel,
+			DisableIndex: eopt.DisableIndex,
+			Stats:        st,
+		})
+	case MethodGuardedGame:
+		ans, err = game.EvaluateOpt(p.Query, db, game.Options{Cancel: eopt.Cancel})
+	case MethodEGDGame:
+		ans, err = egdGameAnswers(p.Query, p.pattern, p.frozen, db, eopt.Cancel)
+	case MethodGeneric:
+		ans, err = genericEvaluate(p.Query, db, eopt.Cancel)
+	default:
+		return nil, nil, fmt.Errorf("core: plan has unknown method %q", p.Method)
+	}
+	if err != nil {
+		return nil, nil, mapEvalCancelled(err)
+	}
+	ans = canonicalizeAnswers(ans)
+	st.Answers = len(ans)
+	st.WallNS = time.Since(start).Nanoseconds()
+	return ans, st, nil
+}
+
+// mapEvalCancelled folds every evaluator's cancellation sentinel into
+// the package's ErrCancelled.
+func mapEvalCancelled(err error) error {
+	if errors.Is(err, yannakakis.ErrCancelled) || errors.Is(err, game.ErrCancelled) ||
+		errors.Is(err, chase.ErrCancelled) {
+		return ErrCancelled
+	}
+	return err
+}
+
+// canonicalizeAnswers sorts and deduplicates an answer set by the
+// canonical tuple key, so every method returns byte-identical answer
+// lists for equal answer sets.
+func canonicalizeAnswers(ans [][]term.Term) [][]term.Term {
+	if len(ans) <= 1 {
+		return ans
+	}
+	type keyed struct {
+		key   string
+		tuple []term.Term
+	}
+	keyedAns := make([]keyed, 0, len(ans))
+	seen := make(map[string]bool, len(ans))
+	var buf []byte
+	for _, t := range ans {
+		buf = hom.AppendTupleKey(buf[:0], t)
+		if !seen[string(buf)] {
+			k := string(buf)
+			seen[k] = true
+			keyedAns = append(keyedAns, keyed{key: k, tuple: t})
+		}
+	}
+	sort.Slice(keyedAns, func(i, j int) bool { return keyedAns[i].key < keyedAns[j].key })
+	out := make([][]term.Term, len(keyedAns))
+	for i, a := range keyedAns {
+		out[i] = a.tuple
+	}
+	return out
+}
+
+// genericEvaluate is hom.Evaluate with cancellation: the backtracking
+// enumeration stops at the first cancel poll. Polls happen once per
+// enumerated homomorphism, so on answer-dense databases latency is
+// tight; a long fruitless backtrack between answers is not
+// interruptible without hooks inside package hom.
+func genericEvaluate(q *cq.CQ, db *instance.Instance, cancel <-chan struct{}) ([][]term.Term, error) {
+	if cancel == nil {
+		return hom.Evaluate(q, db), nil
+	}
+	seen := make(map[string]bool)
+	var answers [][]term.Term
+	var buf []byte
+	aborted := false
+	hom.Enumerate(q.Atoms, db, nil, func(s term.Subst) bool {
+		select {
+		case <-cancel:
+			aborted = true
+			return false
+		default:
+		}
+		tuple := s.ResolveTuple(q.Free)
+		buf = hom.AppendTupleKey(buf[:0], tuple)
+		if !seen[string(buf)] {
+			seen[string(buf)] = true
+			answers = append(answers, tuple)
+		}
+		return true
+	})
+	if aborted {
+		return nil, ErrCancelled
+	}
+	return answers, nil
+}
+
+// egdGameAnswers evaluates a pre-chased egd-game plan: candidate
+// values per free position come from the pattern's predicates, each
+// candidate tuple is checked with the 1-cover game. A nil pattern
+// (failing chase at compile time) means the empty answer set.
+func egdGameAnswers(q *cq.CQ, pattern []instance.Atom, frozen []term.Term, db *instance.Instance, cancel <-chan struct{}) ([][]term.Term, error) {
+	if pattern == nil {
+		return nil, nil
+	}
+	gopt := game.Options{Cancel: cancel}
+	if len(q.Free) == 0 {
+		ok, err := game.CoversOpt(pattern, nil, db, nil, gopt)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return [][]term.Term{{}}, nil
+		}
+		return nil, nil
+	}
+	cand := candidateValues(q, pattern, frozen, db)
+	var out [][]term.Term
+	tuple := make([]term.Term, len(q.Free))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(q.Free) {
+			ok, err := game.CoversOpt(pattern, frozen, db, tuple, gopt)
+			if err != nil {
+				return err
+			}
+			if ok {
+				out = append(out, append([]term.Term(nil), tuple...))
+			}
+			return nil
+		}
+		for _, v := range cand[i] {
+			tuple[i] = v
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// candidateValues collects, per free position, the database values
+// occurring at a (predicate, position) where the frozen head term
+// occurs in the pattern — the output-bounded candidate domains the
+// egd-game enumeration ranges over.
+func candidateValues(q *cq.CQ, pattern []instance.Atom, frozen []term.Term, db *instance.Instance) [][]term.Term {
+	cand := make([][]term.Term, len(q.Free))
+	for i, f := range frozen {
+		seen := make(map[term.Term]bool)
+		for _, a := range pattern {
+			for p, t := range a.Args {
+				if t != f {
+					continue
+				}
+				for _, fact := range db.ByPred(a.Pred) {
+					if p < len(fact.Args) && !seen[fact.Args[p]] {
+						seen[fact.Args[p]] = true
+						cand[i] = append(cand[i], fact.Args[p])
+					}
+				}
+			}
+		}
+	}
+	return cand
+}

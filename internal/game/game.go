@@ -11,10 +11,39 @@
 package game
 
 import (
+	"errors"
+
 	"semacyclic/internal/cq"
 	"semacyclic/internal/instance"
 	"semacyclic/internal/term"
 )
+
+// ErrCancelled reports that a game evaluation was aborted via
+// Options.Cancel.
+var ErrCancelled = errors.New("game: evaluation cancelled")
+
+// Options tunes the cancellable entry points. The zero value means no
+// cancellation.
+type Options struct {
+	// Cancel, when non-nil, aborts the evaluation as soon as the
+	// channel is closed; the entry point then returns ErrCancelled.
+	// Polled once per arc-consistency sweep and once per candidate
+	// tuple of the enumeration, so latency is bounded by one fixpoint
+	// sweep, not a whole answer enumeration.
+	Cancel <-chan struct{}
+}
+
+func (o Options) cancelled() bool {
+	if o.Cancel == nil {
+		return false
+	}
+	select {
+	case <-o.Cancel:
+		return true
+	default:
+		return false
+	}
+}
 
 // flexibleElem reports whether a pattern term is an element the
 // duplicator may map freely: variables, nulls and frozen query
@@ -35,12 +64,19 @@ type posPair struct{ pi, pj int }
 // exists. ptuple and ttuple must have equal length; position i of
 // ptuple is pinned to position i of ttuple.
 func Covers(pattern []instance.Atom, ptuple []term.Term, target *instance.Instance, ttuple []term.Term) bool {
+	ok, _ := CoversOpt(pattern, ptuple, target, ttuple, Options{})
+	return ok
+}
+
+// CoversOpt is Covers with cancellation support: on Options.Cancel it
+// aborts the arc-consistency fixpoint and returns ErrCancelled.
+func CoversOpt(pattern []instance.Atom, ptuple []term.Term, target *instance.Instance, ttuple []term.Term, opt Options) (bool, error) {
 	if len(ptuple) != len(ttuple) {
-		return false
+		return false, nil
 	}
 	n := len(pattern)
 	if n == 0 {
-		return true
+		return true, nil
 	}
 
 	// pin maps pinned pattern elements to their required images.
@@ -48,7 +84,7 @@ func Covers(pattern []instance.Atom, ptuple []term.Term, target *instance.Instan
 	for i, p := range ptuple {
 		if got, ok := pin[p]; ok {
 			if got != ttuple[i] {
-				return false // t̄ repeats an element that t̄' does not
+				return false, nil // t̄ repeats an element that t̄' does not
 			}
 			continue
 		}
@@ -66,7 +102,7 @@ func Covers(pattern []instance.Atom, ptuple []term.Term, target *instance.Instan
 			}
 		}
 		if len(H[i]) == 0 {
-			return false
+			return false, nil
 		}
 	}
 
@@ -95,6 +131,9 @@ func Covers(pattern []instance.Atom, ptuple []term.Term, target *instance.Instan
 	// Arc-consistency fixpoint: drop a candidate of atom i when some
 	// atom j has no candidate agreeing on all shared positions.
 	for changed := true; changed; {
+		if opt.cancelled() {
+			return false, ErrCancelled
+		}
 		changed = false
 		for i := range pattern {
 			kept := H[i][:0]
@@ -114,7 +153,7 @@ func Covers(pattern []instance.Atom, ptuple []term.Term, target *instance.Instan
 				}
 			}
 			if len(kept) == 0 {
-				return false
+				return false, nil
 			}
 			if len(kept) != len(H[i]) {
 				changed = true
@@ -122,7 +161,7 @@ func Covers(pattern []instance.Atom, ptuple []term.Term, target *instance.Instan
 			H[i] = kept
 		}
 	}
-	return true
+	return true, nil
 }
 
 func hasAgreeing(ci candidate, cands []candidate, pairs []posPair) bool {
@@ -192,11 +231,22 @@ func Bool(q *cq.CQ, db *instance.Instance) bool {
 // the enumeration is output-bounded per position rather than |D|^k
 // blind. Under Theorem 25's premises this is exactly q(db).
 func Evaluate(q *cq.CQ, db *instance.Instance) [][]term.Term {
+	out, _ := EvaluateOpt(q, db, Options{})
+	return out
+}
+
+// EvaluateOpt is Evaluate with cancellation support: on Options.Cancel
+// the enumeration stops and ErrCancelled is returned.
+func EvaluateOpt(q *cq.CQ, db *instance.Instance, opt Options) ([][]term.Term, error) {
 	if len(q.Free) == 0 {
-		if Bool(q, db) {
-			return [][]term.Term{{}}
+		ok, err := CoversOpt(q.Atoms, nil, db, nil, opt)
+		if err != nil {
+			return nil, err
 		}
-		return nil
+		if ok {
+			return [][]term.Term{{}}, nil
+		}
+		return nil, nil
 	}
 	// Candidate values for each free variable: terms appearing at some
 	// position where the variable occurs in q.
@@ -219,19 +269,28 @@ func Evaluate(q *cq.CQ, db *instance.Instance) [][]term.Term {
 	}
 	var out [][]term.Term
 	tuple := make([]term.Term, len(q.Free))
-	var rec func(i int)
-	rec = func(i int) {
+	var rec func(i int) error
+	rec = func(i int) error {
 		if i == len(q.Free) {
-			if HasTuple(q, db, tuple) {
+			ok, err := CoversOpt(q.Atoms, q.Free, db, tuple, opt)
+			if err != nil {
+				return err
+			}
+			if ok {
 				out = append(out, append([]term.Term(nil), tuple...))
 			}
-			return
+			return nil
 		}
 		for _, v := range cand[i] {
 			tuple[i] = v
-			rec(i + 1)
+			if err := rec(i + 1); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	rec(0)
-	return out
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -1,0 +1,65 @@
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semacyclic/internal/term"
+)
+
+// Parse reads ground atoms like "R(a,b). S(c)." into an instance;
+// arguments are constants (quotes optional). It is the inverse of
+// Dump and the parser behind the facade's ParseDatabase and the
+// semacycd instance registry.
+func Parse(input string) (*Instance, error) {
+	db := New()
+	for _, stmt := range strings.Split(input, ".") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		open := strings.IndexByte(stmt, '(')
+		if open < 0 || !strings.HasSuffix(stmt, ")") {
+			return nil, fmt.Errorf("instance: bad atom %q", stmt)
+		}
+		pred := strings.TrimSpace(stmt[:open])
+		if pred == "" {
+			return nil, fmt.Errorf("instance: bad atom %q", stmt)
+		}
+		argSrc := stmt[open+1 : len(stmt)-1]
+		var args []term.Term
+		if strings.TrimSpace(argSrc) != "" {
+			for _, raw := range strings.Split(argSrc, ",") {
+				name := strings.Trim(strings.TrimSpace(raw), "'")
+				if name == "" {
+					return nil, fmt.Errorf("instance: empty argument in %q", stmt)
+				}
+				args = append(args, term.Const(name))
+			}
+		}
+		if err := db.Add(NewAtom(pred, args...)); err != nil {
+			return nil, err
+		}
+	}
+	if db.Len() == 0 {
+		return nil, fmt.Errorf("instance: empty database")
+	}
+	return db, nil
+}
+
+// Predicates returns the instance's predicate names in sorted order
+// with their atom counts — the summary the registry listing shows.
+func (ins *Instance) Predicates() ([]string, map[string]int) {
+	counts := make(map[string]int, len(ins.byPred))
+	names := make([]string, 0, len(ins.byPred))
+	for p, atoms := range ins.byPred {
+		if len(atoms) == 0 {
+			continue
+		}
+		names = append(names, p)
+		counts[p] = len(atoms)
+	}
+	sort.Strings(names)
+	return names, counts
+}

@@ -67,6 +67,16 @@ var (
 	ServerCacheHits = reg("server.cache_hits")
 	ServerCancelled = reg("server.cancelled")
 	ServerShed      = reg("server.shed")
+
+	// The evaluation-layer counters: /evaluate requests completed,
+	// compiled-plan cache hits (a hit skips decide + GYO entirely),
+	// instances loaded into the registry, and the Yannakakis leaf-load
+	// totals (rows read vs rows the per-position indexes avoided).
+	ServerEvaluations   = reg("server.evaluations")
+	ServerPlanCacheHits = reg("server.plan_cache_hits")
+	ServerInstances     = reg("server.instances_loaded")
+	EvalRowsScanned     = reg("semacyclic.eval.rows_scanned")
+	EvalIndexHits       = reg("semacyclic.eval.index_hits")
 )
 
 // Snapshot is a point-in-time copy of every global counter, for

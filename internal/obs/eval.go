@@ -1,0 +1,54 @@
+package obs
+
+import "fmt"
+
+// EvalStats is the per-evaluation observability snapshot: one query
+// executed against one database instance, by whichever method the plan
+// selected. It travels on core.Plan.Execute results and out of the
+// semacycd /evaluate endpoint.
+//
+// Like Stats, fields split into DETERMINISTIC (fixed for a given
+// plan/database/options triple — the index and semijoin work of the
+// sequential evaluators) and NONDETERMINISTIC (wall times). The
+// determinism tests fingerprint the former across -j values.
+type EvalStats struct {
+	// Method names the evaluation procedure that ran: "yannakakis",
+	// "guarded-game", "egd-game" or "generic". DETERMINISTIC.
+	Method string `json:"method"`
+	// Answers is the size of the answer set. DETERMINISTIC.
+	Answers int `json:"answers"`
+	// RowsScanned counts database atoms read while loading join-tree
+	// leaves (or game/generic candidates): every atom fetched from a
+	// per-predicate or per-position list. DETERMINISTIC.
+	RowsScanned int64 `json:"rows_scanned"`
+	// IndexLookups counts ByPos probes issued for bound (constant)
+	// argument positions. DETERMINISTIC.
+	IndexLookups int64 `json:"index_lookups"`
+	// IndexHits counts rows returned by those probes — the rows that
+	// were read instead of scanned. DETERMINISTIC.
+	IndexHits int64 `json:"index_hits"`
+	// IndexSkippedRows counts the rows the index lookups avoided
+	// scanning: Σ over indexed atoms of (predicate size − candidates).
+	// DETERMINISTIC.
+	IndexSkippedRows int64 `json:"index_skipped_rows"`
+	// Semijoins counts semijoin reductions performed (two per join-tree
+	// edge in a full Yannakakis pass). DETERMINISTIC.
+	Semijoins int64 `json:"semijoins"`
+	// SemijoinDroppedRows counts rows eliminated by those reductions.
+	// DETERMINISTIC.
+	SemijoinDroppedRows int64 `json:"semijoin_dropped_rows"`
+	// JoinRows counts rows materialized by the bottom-up join phase.
+	// DETERMINISTIC.
+	JoinRows int64 `json:"join_rows"`
+	// WallNS is the evaluation wall time. NONDETERMINISTIC.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// Fingerprint renders the deterministic evaluation fields canonically;
+// two evaluations of the same plan over the same database with the same
+// index setting must produce byte-identical fingerprints.
+func (e *EvalStats) Fingerprint() string {
+	return fmt.Sprintf("eval{method=%s answers=%d scanned=%d lookups=%d hits=%d skipped=%d semijoins=%d dropped=%d joinrows=%d}",
+		e.Method, e.Answers, e.RowsScanned, e.IndexLookups, e.IndexHits,
+		e.IndexSkippedRows, e.Semijoins, e.SemijoinDroppedRows, e.JoinRows)
+}

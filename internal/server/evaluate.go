@@ -1,0 +1,191 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"semacyclic/internal/core"
+	"semacyclic/internal/obs"
+	"semacyclic/internal/term"
+)
+
+// EvaluateRequest is the JSON body of POST /evaluate: decide semantic
+// acyclicity of (query, deps), compile an evaluation plan, and run it
+// against a registered instance. The decision knobs (budget,
+// max_witness, skip_complete) mirror /decide and enter the plan-cache
+// key; deadline_ms, parallelism and no_index are per-request execution
+// knobs and do not.
+type EvaluateRequest struct {
+	// Query is the conjunctive query to evaluate.
+	Query string `json:"query"`
+	// Deps is the dependency set the instance is promised to satisfy;
+	// empty means no constraints.
+	Deps string `json:"deps,omitempty"`
+	// Instance names a database previously loaded via POST /instances.
+	Instance string `json:"instance"`
+	// Method selects the evaluation procedure: "auto" (default),
+	// "yannakakis", "guarded-game", "egd-game" or "generic". See
+	// core.CompilePlan for the contract of each.
+	Method string `json:"method,omitempty"`
+	// Budget / MaxWitness / SkipComplete / Parallelism tune the
+	// underlying decision exactly as on /decide.
+	Budget       int  `json:"budget,omitempty"`
+	MaxWitness   int  `json:"max_witness,omitempty"`
+	SkipComplete bool `json:"skip_complete,omitempty"`
+	Parallelism  int  `json:"parallelism,omitempty"`
+	// DeadlineMS bounds plan compilation plus execution.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// NoIndex disables the per-position index lookups in the
+	// Yannakakis leaf-load (benchmarking ablation; answers identical).
+	NoIndex bool `json:"no_index,omitempty"`
+}
+
+// EvaluateResponse is the JSON body of a /evaluate answer.
+type EvaluateResponse struct {
+	// Method is the evaluation method the plan selected.
+	Method string `json:"method"`
+	// Verdict and Layer record the semantic-acyclicity decision behind
+	// the method selection ("unknown" for methods that skip it).
+	Verdict string `json:"verdict"`
+	Layer   string `json:"layer,omitempty"`
+	// Witness is the acyclic reformulation evaluated by the
+	// "yannakakis" method.
+	Witness string `json:"witness,omitempty"`
+	// Free names the answer columns; Answers holds the answer tuples
+	// in canonical sorted order (a Boolean query answers [[]] for true,
+	// [] for false).
+	Free    []string   `json:"free"`
+	Answers [][]string `json:"answers"`
+	// PlanCached reports whether the compiled plan came from the plan
+	// cache (a hit skips decide + GYO entirely).
+	PlanCached bool `json:"plan_cached"`
+	// Stats is the per-evaluation work snapshot.
+	Stats *obs.EvalStats `json:"stats,omitempty"`
+}
+
+// planKey derives the plan-cache key for a parsed unit and method.
+// Parallelism, deadline and no_index stay out: the plan is identical
+// at every value of each.
+func planKey(u *decideUnit, method string) string {
+	return "plan\x00" + u.key + "\x00m=" + method
+}
+
+// plan returns the compiled evaluation plan for the unit, from the
+// cache when possible. Must run on a worker goroutine: compilation
+// contains a full decision.
+func (s *Server) plan(u *decideUnit, method string, cancel <-chan struct{}) (*core.Plan, bool, error) {
+	pk := planKey(u, method)
+	if v, ok := s.plans.Get(pk); ok {
+		obs.ServerPlanCacheHits.Add(1)
+		return v.(*core.Plan), true, nil
+	}
+	opt, err := s.options(u, cancel)
+	if err != nil {
+		return nil, false, err
+	}
+	p, err := core.CompilePlan(u.q, u.set, opt, method)
+	if err != nil {
+		return nil, false, err // a cancelled compile is not cached
+	}
+	s.plans.Add(pk, p)
+	return p, false, nil
+}
+
+func (s *Server) serveEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	obs.ServerRequests.Add(1)
+	dreq := DecideRequest{
+		Query:        req.Query,
+		Deps:         req.Deps,
+		Budget:       req.Budget,
+		MaxWitness:   req.MaxWitness,
+		SkipComplete: req.SkipComplete,
+		Parallelism:  req.Parallelism,
+		DeadlineMS:   req.DeadlineMS,
+	}
+	u, err := parseUnit(&dreq, "decide")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	method := req.Method
+	if method == "" {
+		method = core.MethodAuto
+	}
+	entry, ok := s.instances.get(req.Instance)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no instance %q (load it via POST /instances)", req.Instance))
+		return
+	}
+
+	ctx, cancel := s.requestCtx(r.Context(), req.DeadlineMS)
+	defer cancel()
+	var resp *EvaluateResponse
+	var cached bool
+	var derr error
+	done, err := s.submit(func() {
+		var p *core.Plan
+		p, cached, derr = s.plan(u, method, ctx.Done())
+		if derr != nil {
+			return
+		}
+		ans, stats, execErr := p.Execute(entry.db, core.EvalOptions{
+			Cancel:       ctx.Done(),
+			DisableIndex: req.NoIndex,
+		})
+		if execErr != nil {
+			derr = execErr
+			return
+		}
+		resp = &EvaluateResponse{
+			Method:     p.Method,
+			Verdict:    p.Verdict.String(),
+			Layer:      p.Layer,
+			Free:       freeNames(u),
+			Answers:    renderAnswers(ans),
+			PlanCached: cached,
+			Stats:      stats,
+		}
+		if p.Witness != nil {
+			resp.Witness = p.Witness.String()
+		}
+	})
+	if err != nil {
+		s.reject(w, err)
+		return
+	}
+	<-done
+	if derr != nil {
+		writeComputeErr(w, derr)
+		return
+	}
+	obs.ServerEvaluations.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// freeNames renders the query's answer columns.
+func freeNames(u *decideUnit) []string {
+	out := make([]string, len(u.q.Free))
+	for i, x := range u.q.Free {
+		out[i] = x.Name
+	}
+	return out
+}
+
+// renderAnswers converts answer tuples to plain string matrices. The
+// registry only holds ground constants, so Name is the full identity
+// of every answer term.
+func renderAnswers(ans [][]term.Term) [][]string {
+	out := make([][]string, len(ans))
+	for i, tup := range ans {
+		row := make([]string, len(tup))
+		for j, t := range tup {
+			row[j] = t.Name
+		}
+		out[i] = row
+	}
+	return out
+}

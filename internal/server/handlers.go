@@ -422,10 +422,11 @@ func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 		state = "draining"
 	}
 	writeJSON(w, status, map[string]any{
-		"status":   state,
-		"workers":  s.cfg.Workers,
-		"queue":    len(s.queue),
-		"inflight": inflight,
-		"cached":   s.decisions.Len(),
+		"status":    state,
+		"workers":   s.cfg.Workers,
+		"queue":     len(s.queue),
+		"inflight":  inflight,
+		"cached":    s.decisions.Len(),
+		"instances": s.instances.len(),
 	})
 }

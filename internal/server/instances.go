@@ -1,0 +1,157 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"semacyclic/internal/instance"
+	"semacyclic/internal/obs"
+)
+
+// registry is the named-instance store behind /instances: databases
+// loaded once and evaluated against many times. Reads (evaluations)
+// take the read lock only long enough to fetch the pointer; the
+// instances themselves are immutable once registered (reloading a name
+// swaps the pointer, never mutates the old value, so in-flight
+// evaluations finish against the version they started with).
+type registry struct {
+	mu           sync.RWMutex
+	m            map[string]*regEntry
+	maxInstances int
+	maxAtoms     int
+}
+
+// regEntry is one registered database with its load-time summary.
+type regEntry struct {
+	name   string
+	db     *instance.Instance
+	preds  []string
+	counts map[string]int
+}
+
+func newRegistry(maxInstances, maxAtoms int) *registry {
+	return &registry{m: make(map[string]*regEntry), maxInstances: maxInstances, maxAtoms: maxAtoms}
+}
+
+// InstanceInfo is the JSON summary of one registered instance, the
+// element type of GET /instances and the body of a successful load.
+type InstanceInfo struct {
+	Name string `json:"name"`
+	// Atoms is the number of facts in the instance.
+	Atoms int `json:"atoms"`
+	// Predicates maps each predicate to its fact count.
+	Predicates map[string]int `json:"predicates"`
+}
+
+// InstanceRequest is the JSON body of POST /instances.
+type InstanceRequest struct {
+	// Name identifies the instance in /evaluate requests.
+	Name string `json:"name"`
+	// Atoms holds the database in ground-atom syntax: "R(a,b). S(c)."
+	Atoms string `json:"atoms"`
+	// Replace allows overwriting an existing name; without it a
+	// duplicate load is rejected with 409.
+	Replace bool `json:"replace,omitempty"`
+}
+
+func (e *regEntry) info() InstanceInfo {
+	return InstanceInfo{Name: e.name, Atoms: e.db.Len(), Predicates: e.counts}
+}
+
+// load parses and registers a database. The returned status is the
+// HTTP status to answer with on error.
+func (r *registry) load(req *InstanceRequest) (*regEntry, int, error) {
+	if req.Name == "" || len(req.Name) > 128 {
+		return nil, http.StatusBadRequest, fmt.Errorf("instance name must be 1..128 characters")
+	}
+	for i := 0; i < len(req.Name); i++ {
+		if c := req.Name[i]; c <= ' ' || c == '/' || c == 0x7f {
+			return nil, http.StatusBadRequest, fmt.Errorf("instance name contains %q", c)
+		}
+	}
+	db, err := instance.Parse(req.Atoms)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if r.maxAtoms > 0 && db.Len() > r.maxAtoms {
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("instance has %d atoms, limit %d", db.Len(), r.maxAtoms)
+	}
+	preds, counts := db.Predicates()
+	e := &regEntry{name: req.Name, db: db, preds: preds, counts: counts}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.m[req.Name]; exists && !req.Replace {
+		return nil, http.StatusConflict, fmt.Errorf("instance %q already loaded (set replace)", req.Name)
+	} else if !exists && r.maxInstances > 0 && len(r.m) >= r.maxInstances {
+		return nil, http.StatusInsufficientStorage,
+			fmt.Errorf("registry full (%d instances); delete one first", len(r.m))
+	}
+	r.m[req.Name] = e
+	return e, http.StatusCreated, nil
+}
+
+// get fetches a registered instance.
+func (r *registry) get(name string) (*regEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.m[name]
+	return e, ok
+}
+
+// delete removes a registered instance, reporting whether it existed.
+func (r *registry) delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.m[name]
+	delete(r.m, name)
+	return ok
+}
+
+// list returns the summaries of every registered instance by name.
+func (r *registry) list() []InstanceInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]InstanceInfo, 0, len(r.m))
+	for _, e := range r.m {
+		out = append(out, e.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// len reports the number of registered instances.
+func (r *registry) len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}
+
+func (s *Server) serveInstanceLoad(w http.ResponseWriter, r *http.Request) {
+	var req InstanceRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	e, status, err := s.instances.load(&req)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	obs.ServerInstances.Add(1)
+	writeJSON(w, status, e.info())
+}
+
+func (s *Server) serveInstanceList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"instances": s.instances.list()})
+}
+
+func (s *Server) serveInstanceDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.instances.delete(name) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no instance %q", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,11 +1,15 @@
 // Package server implements semacycd, the long-lived HTTP/JSON
 // decision service over the SemAc(C) pipeline. It exposes
 //
-//	POST /decide       — one semantic-acyclicity decision
-//	POST /decide/batch — a batch of decisions sharing one deadline
-//	POST /approximate  — a maximally contained acyclic approximation
-//	GET  /healthz      — liveness + queue depth
-//	GET  /debug/vars   — the expvar counters (obs.Publish)
+//	POST /decide           — one semantic-acyclicity decision
+//	POST /decide/batch     — a batch of decisions sharing one deadline
+//	POST /approximate      — a maximally contained acyclic approximation
+//	POST /instances        — load a named database (indexed at load time)
+//	GET  /instances        — list loaded instances
+//	DELETE /instances/{name} — drop a loaded instance
+//	POST /evaluate         — evaluate a query on a loaded instance
+//	GET  /healthz          — liveness + queue depth
+//	GET  /debug/vars       — the expvar counters (obs.Publish)
 //
 // Three properties make it suitable for a long-lived deployment:
 //
@@ -60,6 +64,15 @@ type Config struct {
 	// PrepCacheSize bounds the prepared checkers kept per constraint
 	// set (default 256).
 	PrepCacheSize int
+	// PlanCacheSize bounds the compiled evaluation plans kept for
+	// /evaluate (default 1024). A plan-cache hit skips the decision and
+	// join-forest construction entirely.
+	PlanCacheSize int
+	// MaxInstances bounds the named-instance registry (default 64).
+	MaxInstances int
+	// MaxInstanceAtoms bounds the size of one loaded instance in atoms
+	// (default 1_000_000); oversized loads are rejected with 413.
+	MaxInstanceAtoms int
 	// DefaultDeadline applies to requests that do not set deadline_ms.
 	// 0 picks 10s; negative disables the default (requests without
 	// deadline_ms then run unbounded).
@@ -83,6 +96,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PrepCacheSize <= 0 {
 		c.PrepCacheSize = 256
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 1024
+	}
+	if c.MaxInstances <= 0 {
+		c.MaxInstances = 64
+	}
+	if c.MaxInstanceAtoms <= 0 {
+		c.MaxInstanceAtoms = 1_000_000
 	}
 	if c.DefaultDeadline == 0 {
 		c.DefaultDeadline = 10 * time.Second
@@ -116,6 +138,10 @@ type Server struct {
 	decisions *lruCache
 	// sigmas caches *sigmaEntry by the set's canonical rendering.
 	sigmas *lruCache
+	// plans caches *core.Plan by planKey (decision knobs × method).
+	plans *lruCache
+	// instances is the named-database registry behind /instances.
+	instances *registry
 }
 
 type task struct {
@@ -138,6 +164,8 @@ func New(cfg Config) *Server {
 		queue:     make(chan *task, cfg.QueueDepth),
 		decisions: newLRU(cfg.CacheSize),
 		sigmas:    newLRU(cfg.SigmaCacheSize),
+		plans:     newLRU(cfg.PlanCacheSize),
+		instances: newRegistry(cfg.MaxInstances, cfg.MaxInstanceAtoms),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	obs.Publish()
@@ -149,6 +177,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /decide", s.serveDecide)
 	mux.HandleFunc("POST /decide/batch", s.serveBatch)
 	mux.HandleFunc("POST /approximate", s.serveApproximate)
+	mux.HandleFunc("POST /instances", s.serveInstanceLoad)
+	mux.HandleFunc("GET /instances", s.serveInstanceList)
+	mux.HandleFunc("DELETE /instances/{name}", s.serveInstanceDelete)
+	mux.HandleFunc("POST /evaluate", s.serveEvaluate)
 	mux.HandleFunc("GET /healthz", s.serveHealthz)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux = mux

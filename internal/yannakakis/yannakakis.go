@@ -6,14 +6,69 @@
 package yannakakis
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"semacyclic/internal/cq"
 	"semacyclic/internal/hypergraph"
 	"semacyclic/internal/instance"
+	"semacyclic/internal/obs"
 	"semacyclic/internal/term"
 )
+
+// ErrCancelled reports that an evaluation was aborted via
+// Options.Cancel before completing.
+var ErrCancelled = errors.New("yannakakis: evaluation cancelled")
+
+// Options tunes one evaluation. The zero value is the default: indexed
+// leaf loading, no cancellation, no stats collection.
+type Options struct {
+	// Cancel, when non-nil, aborts the evaluation as soon as the
+	// channel is closed; the evaluator then returns ErrCancelled.
+	// Cancellation is polled between join-tree nodes and every
+	// cancelCheckRows rows inside the leaf-load, semijoin and join
+	// loops, so latency is bounded by a fraction of one phase, not a
+	// whole evaluation.
+	Cancel <-chan struct{}
+	// DisableIndex forces leaf loading to scan the full per-predicate
+	// list even when constant argument positions admit a ByPos index
+	// lookup. A benchmarking ablation knob (the indexed-vs-scan arm of
+	// BENCH_4); the answers are identical either way.
+	DisableIndex bool
+	// Stats, when non-nil, receives the evaluation's work counters
+	// (rows scanned, index hits, semijoin reductions). Collection never
+	// influences the answers.
+	Stats *obs.EvalStats
+}
+
+// cancelCheckRows is the row granularity of cancellation polls inside
+// the evaluation loops.
+const cancelCheckRows = 1024
+
+// evalState threads options and a poll countdown through one run.
+type evalState struct {
+	opt   Options
+	since int
+}
+
+// cancelled polls the cancel channel every cancelCheckRows ticks.
+func (st *evalState) cancelled() bool {
+	if st.opt.Cancel == nil {
+		return false
+	}
+	st.since++
+	if st.since < cancelCheckRows {
+		return false
+	}
+	st.since = 0
+	select {
+	case <-st.opt.Cancel:
+		return true
+	default:
+		return false
+	}
+}
 
 // node is one join-tree node: a query atom, its distinct flexible
 // terms, and the rows of the database matching it (aligned with vars).
@@ -28,11 +83,16 @@ type node struct {
 // For Boolean queries the answer set is [[]] (one empty tuple) when the
 // query holds and empty otherwise.
 func Evaluate(q *cq.CQ, db *instance.Instance) ([][]term.Term, error) {
+	return EvaluateOpt(q, db, Options{})
+}
+
+// EvaluateOpt is Evaluate with explicit options.
+func EvaluateOpt(q *cq.CQ, db *instance.Instance, opt Options) ([][]term.Term, error) {
 	forest, ok := hypergraph.GYO(q.Atoms)
 	if !ok {
 		return nil, fmt.Errorf("yannakakis: query %s is not acyclic", q.Name)
 	}
-	return EvaluateWithForest(q, forest, db)
+	return EvaluateWithForestOpt(q, forest, db, opt)
 }
 
 // EvaluateBool reports whether q(D) is nonempty.
@@ -44,10 +104,25 @@ func EvaluateBool(q *cq.CQ, db *instance.Instance) (bool, error) {
 // EvaluateWithForest is Evaluate with a precomputed join forest,
 // letting callers amortize GYO across many databases.
 func EvaluateWithForest(q *cq.CQ, forest *hypergraph.Forest, db *instance.Instance) ([][]term.Term, error) {
+	return EvaluateWithForestOpt(q, forest, db, Options{})
+}
+
+// EvaluateWithForestOpt is the full evaluator: a precomputed join
+// forest (the compiled-plan path of the semacycd /evaluate endpoint),
+// index-aware leaf loading, cancellation and stats per Options.
+func EvaluateWithForestOpt(q *cq.CQ, forest *hypergraph.Forest, db *instance.Instance, opt Options) ([][]term.Term, error) {
+	st := &evalState{opt: opt}
+	if st.opt.Stats != nil {
+		st.opt.Stats.Method = "yannakakis"
+	}
 	nodes := make([]*node, forest.Len())
 	for i, a := range forest.Atoms {
 		n := &node{atom: a, vars: flexTerms(a)}
-		n.rows = matchRows(a, n.vars, db)
+		rows, err := matchRows(a, n.vars, db, st)
+		if err != nil {
+			return nil, err
+		}
+		n.rows = rows
 		nodes[i] = n
 	}
 
@@ -59,14 +134,18 @@ func EvaluateWithForest(q *cq.CQ, forest *hypergraph.Forest, db *instance.Instan
 	for _, i := range post {
 		p := forest.Parent[i]
 		if p >= 0 {
-			semijoin(nodes[p], nodes[i])
+			if err := semijoin(nodes[p], nodes[i], st); err != nil {
+				return nil, err
+			}
 		}
 	}
 	// Phase 2: top-down semijoin child ⋉ parent.
 	for k := len(post) - 1; k >= 0; k-- {
 		i := post[k]
 		if p := forest.Parent[i]; p >= 0 {
-			semijoin(nodes[i], nodes[p])
+			if err := semijoin(nodes[i], nodes[p], st); err != nil {
+				return nil, err
+			}
 		}
 	}
 	// Any empty node after full reduction means no answers.
@@ -83,14 +162,20 @@ func EvaluateWithForest(q *cq.CQ, forest *hypergraph.Forest, db *instance.Instan
 
 	// Phase 3: bottom-up join, keeping only node vars plus free
 	// variables collected from the subtree.
-	var joinUp func(i int) ([]term.Term, [][]term.Term)
-	joinUp = func(i int) ([]term.Term, [][]term.Term) {
+	var joinUp func(i int) ([]term.Term, [][]term.Term, error)
+	joinUp = func(i int) ([]term.Term, [][]term.Term, error) {
 		n := nodes[i]
 		vars := append([]term.Term(nil), n.vars...)
 		rows := n.rows
 		for _, ch := range children[i] {
-			cvars, crows := joinUp(ch)
-			vars, rows = join(vars, rows, cvars, crows)
+			cvars, crows, err := joinUp(ch)
+			if err != nil {
+				return nil, nil, err
+			}
+			vars, rows, err = join(vars, rows, cvars, crows, st)
+			if err != nil {
+				return nil, nil, err
+			}
 		}
 		// Project to node vars ∪ free vars seen so far; free vars from
 		// the subtree must survive to the root.
@@ -101,14 +186,17 @@ func EvaluateWithForest(q *cq.CQ, forest *hypergraph.Forest, db *instance.Instan
 			}
 		}
 		vars, rows = project(vars, rows, keep)
-		return vars, rows
+		return vars, rows, nil
 	}
 
 	// Evaluate each tree; cross-product the per-tree free projections.
 	resultVars := []term.Term{}
 	resultRows := [][]term.Term{nil} // one empty row: identity for ⨯
 	for _, r := range roots {
-		vars, rows := joinUp(r)
+		vars, rows, err := joinUp(r)
+		if err != nil {
+			return nil, err
+		}
 		var keep []term.Term
 		for _, v := range vars {
 			if freeSet[v] {
@@ -119,7 +207,10 @@ func EvaluateWithForest(q *cq.CQ, forest *hypergraph.Forest, db *instance.Instan
 		if len(rows) == 0 {
 			return nil, nil
 		}
-		resultVars, resultRows = join(resultVars, resultRows, vars, rows)
+		resultVars, resultRows, err = join(resultVars, resultRows, vars, rows, st)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Order columns as q.Free and dedup.
@@ -144,6 +235,9 @@ func EvaluateWithForest(q *cq.CQ, forest *hypergraph.Forest, db *instance.Instan
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return tupleKey(out[i]) < tupleKey(out[j]) })
+	if st.opt.Stats != nil {
+		st.opt.Stats.Answers = len(out)
+	}
 	return out, nil
 }
 
@@ -158,12 +252,49 @@ func flexTerms(a instance.Atom) []term.Term {
 	return out
 }
 
-// matchRows scans the database atoms of a's predicate and keeps the
-// variable bindings compatible with a's constants and repeated terms.
-func matchRows(a instance.Atom, vars []term.Term, db *instance.Instance) [][]term.Term {
+// matchRows loads the database rows matching atom a. When a mentions
+// constants and indexing is enabled, the candidate list comes from the
+// most selective per-(predicate, position, term) index instead of the
+// full per-predicate scan; each candidate is still verified against
+// all of a's constants and repeated terms by MatchTuple.
+func matchRows(a instance.Atom, vars []term.Term, db *instance.Instance, st *evalState) ([][]term.Term, error) {
+	candidates := db.ByPred(a.Pred)
+	indexed := false
+	if !st.opt.DisableIndex {
+		// Probe every bound (constant) position and keep the smallest
+		// candidate list. Probes are map lookups; on paper-scale atom
+		// widths the exhaustive probing is cheaper than guessing wrong.
+		for pos, t := range a.Args {
+			if !t.IsConst() {
+				continue
+			}
+			byPos := db.ByPos(a.Pred, pos, t)
+			if st.opt.Stats != nil {
+				st.opt.Stats.IndexLookups++
+			}
+			if !indexed || len(byPos) < len(candidates) {
+				candidates = byPos
+				indexed = true
+			}
+		}
+	}
+	if st.opt.Stats != nil {
+		st.opt.Stats.RowsScanned += int64(len(candidates))
+		if indexed {
+			st.opt.Stats.IndexHits += int64(len(candidates))
+			st.opt.Stats.IndexSkippedRows += int64(len(db.ByPred(a.Pred)) - len(candidates))
+		}
+	}
+	obs.EvalRowsScanned.Add(int64(len(candidates)))
+	if indexed {
+		obs.EvalIndexHits.Add(int64(len(candidates)))
+	}
 	var rows [][]term.Term
 	sub := term.NewSubst()
-	for _, fact := range db.ByPred(a.Pred) {
+	for _, fact := range candidates {
+		if st.cancelled() {
+			return nil, ErrCancelled
+		}
 		added, ok := term.MatchTuple(sub, a.Args, fact.Args)
 		if !ok {
 			continue
@@ -175,33 +306,49 @@ func matchRows(a instance.Atom, vars []term.Term, db *instance.Instance) [][]ter
 		rows = append(rows, row)
 		term.Unbind(sub, added)
 	}
-	return rows
+	return rows, nil
 }
 
 // semijoin keeps the rows of left having a join partner in right.
-func semijoin(left, right *node) {
+func semijoin(left, right *node, st *evalState) error {
+	if st.opt.Stats != nil {
+		st.opt.Stats.Semijoins++
+	}
 	shared, li, ri := sharedColumns(left.vars, right.vars)
 	if len(shared) == 0 {
 		if len(right.rows) == 0 {
+			if st.opt.Stats != nil {
+				st.opt.Stats.SemijoinDroppedRows += int64(len(left.rows))
+			}
 			left.rows = nil
 		}
-		return
+		return nil
 	}
 	keys := make(map[string]bool, len(right.rows))
 	for _, row := range right.rows {
+		if st.cancelled() {
+			return ErrCancelled
+		}
 		keys[projKey(row, ri)] = true
 	}
 	kept := left.rows[:0]
 	for _, row := range left.rows {
+		if st.cancelled() {
+			return ErrCancelled
+		}
 		if keys[projKey(row, li)] {
 			kept = append(kept, row)
 		}
 	}
+	if st.opt.Stats != nil {
+		st.opt.Stats.SemijoinDroppedRows += int64(len(left.rows) - len(kept))
+	}
 	left.rows = kept
+	return nil
 }
 
 // join hash-joins two relations on their shared variables.
-func join(lv []term.Term, lr [][]term.Term, rv []term.Term, rr [][]term.Term) ([]term.Term, [][]term.Term) {
+func join(lv []term.Term, lr [][]term.Term, rv []term.Term, rr [][]term.Term, st *evalState) ([]term.Term, [][]term.Term, error) {
 	_, li, ri := sharedColumns(lv, rv)
 	// Output vars: all of lv, then rv minus shared.
 	rExtra := make([]int, 0, len(rv))
@@ -220,6 +367,9 @@ func join(lv []term.Term, lr [][]term.Term, rv []term.Term, rr [][]term.Term) ([
 	var outRows [][]term.Term
 	for _, lrow := range lr {
 		for _, rrow := range index[projKey(lrow, li)] {
+			if st.cancelled() {
+				return nil, nil, ErrCancelled
+			}
 			row := make([]term.Term, 0, len(outVars))
 			row = append(row, lrow...)
 			for _, i := range rExtra {
@@ -228,7 +378,10 @@ func join(lv []term.Term, lr [][]term.Term, rv []term.Term, rr [][]term.Term) ([
 			outRows = append(outRows, row)
 		}
 	}
-	return outVars, outRows
+	if st.opt.Stats != nil {
+		st.opt.Stats.JoinRows += int64(len(outRows))
+	}
+	return outVars, outRows, nil
 }
 
 // project restricts the relation to the keep columns, deduplicating.

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the semacycd HTTP API (docs/API.md): builds
+# the server, starts it on a private port, and curls every endpoint,
+# asserting status codes and key response fields. Called from ci.sh;
+# runnable on its own:
+#
+#   scripts/api_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${SEMACYCD_SMOKE_PORT:-18787}"
+BASE="http://127.0.0.1:${PORT}"
+BIN="$(mktemp -d)/semacycd"
+trap 'kill "${SERVER_PID:-0}" 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT
+
+go build -o "$BIN" ./cmd/semacycd
+"$BIN" -addr "127.0.0.1:${PORT}" -workers 2 &
+SERVER_PID=$!
+
+for _ in $(seq 1 50); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+
+fail() { echo "api_smoke: FAIL: $*" >&2; exit 1; }
+
+# request METHOD PATH EXPECTED_STATUS [BODY] — prints the response body.
+request() {
+    local method=$1 path=$2 want=$3 body=${4:-}
+    local out status
+    if [[ -n "$body" ]]; then
+        out=$(curl -s -w $'\n%{http_code}' -X "$method" "$BASE$path" -d "$body")
+    else
+        out=$(curl -s -w $'\n%{http_code}' -X "$method" "$BASE$path")
+    fi
+    status=${out##*$'\n'}
+    out=${out%$'\n'*}
+    [[ "$status" == "$want" ]] || fail "$method $path: status $status, want $want ($out)"
+    printf '%s' "$out"
+}
+
+# expect_contains HAYSTACK NEEDLE LABEL
+expect_contains() {
+    [[ "$1" == *"$2"* ]] || fail "$3: missing $2 in: $1"
+}
+
+echo "-- healthz"
+expect_contains "$(request GET /healthz 200)" '"status":"ok"' healthz
+
+echo "-- decide (miss, then byte-identical cached hit)"
+DECIDE_BODY='{"query":"q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y).","deps":"Interest(x,z), Class(y,z) -> Owns(x,y)."}'
+first=$(request POST /decide 200 "$DECIDE_BODY")
+expect_contains "$first" '"verdict":"yes"' decide
+expect_contains "$first" '"witness":"q(x,y) :- Interest(x,z), Class(y,z)"' decide
+second=$(request POST /decide 200 "$DECIDE_BODY")
+[[ "$first" == "$second" ]] || fail "decide: cache hit not byte-identical"
+
+echo "-- decide/batch"
+expect_contains "$(request POST /decide/batch 200 \
+    '{"requests":[{"query":"q :- E(x,y)."},{"query":"q :- E(x,y), E(y,z), E(z,x)."}]}')" \
+    '"results":' batch
+
+echo "-- approximate"
+expect_contains "$(request POST /approximate 200 '{"query":"q :- E(x,y), E(y,z), E(z,x)."}')" \
+    '"equivalent":false' approximate
+
+echo "-- instances: load, conflict, list, 404 evaluate"
+ATOMS='Interest(alice,jazz). Class(kindofblue,jazz). Owns(alice,kindofblue).'
+load=$(request POST /instances 201 "{\"name\":\"musicstore\",\"atoms\":\"$ATOMS\"}")
+expect_contains "$load" '"atoms":3' instances-load
+request POST /instances 409 "{\"name\":\"musicstore\",\"atoms\":\"$ATOMS\"}" >/dev/null
+expect_contains "$(request GET /instances 200)" '"name":"musicstore"' instances-list
+request POST /evaluate 404 '{"query":"q :- E(x,y).","instance":"nope"}' >/dev/null
+
+echo "-- evaluate (plan-cache miss, then hit, identical answers)"
+EVAL_BODY='{"query":"q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y).","deps":"Interest(x,z), Class(y,z) -> Owns(x,y).","instance":"musicstore"}'
+e1=$(request POST /evaluate 200 "$EVAL_BODY")
+expect_contains "$e1" '"method":"yannakakis"' evaluate
+expect_contains "$e1" '"answers":[["alice","kindofblue"]]' evaluate
+expect_contains "$e1" '"plan_cached":false' evaluate
+e2=$(request POST /evaluate 200 "$EVAL_BODY")
+expect_contains "$e2" '"plan_cached":true' evaluate-hit
+ans1=$(grep -o '"answers":\[[^]]*\]\]' <<<"$e1" || true)
+ans2=$(grep -o '"answers":\[[^]]*\]\]' <<<"$e2" || true)
+[[ -n "$ans1" && "$ans1" == "$ans2" ]] || \
+    fail "evaluate: cached answers differ: $ans1 vs $ans2"
+
+echo "-- evaluate errors: bad method 400"
+request POST /evaluate 400 '{"query":"q :- E(x,y).","instance":"musicstore","method":"bogus"}' >/dev/null
+
+echo "-- expvar counters"
+vars=$(request GET /debug/vars 200)
+expect_contains "$vars" '"server.evaluations"' expvar
+expect_contains "$vars" '"server.plan_cache_hits"' expvar
+
+echo "-- instance delete: 204 then 404"
+request DELETE /instances/musicstore 204 >/dev/null
+request DELETE /instances/musicstore 404 >/dev/null
+
+echo "api_smoke: all green"

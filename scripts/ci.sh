@@ -34,6 +34,9 @@ echo "== cancellation & server gate (race) =="
 go test -race -count=1 ./internal/server/
 go test -race -count=1 -run 'Cancel' ./internal/chase/ ./internal/rewrite/ ./internal/core/
 
+echo "== API smoke (semacycd end to end) =="
+scripts/api_smoke.sh
+
 echo "== short benchmarks (compile + one iteration) =="
 go test -run '^$' -bench . -benchtime 1x ./...
 

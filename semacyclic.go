@@ -28,9 +28,6 @@
 package semacyclic
 
 import (
-	"fmt"
-	"strings"
-
 	"semacyclic/internal/chase"
 	"semacyclic/internal/containment"
 	"semacyclic/internal/core"
@@ -85,6 +82,13 @@ type (
 	// Evaluator evaluates a semantically acyclic query in O(|D|) per
 	// database after a one-time reformulation (Prop. 24).
 	Evaluator = core.Evaluator
+	// Plan is a compiled evaluation plan for a fixed (q, Σ): the
+	// decision, method selection and join forest happen once; Execute
+	// then runs per database.
+	Plan = core.Plan
+	// EvalOptions tunes one Plan.Execute run (cancellation, index
+	// ablation).
+	EvalOptions = core.EvalOptions
 	// Certificate is a re-checkable proof behind a Yes decision.
 	Certificate = core.Certificate
 
@@ -117,6 +121,9 @@ type (
 	HomStats = obs.HomStats
 	// LayerStats is one decision layer's record.
 	LayerStats = obs.LayerStats
+	// EvalStats observes one Plan.Execute run (rows scanned, index
+	// hits, semijoin work).
+	EvalStats = obs.EvalStats
 )
 
 // Verdict values of Decide.
@@ -124,6 +131,15 @@ const (
 	Yes     = core.Yes
 	No      = core.No
 	Unknown = core.Unknown
+)
+
+// Evaluation method tags accepted by CompilePlan.
+const (
+	MethodAuto        = core.MethodAuto
+	MethodYannakakis  = core.MethodYannakakis
+	MethodGuardedGame = core.MethodGuardedGame
+	MethodEGDGame     = core.MethodEGDGame
+	MethodGeneric     = core.MethodGeneric
 )
 
 // Dependency classes (Section 2 of the paper).
@@ -174,41 +190,7 @@ func ParseDependencies(input string) (*Dependencies, error) { return deps.Parse(
 
 // ParseDatabase parses ground atoms like "R(a,b). S(c)." into a
 // database; arguments are constants (quotes optional).
-func ParseDatabase(input string) (*Instance, error) {
-	db := instance.New()
-	for _, stmt := range strings.Split(input, ".") {
-		stmt = strings.TrimSpace(stmt)
-		if stmt == "" {
-			continue
-		}
-		open := strings.IndexByte(stmt, '(')
-		if open < 0 || !strings.HasSuffix(stmt, ")") {
-			return nil, fmt.Errorf("semacyclic: bad atom %q", stmt)
-		}
-		pred := strings.TrimSpace(stmt[:open])
-		if pred == "" {
-			return nil, fmt.Errorf("semacyclic: bad atom %q", stmt)
-		}
-		argSrc := stmt[open+1 : len(stmt)-1]
-		var args []Term
-		if strings.TrimSpace(argSrc) != "" {
-			for _, raw := range strings.Split(argSrc, ",") {
-				name := strings.Trim(strings.TrimSpace(raw), "'")
-				if name == "" {
-					return nil, fmt.Errorf("semacyclic: empty argument in %q", stmt)
-				}
-				args = append(args, term.Const(name))
-			}
-		}
-		if err := db.Add(instance.NewAtom(pred, args...)); err != nil {
-			return nil, err
-		}
-	}
-	if db.Len() == 0 {
-		return nil, fmt.Errorf("semacyclic: empty database")
-	}
-	return db, nil
-}
+func ParseDatabase(input string) (*Instance, error) { return instance.Parse(input) }
 
 // FormatDatabase renders a database in the ground-atom syntax that
 // ParseDatabase reads back (one "R(a,b)." statement per line). It
@@ -241,6 +223,14 @@ func Approximate(q *CQ, set *Dependencies, opt Options) (*Approximation, error) 
 // evaluates it in time linear in each database (Prop. 24).
 func NewEvaluator(q *CQ, set *Dependencies, opt Options) (*Evaluator, error) {
 	return core.NewEvaluator(q, set, opt)
+}
+
+// CompilePlan compiles an evaluation plan for (q, Σ): the semantic-
+// acyclicity decision and method selection happen once, Plan.Execute
+// then runs per database. method is one of the Method constants or ""
+// (auto).
+func CompilePlan(q *CQ, set *Dependencies, opt Options, method string) (*Plan, error) {
+	return core.CompilePlan(q, set, opt, method)
 }
 
 // EvaluateGuardedGame evaluates a semantically acyclic q over D ⊨ Σ
