@@ -1,0 +1,80 @@
+// Command semalint runs the project's determinism & cancellation
+// analyzers (internal/lint) over the named packages — the static half
+// of the contract that the -race determinism tests check dynamically.
+//
+//	semalint [flags] [packages]          # default ./...
+//	semalint -json ./...                 # machine-readable findings
+//	semalint -detmap=false ./internal/…  # disable one analyzer
+//
+// Exit status: 0 no findings, 1 findings reported, 2 operational error
+// (pattern did not load, packages failed to typecheck, ...).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"semacyclic/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of vet-style text")
+	enabled := map[string]*bool{}
+	for _, a := range lint.All() {
+		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: semalint [flags] [packages]\n\nenforces the determinism & cancellation contracts; see docs/ARCHITECTURE.md\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	var analyzers []*lint.Analyzer
+	for _, a := range lint.All() {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	pkgs, err := lint.NewLoader().Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semalint:", err)
+		return 2
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "semalint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "semalint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+		return 1
+	}
+	return 0
+}

@@ -501,9 +501,11 @@ func (s *state) replace(old, new term.Term) {
 		}
 	}
 	// Update the merge substitution: old ↦ new, and re-point anything
-	// that previously mapped to old.
-	for k, v := range s.merges {
-		if v == old {
+	// that previously mapped to old. Iterate the domain in canonical
+	// order — the per-key rewrites are independent, but deterministic
+	// packages never range over a map raw (semalint: detmap).
+	for _, k := range s.merges.Domain() {
+		if s.merges[k] == old {
 			s.merges[k] = new
 		}
 	}

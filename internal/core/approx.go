@@ -31,7 +31,7 @@ type Approximation struct {
 func Approximate(q *cq.CQ, set *deps.Set, opt Options) (*Approximation, error) {
 	opt = opt.withDefaults()
 	if err := q.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %v", err)
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	if set == nil {
 		set = &deps.Set{}
@@ -74,6 +74,9 @@ func Approximate(q *cq.CQ, set *deps.Set, opt Options) (*Approximation, error) {
 	queue := []*cq.CQ{q.DedupAtoms()}
 	seen[q.DedupAtoms().CanonicalKey()] = true
 	for len(queue) > 0 && examined < opt.SearchBudget {
+		if opt.cancelled() {
+			return nil, ErrCancelled
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		if hypergraph.IsAcyclic(cur.Atoms) && cur.Validate() == nil {

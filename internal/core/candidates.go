@@ -73,6 +73,7 @@ func quotientMoves(cur *cq.CQ) []*cq.CQ {
 				}
 			}
 			ok := true
+			//semalint:allow detmap(universal membership test; verdict is order-independent)
 			for x := range free {
 				if !covered[x] {
 					ok = false

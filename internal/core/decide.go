@@ -186,6 +186,7 @@ func Decide(q *cq.CQ, set *deps.Set, opt Options) (*Result, error) {
 	if !opt.DisableStats {
 		st = obs.NewStats()
 	}
+	//semalint:allow nowalltime(wall clock feeds NONDETERMINISTIC WallNS only)
 	start := time.Now()
 	snap := obs.TakeSnapshot()
 	res, err := decide(q, set, opt, st)
@@ -194,6 +195,7 @@ func Decide(q *cq.CQ, set *deps.Set, opt Options) (*Result, error) {
 	}
 	obs.Decisions.Add(1)
 	if st != nil {
+		//semalint:allow nowalltime(wall clock feeds NONDETERMINISTIC WallNS only)
 		st.WallNS = time.Since(start).Nanoseconds()
 		st.Hom = snap.HomDelta()
 		res.Stats = st
@@ -205,14 +207,16 @@ func Decide(q *cq.CQ, set *deps.Set, opt Options) (*Result, error) {
 // per-layer records as each layer completes.
 func decide(q *cq.CQ, set *deps.Set, opt Options, st *obs.Stats) (*Result, error) {
 	if err := q.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %v", err)
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	if set == nil {
 		set = &deps.Set{}
 	}
+	//semalint:allow nowalltime(wall clock feeds NONDETERMINISTIC LayerStats.WallNS only)
 	layerStart := time.Now()
 	record := func(name string, candidates int) {
 		if st != nil {
+			//semalint:allow nowalltime(wall clock feeds NONDETERMINISTIC LayerStats.WallNS only)
 			now := time.Now()
 			st.AddLayer(name, candidates, now.Sub(layerStart).Nanoseconds())
 			layerStart = now

@@ -89,7 +89,7 @@ type EvalOptions struct {
 //   - generic: the backtracking evaluator, no decision at all.
 func CompilePlan(q *cq.CQ, set *deps.Set, opt Options, method string) (*Plan, error) {
 	if err := q.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %v", err)
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	if set == nil {
 		set = &deps.Set{}
@@ -152,6 +152,7 @@ func CompilePlan(q *cq.CQ, set *deps.Set, opt Options, method string) (*Plan, er
 // evaluation stats. Safe for concurrent use.
 func (p *Plan) Execute(db *instance.Instance, eopt EvalOptions) ([][]term.Term, *obs.EvalStats, error) {
 	st := &obs.EvalStats{Method: p.Method}
+	//semalint:allow nowalltime(wall clock feeds NONDETERMINISTIC WallNS only)
 	start := time.Now()
 	var (
 		ans [][]term.Term
@@ -178,6 +179,7 @@ func (p *Plan) Execute(db *instance.Instance, eopt EvalOptions) ([][]term.Term, 
 	}
 	ans = canonicalizeAnswers(ans)
 	st.Answers = len(ans)
+	//semalint:allow nowalltime(wall clock feeds NONDETERMINISTIC WallNS only)
 	st.WallNS = time.Since(start).Nanoseconds()
 	return ans, st, nil
 }

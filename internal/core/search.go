@@ -244,6 +244,7 @@ func itoa(n int) string {
 	}
 	var buf [21]byte
 	i := len(buf)
+	//semalint:allow cancelpoll(digit extraction; at most 20 iterations)
 	for un > 0 {
 		i--
 		buf[i] = byte('0' + un%10)

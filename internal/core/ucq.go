@@ -142,7 +142,7 @@ func DecideUCQ(u *cq.UCQ, set *deps.Set, opt Options) (*UCQResult, error) {
 	if verdict == Yes && len(witnesses) > 0 {
 		w, err := cq.NewUCQ(witnesses...)
 		if err != nil {
-			return nil, fmt.Errorf("core: internal: %v", err)
+			return nil, fmt.Errorf("core: internal: %w", err)
 		}
 		out.Witness = w
 	}

@@ -61,7 +61,7 @@ func (q *CQ) Validate() error {
 	inBody := make(map[term.Term]bool)
 	for _, a := range q.Atoms {
 		if err := sch.Add(a.Pred, len(a.Args)); err != nil {
-			return fmt.Errorf("cq: %v", err)
+			return fmt.Errorf("cq: %w", err)
 		}
 		for _, t := range a.Args {
 			if t.IsNull() {

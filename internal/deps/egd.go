@@ -41,7 +41,7 @@ func (e *EGD) Validate() error {
 	sch := schema.New()
 	for _, a := range e.Body {
 		if err := sch.Add(a.Pred, len(a.Args)); err != nil {
-			return fmt.Errorf("deps: %v", err)
+			return fmt.Errorf("deps: %w", err)
 		}
 		for _, tm := range a.Args {
 			if tm.IsNull() {

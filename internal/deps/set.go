@@ -88,10 +88,10 @@ func (s *Set) Validate() error {
 			return err
 		}
 		if err := check(t.Body); err != nil {
-			return fmt.Errorf("deps: %v", err)
+			return fmt.Errorf("deps: %w", err)
 		}
 		if err := check(t.Head); err != nil {
-			return fmt.Errorf("deps: %v", err)
+			return fmt.Errorf("deps: %w", err)
 		}
 	}
 	for _, e := range s.EGDs {
@@ -99,7 +99,7 @@ func (s *Set) Validate() error {
 			return err
 		}
 		if err := check(e.Body); err != nil {
-			return fmt.Errorf("deps: %v", err)
+			return fmt.Errorf("deps: %w", err)
 		}
 	}
 	return nil

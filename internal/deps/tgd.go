@@ -61,7 +61,7 @@ func (t *TGD) Validate() error {
 	sch := schema.New()
 	for _, a := range append(append([]instance.Atom(nil), t.Body...), t.Head...) {
 		if err := sch.Add(a.Pred, len(a.Args)); err != nil {
-			return fmt.Errorf("deps: %v", err)
+			return fmt.Errorf("deps: %w", err)
 		}
 		for _, tm := range a.Args {
 			if tm.IsNull() {

@@ -17,6 +17,7 @@ import (
 // NP-hard) but fast on the small queries the paper's problems handle.
 func Core(q *cq.CQ) *cq.CQ {
 	cur := q.DedupAtoms()
+	//semalint:allow cancelpoll(each retraction strictly shrinks the query; at most |atoms| rounds)
 	for {
 		next, shrunk := retractOnce(cur)
 		if !shrunk {

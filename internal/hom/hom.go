@@ -22,6 +22,7 @@ func orderAtoms(atoms []instance.Atom, bound term.Subst) []instance.Atom {
 	n := len(atoms)
 	used := make([]bool, n)
 	seen := make(map[term.Term]bool, len(bound))
+	//semalint:allow detmap(set union into seen; insertion order cannot escape)
 	for t := range bound {
 		seen[t] = true
 	}
@@ -35,6 +36,7 @@ func orderAtoms(atoms []instance.Atom, bound term.Subst) []instance.Atom {
 		return s
 	}
 	out := make([]instance.Atom, 0, n)
+	//semalint:allow cancelpoll(selects one unused atom per pass; exactly n iterations)
 	for len(out) < n {
 		best, bestScore := -1, -1
 		for i, a := range atoms {

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CancelPoll enforces the PR 3 cancellation contract: every loop in a
+// deterministic decision package that is not structurally bounded — a
+// `for {}` or a while-style `for cond {}` fixpoint/worklist loop —
+// must be able to reach an Options.Cancel poll on some path, so a
+// pathological input can always be aborted by deadline.
+//
+// A loop satisfies the contract when its body (at any nesting depth)
+// contains a cancellation check: a call whose callee name mentions
+// cancellation (state.cancelled, Options.cancelled, mapCancelled, ...),
+// a receive from a cancel/done channel, a use of an ErrCancelled
+// sentinel, or a call to a function or method of the same package that
+// itself (transitively) polls. Compare-and-swap retry loops are exempt:
+// a loop that calls CompareAndSwap terminates by the CAS contract.
+// Three-clause `for i := 0; i < n; i++` loops and `range` loops are
+// structurally bounded and never flagged.
+//
+// Genuinely bounded while-loops (digit extraction, fixed work lists)
+// are annotated //semalint:allow cancelpoll(reason).
+var CancelPoll = &Analyzer{
+	Name: "cancelpoll",
+	Doc: "require unbounded/fixpoint loops in deterministic decision packages " +
+		"to reach an Options.Cancel poll on some path (the PR 3 cancellation contract)",
+	Run: runCancelPoll,
+}
+
+func runCancelPoll(p *Pass) {
+	if !isDeterministicPkg(p.Pkg) {
+		return
+	}
+
+	// Pass 1: which same-package functions/methods poll, transitively?
+	// Calls are resolved by name (methods by bare method name), which
+	// over-approximates dispatch — acceptable for a polling proof.
+	bodies := map[string]*ast.BlockStmt{}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				bodies[fd.Name.Name] = fd.Body
+			}
+		}
+	}
+	polling := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for name, body := range bodies {
+			if polling[name] {
+				continue
+			}
+			if bodyPolls(body, polling) {
+				polling[name] = true
+				changed = true
+			}
+		}
+	}
+
+	// Pass 2: flag candidate loops that cannot reach a poll.
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fs, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			unbounded := fs.Cond == nil || (fs.Init == nil && fs.Post == nil)
+			if !unbounded {
+				return true
+			}
+			if bodyPolls(fs.Body, polling) || callsCAS(fs.Body) {
+				return true
+			}
+			p.Reportf(fs.For,
+				"unbounded loop cannot reach an Options.Cancel poll; "+
+					"check cancellation on the loop path or annotate //semalint:allow cancelpoll(reason)")
+			return true
+		})
+	}
+}
+
+// calleeName extracts the final name of a call target: f(...) -> "f",
+// x.m(...) -> "m". Anonymous callees return "".
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// mentionsCancel reports whether a name is cancellation-flavoured.
+func mentionsCancel(name string) bool {
+	return strings.Contains(strings.ToLower(name), "cancel")
+}
+
+// bodyPolls reports whether the subtree contains a cancellation check,
+// directly or through a call to a known-polling same-package function.
+func bodyPolls(body ast.Node, polling map[string]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			name := calleeName(x)
+			if mentionsCancel(name) || polling[name] {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			// Returning or comparing an ErrCancelled sentinel marks a
+			// cancellation path even without a named poll call.
+			if strings.Contains(x.Name, "ErrCancelled") {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			// <-o.Cancel / <-ctx.Done() style receives, including
+			// inside select statements.
+			if x.Op.String() == "<-" {
+				if s := exprText(x.X); strings.Contains(s, "Cancel") || strings.Contains(s, "Done") {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callsCAS reports whether the subtree performs a CompareAndSwap —
+// the CAS retry-loop exemption.
+func callsCAS(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && strings.HasPrefix(calleeName(call), "CompareAndSwap") {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// exprText renders a simple expression (idents and selections) for
+// substring matching; composite expressions flatten recursively.
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprText(x.Fun) + "()"
+	case *ast.ParenExpr:
+		return exprText(x.X)
+	}
+	return ""
+}

@@ -1,0 +1,226 @@
+// Package lint implements semalint: a suite of static analyzers that
+// enforce this repository's determinism and cancellation contracts at
+// compile time. The contracts themselves are documented in
+// docs/ARCHITECTURE.md ("Determinism contract"); the runtime tests
+// check them on the inputs they happen to run, while these analyzers
+// prove the *shape* of the code cannot violate them — no raw map
+// iteration in a deterministic decision package, no fixpoint loop that
+// cannot reach an Options.Cancel poll, no wall-clock or map-formatting
+// input to a deterministic fingerprint, sentinel errors compared only
+// through errors.Is, and every obs.Stats field explicitly classified.
+//
+// The framework deliberately mirrors the golang.org/x/tools
+// go/analysis API (Analyzer, Pass, Diagnostic, analysistest-style
+// fixtures) so the suite can be ported to the multichecker wholesale
+// if/when the dependency becomes available; it is implemented on the
+// standard library alone because this module has no external
+// dependencies.
+//
+// A finding at a site that is genuinely safe is suppressed with a
+// pragma comment on the flagged line or the line directly above it:
+//
+//	//semalint:allow detmap(set union; iteration order cannot escape)
+//
+// The reason inside the parentheses is mandatory — an empty reason is
+// itself a diagnostic — so every suppression documents its argument.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name is the check's identifier: the multichecker flag, the
+	// pragma key and the suffix shown on every diagnostic.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Analyzer names the check that fired.
+	Analyzer string `json:"analyzer"`
+	// Pos locates the finding.
+	Pos token.Position `json:"pos"`
+	// Message explains the violation and the sanctioned fixes.
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the go-vet style the CI log greps.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Pkg is the loaded package under analysis.
+	Pkg    *Package
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// deterministicPkgs are the decision packages bound by the determinism
+// contract: every layer that contributes to a verdict, witness or
+// DETERMINISTIC-classified stats field. Matched by the final import
+// path element so analysistest fixtures can opt in by package name.
+var deterministicPkgs = map[string]bool{
+	"chase":       true,
+	"hom":         true,
+	"containment": true,
+	"rewrite":     true,
+	"core":        true,
+	"yannakakis":  true,
+	"game":        true,
+}
+
+// isDeterministicPkg reports whether the package is bound by the
+// determinism contract.
+func isDeterministicPkg(p *Package) bool {
+	return deterministicPkgs[path.Base(p.Path)]
+}
+
+// isObsPkg reports whether the package is the observability layer.
+func isObsPkg(p *Package) bool {
+	return path.Base(p.Path) == "obs"
+}
+
+// All returns the full semalint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{DetMap, CancelPoll, NoWallTime, ErrWrap, StatsClass}
+}
+
+// pragma is one parsed //semalint:allow comment.
+type pragma struct {
+	name   string
+	reason string
+	line   int
+	used   bool
+}
+
+var (
+	// A trailing "// ..." after the closing paren is tolerated so
+	// fixtures can carry want-comments on pragma lines.
+	pragmaRe  = regexp.MustCompile(`^//semalint:allow\s+([a-z]+)\((.*?)\)\s*(?://.*)?$`)
+	pragmaKey = "//semalint:"
+)
+
+// filePragmas extracts the pragmas of one file, keyed by filename, and
+// reports malformed ones (wrong shape, unknown analyzer, empty reason)
+// as diagnostics so a typo can never silently suppress a finding.
+func filePragmas(pkg *Package, f *ast.File, known map[string]bool, report func(Diagnostic)) []pragma {
+	var out []pragma
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, pragmaKey) {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			m := pragmaRe.FindStringSubmatch(text)
+			bad := func(msg string) {
+				report(Diagnostic{Analyzer: "pragma", Pos: pos, Message: msg})
+			}
+			if m == nil {
+				bad(fmt.Sprintf("malformed semalint pragma %q; use //semalint:allow <analyzer>(<reason>)", text))
+				continue
+			}
+			if !known[m[1]] {
+				bad(fmt.Sprintf("semalint pragma names unknown analyzer %q", m[1]))
+				continue
+			}
+			if strings.TrimSpace(m[2]) == "" {
+				bad(fmt.Sprintf("semalint pragma for %q has an empty reason; justify the suppression", m[1]))
+				continue
+			}
+			out = append(out, pragma{name: m[1], reason: m[2], line: pos.Line})
+		}
+	}
+	return out
+}
+
+// Run applies the analyzers to every package, resolves pragma
+// suppressions, and returns the surviving diagnostics sorted by
+// position. A pragma suppresses a finding of its analyzer on the same
+// line or the line directly below (i.e. the pragma sits on the flagged
+// line or on its own line immediately above).
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		collect := func(d Diagnostic) { raw = append(raw, d) }
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, report: collect}
+			a.Run(pass)
+		}
+
+		// pragmas by file for this package (malformed ones report
+		// straight into the surviving set — they are never suppressible).
+		pragmasByFile := map[string][]pragma{}
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			pragmasByFile[name] = filePragmas(pkg, f, known, func(d Diagnostic) { diags = append(diags, d) })
+		}
+		for _, d := range raw {
+			suppressed := false
+			ps := pragmasByFile[d.Pos.Filename]
+			for i := range ps {
+				if ps[i].name == d.Analyzer && (ps[i].line == d.Pos.Line || ps[i].line == d.Pos.Line-1) {
+					ps[i].used = true
+					suppressed = true
+					break
+				}
+			}
+			if !suppressed {
+				diags = append(diags, d)
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	// Dedup identical findings (an analyzer visiting shared syntax twice).
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

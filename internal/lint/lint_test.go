@@ -1,0 +1,169 @@
+package lint_test
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"semacyclic/internal/lint"
+)
+
+// loader is shared across tests so the standard-library dependency
+// closure is typechecked once per test binary.
+var loader = lint.NewLoader()
+
+// wantRe extracts the quoted expectation regexps of one want comment.
+var wantRe = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+var quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// want is one expected diagnostic: a message regexp anchored to a line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// parseWants scans the fixture files for // want "re" comments,
+// analysistest-style. Multiple quoted regexps on one line expect
+// multiple diagnostics there.
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, name := range names {
+		f, err := os.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(q[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, line, q[1], err)
+				}
+				wants = append(wants, &want{file: filepath.Base(name), line: line, re: re})
+			}
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// runFixture loads testdata/src/<rel>, runs the analyzer, and checks
+// the diagnostics against the fixture's want comments exactly: every
+// finding must be expected, every expectation must fire.
+func runFixture(t *testing.T, a *lint.Analyzer, rel string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", rel)
+	pkg, err := loader.LoadDir(dir, "fixture/"+rel)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	wants := parseWants(t, dir)
+
+outer:
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		for _, w := range wants {
+			if !w.hit && w.file == base && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				continue outer
+			}
+		}
+		t.Errorf("unexpected diagnostic %s", d)
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q did not fire", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestDetMapFixture(t *testing.T) { runFixture(t, lint.DetMap, "detmap/chase") }
+func TestDetMapScope(t *testing.T)   { runFixture(t, lint.DetMap, "detmap/util") }
+func TestCancelPollFixture(t *testing.T) {
+	runFixture(t, lint.CancelPoll, "cancelpoll/core")
+}
+func TestNoWallTimeFixture(t *testing.T) {
+	runFixture(t, lint.NoWallTime, "nowalltime/core")
+}
+func TestErrWrapFixture(t *testing.T)    { runFixture(t, lint.ErrWrap, "errwrap/errs") }
+func TestStatsClassFixture(t *testing.T) { runFixture(t, lint.StatsClass, "statsclass/obs") }
+
+// TestPragmaHygiene checks that malformed pragmas are findings and do
+// not suppress the analyzer they misname.
+func TestPragmaHygiene(t *testing.T) { runFixture(t, lint.DetMap, "pragma/chase") }
+
+// TestStatsClassCatchesNewUnclassifiedField is the satellite guarantee:
+// adding a field without a sem tag to an obs stats struct must fail.
+func TestStatsClassCatchesNewUnclassifiedField(t *testing.T) {
+	dir := t.TempDir()
+	src := `package obs
+
+// GrowingStats models a stats struct a PR extends carelessly.
+type GrowingStats struct {
+	Rounds   int ` + "`json:\"rounds\" sem:\"det\"`" + `
+	NewField int ` + "`json:\"new_field\"`" + `
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "obs.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, "fixture/statsclass/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.StatsClass})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "GrowingStats.NewField is not classified") {
+		t.Fatalf("unexpected diagnostic: %s", diags[0])
+	}
+}
+
+// TestSuiteNames pins the analyzer names the pragmas, CI logs and
+// multichecker flags rely on.
+func TestSuiteNames(t *testing.T) {
+	got := []string{}
+	for _, a := range lint.All() {
+		got = append(got, a.Name)
+	}
+	want := []string{"detmap", "cancelpoll", "nowalltime", "errwrap", "statsclass"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("analyzer suite = %v, want %v", got, want)
+	}
+}
+
+// TestRepoIsClean runs the full suite over the repository itself: the
+// tree must stay semalint-clean (the CI gate, asserted from the test
+// suite too so plain `go test ./...` catches regressions).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the full module; skipped in -short")
+	}
+	pkgs, err := loader.Load("semacyclic/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; pattern resolution looks broken", len(pkgs))
+	}
+	for _, d := range lint.Run(pkgs, lint.All()) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and typechecked package ready for
+// analysis. Only target packages (the ones named by the Load patterns,
+// or a LoadDir fixture) carry Files/Info; dependencies are typechecked
+// declaration-only and live in the loader's cache.
+type Package struct {
+	// Path is the import path ("semacyclic/internal/chase"). Fixture
+	// packages get a synthetic "fixture/<analyzer>/<name>" path.
+	Path string
+	// Name is the package name.
+	Name string
+	// Fset positions every file in the package.
+	Fset *token.FileSet
+	// Files are the parsed source files, with comments.
+	Files []*ast.File
+	// Types is the typechecked package.
+	Types *types.Package
+	// Info holds the type-and-use facts the analyzers consult.
+	Info *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+}
+
+// Loader parses and typechecks packages from source using the go
+// command for import resolution only (`go list -deps -json`), so it
+// needs nothing beyond the standard library and the toolchain already
+// required to build the repo. Dependencies are checked with
+// IgnoreFuncBodies and their type errors tolerated; target packages
+// must typecheck cleanly.
+type Loader struct {
+	fset *token.FileSet
+	// cache maps import path -> typechecked package (dependencies and
+	// targets alike), so repeated Load/LoadDir calls share work.
+	cache map[string]*types.Package
+}
+
+// NewLoader returns an empty loader with a fresh FileSet.
+func NewLoader() *Loader {
+	return &Loader{fset: token.NewFileSet(), cache: map[string]*types.Package{}}
+}
+
+// Import satisfies types.Importer from the cache filled in dependency
+// order; a miss means `go list -deps` did not surface the path, which
+// is a loader bug worth a loud error.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("lint: import %q not in dependency closure", path)
+}
+
+// goList runs `go list -deps -json` on the patterns and returns the
+// package stream in dependency order (dependencies before dependents).
+// CGO is disabled so pure-Go file sets are selected throughout.
+func goList(patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		p := new(listPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load typechecks every package matching the patterns (plus their
+// dependency closure) and returns the matched packages, sorted by
+// import path, ready for Run.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*Package
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		if lp.DepOnly {
+			if err := l.checkDep(lp); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		pkg, err := l.checkTarget(lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, pkg)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Path < targets[j].Path })
+	return targets, nil
+}
+
+// LoadDir loads a fixture directory as a single package under the
+// given synthetic import path. Fixtures may import standard-library
+// packages only; the closure is resolved and typechecked on demand.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	var imports []string
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if _, ok := l.cache[p]; !ok && p != "unsafe" {
+				imports = append(imports, p)
+			}
+		}
+	}
+	if len(imports) > 0 {
+		listed, err := goList(imports)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.ImportPath == "unsafe" {
+				continue
+			}
+			if err := l.checkDep(lp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return l.typecheck(path, files, true)
+}
+
+// checkDep typechecks a dependency declaration-only, tolerating type
+// errors (CGO-stubbed corners of the standard library), and caches it.
+func (l *Loader) checkDep(lp *listPackage) error {
+	if _, ok := l.cache[lp.ImportPath]; ok {
+		return nil
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: parsing dependency %s: %w", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		Error:            func(error) {}, // tolerate; the export surface we need survives
+	}
+	pkg, _ := conf.Check(lp.ImportPath, l.fset, files, nil)
+	if pkg == nil {
+		return fmt.Errorf("lint: typechecking dependency %s produced no package", lp.ImportPath)
+	}
+	l.cache[lp.ImportPath] = pkg
+	return nil
+}
+
+// checkTarget parses a target package with comments and typechecks it
+// fully; type errors are fatal (analysis over broken trees lies).
+func (l *Loader) checkTarget(path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.typecheck(path, files, false)
+}
+
+func (l *Loader) typecheck(path string, files []*ast.File, fixture bool) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, _ := conf.Check(path, l.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("lint: typechecking %s: %w", path, firstErr)
+	}
+	if !fixture {
+		l.cache[path] = pkg
+	}
+	return &Package{
+		Path:  path,
+		Name:  pkg.Name(),
+		Fset:  l.fset,
+		Files: files,
+		Types: pkg,
+		Info:  info,
+	}, nil
+}

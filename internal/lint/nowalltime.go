@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoWallTime keeps nondeterministic inputs out of the code that feeds
+// DeterministicFingerprint and the DETERMINISTIC-classified fields of
+// core.Result.Stats. Inside the deterministic decision packages and
+// internal/obs it forbids:
+//
+//   - time.Now / time.Since — wall clocks. The only sanctioned use is
+//     filling a NONDETERMINISTIC-classified field (WallNS), which the
+//     site documents with //semalint:allow nowalltime(reason);
+//   - math/rand and math/rand/v2 — any import;
+//   - fmt-formatting a map value (Sprintf("%v", m) and friends) —
+//     map formatting walks the map in random order, so the rendered
+//     text differs run to run.
+var NoWallTime = &Analyzer{
+	Name: "nowalltime",
+	Doc: "forbid wall clocks (time.Now/Since), math/rand and map formatting in the " +
+		"deterministic decision packages and internal/obs, where they would leak " +
+		"nondeterminism into DETERMINISTIC-classified stats and fingerprints",
+	Run: runNoWallTime,
+}
+
+// fmtFormatters are the fmt functions whose variadic arguments are
+// rendered with reflection (and therefore walk maps in random order).
+var fmtFormatters = map[string]bool{
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Errorf": true, "Appendf": true, "Append": true, "Appendln": true,
+}
+
+func runNoWallTime(p *Pass) {
+	if !isDeterministicPkg(p.Pkg) && !isObsPkg(p.Pkg) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(spec.Pos(),
+					"import of %s in deterministic package %s: randomness cannot feed "+
+						"DETERMINISTIC stats or fingerprints", path, p.Pkg.Name)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgName := importedPkg(p, sel)
+			switch {
+			case pkgName == "time" && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since"):
+				p.Reportf(call.Pos(),
+					"time.%s in deterministic package %s: wall time may only fill "+
+						"NONDETERMINISTIC-classified fields; annotate the site with "+
+						"//semalint:allow nowalltime(reason) if it does", sel.Sel.Name, p.Pkg.Name)
+			case pkgName == "fmt" && fmtFormatters[sel.Sel.Name]:
+				for _, arg := range call.Args {
+					tv, ok := p.Pkg.Info.Types[arg]
+					if !ok || tv.Type == nil {
+						continue
+					}
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						p.Reportf(arg.Pos(),
+							"fmt.%s formats map %s (%s): map rendering order is randomized and "+
+								"must not reach deterministic output", sel.Sel.Name, types.ExprString(arg), tv.Type)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// importedPkg returns the import path's base name when the selector's
+// receiver is a package identifier ("time", "fmt", ...), else "".
+func importedPkg(p *Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	obj, ok := p.Pkg.Info.Uses[id]
+	if !ok {
+		return ""
+	}
+	pn, ok := obj.(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

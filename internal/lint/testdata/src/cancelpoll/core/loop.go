@@ -1,0 +1,90 @@
+// Package core is a cancelpoll fixture: unbounded loops must reach a
+// cancellation poll.
+package core
+
+import "sync/atomic"
+
+var done chan struct{}
+
+func cancelled() bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// helper polls only transitively.
+func helper() bool { return cancelled() }
+
+// FixpointPolled polls directly: no finding.
+func FixpointPolled(work []int) {
+	for len(work) > 0 {
+		if cancelled() {
+			return
+		}
+		work = work[1:]
+	}
+}
+
+// FixpointViaHelper reaches the poll through a same-package call.
+func FixpointViaHelper(n int) {
+	for {
+		if helper() {
+			return
+		}
+		n--
+		if n == 0 {
+			return
+		}
+	}
+}
+
+// FixpointUnpolled is a worklist loop with no poll on any path.
+func FixpointUnpolled(work []int) int {
+	t := 0
+	for len(work) > 0 { // want "unbounded loop cannot reach an Options.Cancel poll"
+		t += work[0]
+		work = work[1:]
+	}
+	return t
+}
+
+// InfiniteUnpolled is a bare fixpoint loop with no poll.
+func InfiniteUnpolled() int {
+	i := 0
+	for { // want "unbounded loop cannot reach an Options.Cancel poll"
+		i++
+		if i > 10 {
+			return i
+		}
+	}
+}
+
+// BoundedThreeClause is structurally bounded: never flagged.
+func BoundedThreeClause(n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		t += i
+	}
+	return t
+}
+
+// CASRetry terminates by the compare-and-swap contract.
+func CASRetry(v *atomic.Int64) {
+	for {
+		cur := v.Load()
+		if v.CompareAndSwap(cur, cur+1) {
+			return
+		}
+	}
+}
+
+// PragmaBounded documents a genuinely bounded while-loop.
+func PragmaBounded(n uint) {
+	//semalint:allow cancelpoll(halves every pass; at most 64 iterations)
+	for n > 0 {
+		n /= 2
+	}
+}

@@ -1,0 +1,34 @@
+// Package chase is a detmap fixture: the package name opts it into the
+// deterministic-package scope.
+package chase
+
+import "sort"
+
+// CollectKeys ranges a map raw twice (positive cases), once under a
+// pragma (suppressed), and once over sorted keys (negative case).
+func CollectKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "range over map m"
+		out = append(out, k)
+	}
+	sort.Strings(out)
+
+	var pairs []int
+	for _, v := range m { // want "range over map m"
+		pairs = append(pairs, v)
+	}
+	_ = pairs
+
+	total := 0
+	//semalint:allow detmap(sum is commutative; order cannot escape)
+	for _, v := range m {
+		total += v
+	}
+	_ = total
+
+	// Sorted-key iteration is the sanctioned fix: not a map range.
+	for _, k := range out {
+		_ = m[k]
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Package util is outside the deterministic-package set: raw map
+// iteration here is not detmap's business.
+package util
+
+// Sum ranges a map raw; no findings expected.
+func Sum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

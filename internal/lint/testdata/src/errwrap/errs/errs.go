@@ -1,0 +1,33 @@
+// Package errs is an errwrap fixture. errwrap applies to every
+// package, so the name carries no scope meaning.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCancelled stands in for the decision sentinels.
+var ErrCancelled = errors.New("cancelled")
+
+// Check exercises sentinel comparison and wrapping.
+func Check(err error) error {
+	if err == ErrCancelled { // want "sentinel error ErrCancelled compared with =="
+		return nil
+	}
+	if ErrCancelled != err { // want "sentinel error ErrCancelled compared with !="
+		_ = err
+	}
+	if errors.Is(err, ErrCancelled) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wrapped: %v", err) // want "formats error err with %v"
+	}
+	return fmt.Errorf("wrapped: %w", err)
+}
+
+// Message stringifies an error's text, not the error value: fine.
+func Message(err error) string {
+	return fmt.Sprintf("%v", err.Error())
+}

@@ -1,0 +1,27 @@
+// Package core is a nowalltime fixture: wall clocks, randomness and
+// map formatting must stay out of deterministic packages.
+package core
+
+import (
+	"fmt"
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+type stats struct{ WallNS int64 }
+
+// Measure uses wall clocks; only the pragma'd site is sanctioned.
+func Measure(st *stats) {
+	start := time.Now()                         // want "time.Now in deterministic package"
+	st.WallNS = time.Since(start).Nanoseconds() // want "time.Since in deterministic package"
+	//semalint:allow nowalltime(wall clock feeds NONDETERMINISTIC WallNS only)
+	st.WallNS += time.Since(start).Nanoseconds()
+}
+
+// Render formats a map (flagged) and a slice (fine).
+func Render(m map[string]int, xs []int) string {
+	s := fmt.Sprintf("%v", m) // want "formats map m"
+	s += fmt.Sprintf("%v", xs)
+	_ = rand.Int()
+	return s
+}

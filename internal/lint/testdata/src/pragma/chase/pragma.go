@@ -1,0 +1,22 @@
+// Package chase is a pragma-hygiene fixture: broken suppressions are
+// findings themselves and never silence the analyzer.
+package chase
+
+// BadPragmas exercises the malformed-pragma diagnostics. The broken
+// pragmas do NOT suppress detmap, so the ranges below are also flagged.
+func BadPragmas(m map[string]int) int {
+	t := 0
+	//semalint:allow detmap() // want "empty reason"
+	for _, v := range m { // want "range over map m"
+		t += v
+	}
+	//semalint:allow nosuchcheck(reason) // want "unknown analyzer"
+	for _, v := range m { // want "range over map m"
+		t += v
+	}
+	//semalint:sometypo detmap(reason) // want "malformed semalint pragma"
+	for _, v := range m { // want "range over map m"
+		t += v
+	}
+	return t
+}

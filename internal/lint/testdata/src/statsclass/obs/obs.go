@@ -1,0 +1,69 @@
+// Package obs is a statsclass fixture: the package name opts it into
+// the observability-layer scope.
+package obs
+
+import "fmt"
+
+// GoodStats is fully classified with a faithful fingerprint.
+type GoodStats struct {
+	Rounds int   `json:"rounds" sem:"det"`
+	WallNS int64 `json:"wall_ns" sem:"nondet"`
+}
+
+// Fingerprint covers exactly the det set.
+func (g GoodStats) Fingerprint() string {
+	return fmt.Sprintf("good{rounds=%d}", g.Rounds)
+}
+
+// BadStats exercises the tagging failure modes.
+type BadStats struct {
+	Unclassified int       `json:"u"`                     // want "not classified"
+	Typo         int       `json:"t" sem:"deterministic"` // want "unknown classification"
+	Nested       GoodStats `json:"n" sem:"det"`           // want "must be tagged"
+	Leafish      int       `json:"l" sem:"group"`         // want "not a nested stats struct"
+}
+
+// DriftStats has a fingerprint that drifted from its tags.
+type DriftStats struct {
+	Keep int   `json:"keep" sem:"det"`
+	Drop int   `json:"drop" sem:"det"`
+	Wall int64 `json:"wall" sem:"nondet"`
+}
+
+// Fingerprint drops a det field and leaks a nondet one.
+func (d DriftStats) Fingerprint() string { // want "omits DETERMINISTIC field Drop" "references NONDETERMINISTIC field Wall"
+	return fmt.Sprintf("drift{keep=%d wall=%d}", d.Keep, d.Wall)
+}
+
+// NoDetStats has no deterministic leaves at all.
+type NoDetStats struct {
+	Backtracks int64 `json:"b" sem:"nondet"`
+}
+
+// GroupStats nests classified structs.
+type GroupStats struct {
+	Inner GoodStats  `json:"inner" sem:"group"`
+	Hom   NoDetStats `json:"hom" sem:"group"`
+}
+
+// DeterministicFingerprint skips the det-bearing group and includes
+// the det-free one.
+func (g *GroupStats) DeterministicFingerprint() string { // want "omits det-bearing group Inner" "references group Hom"
+	return fmt.Sprintf("group{hom=%d}", g.Hom.Backtracks)
+}
+
+// FlatStats flattens a nested group without its own fingerprint.
+type FlatStats struct {
+	Layer LeafStats `json:"layer" sem:"group"`
+}
+
+// LeafStats backs FlatStats.Layer and has no fingerprint method.
+type LeafStats struct {
+	Count int   `json:"count" sem:"det"`
+	Wall  int64 `json:"wall" sem:"nondet"`
+}
+
+// Fingerprint flattens the group's det leaves directly: fine.
+func (f FlatStats) Fingerprint() string {
+	return fmt.Sprintf("flat{count=%d}", f.Layer.Count)
+}

@@ -14,34 +14,34 @@ import "fmt"
 type EvalStats struct {
 	// Method names the evaluation procedure that ran: "yannakakis",
 	// "guarded-game", "egd-game" or "generic". DETERMINISTIC.
-	Method string `json:"method"`
+	Method string `json:"method" sem:"det"`
 	// Answers is the size of the answer set. DETERMINISTIC.
-	Answers int `json:"answers"`
+	Answers int `json:"answers" sem:"det"`
 	// RowsScanned counts database atoms read while loading join-tree
 	// leaves (or game/generic candidates): every atom fetched from a
 	// per-predicate or per-position list. DETERMINISTIC.
-	RowsScanned int64 `json:"rows_scanned"`
+	RowsScanned int64 `json:"rows_scanned" sem:"det"`
 	// IndexLookups counts ByPos probes issued for bound (constant)
 	// argument positions. DETERMINISTIC.
-	IndexLookups int64 `json:"index_lookups"`
+	IndexLookups int64 `json:"index_lookups" sem:"det"`
 	// IndexHits counts rows returned by those probes — the rows that
 	// were read instead of scanned. DETERMINISTIC.
-	IndexHits int64 `json:"index_hits"`
+	IndexHits int64 `json:"index_hits" sem:"det"`
 	// IndexSkippedRows counts the rows the index lookups avoided
 	// scanning: Σ over indexed atoms of (predicate size − candidates).
 	// DETERMINISTIC.
-	IndexSkippedRows int64 `json:"index_skipped_rows"`
+	IndexSkippedRows int64 `json:"index_skipped_rows" sem:"det"`
 	// Semijoins counts semijoin reductions performed (two per join-tree
 	// edge in a full Yannakakis pass). DETERMINISTIC.
-	Semijoins int64 `json:"semijoins"`
+	Semijoins int64 `json:"semijoins" sem:"det"`
 	// SemijoinDroppedRows counts rows eliminated by those reductions.
 	// DETERMINISTIC.
-	SemijoinDroppedRows int64 `json:"semijoin_dropped_rows"`
+	SemijoinDroppedRows int64 `json:"semijoin_dropped_rows" sem:"det"`
 	// JoinRows counts rows materialized by the bottom-up join phase.
 	// DETERMINISTIC.
-	JoinRows int64 `json:"join_rows"`
+	JoinRows int64 `json:"join_rows" sem:"det"`
 	// WallNS is the evaluation wall time. NONDETERMINISTIC.
-	WallNS int64 `json:"wall_ns"`
+	WallNS int64 `json:"wall_ns" sem:"nondet"`
 }
 
 // Fingerprint renders the deterministic evaluation fields canonically;

@@ -32,20 +32,20 @@ type Stats struct {
 	// Chase observes chase(q,Σ), the Lemma 1 pruning target built by
 	// the decision layers. Deterministic: the pipeline chases with
 	// sequential rounds, independent of -j.
-	Chase ChaseStats `json:"chase"`
+	Chase ChaseStats `json:"chase" sem:"group"`
 	// Search observes the layer-4 complete bounded enumeration.
-	Search SearchStats `json:"search"`
+	Search SearchStats `json:"search" sem:"group"`
 	// Containment observes the prepared right-hand-side checker.
-	Containment ContainmentStats `json:"containment"`
+	Containment ContainmentStats `json:"containment" sem:"group"`
 	// Hom is the process-global homomorphism-engine delta observed
 	// during the decision. NONDETERMINISTIC — concurrent decisions in
 	// the same process bleed into each other's deltas.
-	Hom HomStats `json:"hom"`
+	Hom HomStats `json:"hom" sem:"group"`
 	// Layers records, in order, each decision layer that ran: its
 	// candidate count (deterministic) and wall time (nondeterministic).
-	Layers []LayerStats `json:"layers,omitempty"`
+	Layers []LayerStats `json:"layers,omitempty" sem:"group"`
 	// WallNS is the total decision wall time. NONDETERMINISTIC.
-	WallNS int64 `json:"wall_ns"`
+	WallNS int64 `json:"wall_ns" sem:"nondet"`
 }
 
 // NewStats returns a Stats with the "not defined" sentinels applied.
@@ -56,14 +56,14 @@ func NewStats() *Stats {
 // LayerStats is one decision layer's contribution.
 type LayerStats struct {
 	// Name is the layer's Result.Layer-style name.
-	Name string `json:"name"`
+	Name string `json:"name" sem:"det"`
 	// Candidates examined by the layer. DETERMINISTIC: the early layers
 	// are sequential, and the complete layer records its decisive count
 	// (see SearchStats.Candidates), not the raw scheduling-dependent
 	// total.
-	Candidates int `json:"candidates"`
+	Candidates int `json:"candidates" sem:"det"`
 	// WallNS is the layer's wall time. NONDETERMINISTIC.
-	WallNS int64 `json:"wall_ns"`
+	WallNS int64 `json:"wall_ns" sem:"nondet"`
 }
 
 // ChaseStats counts the work of one chase run. All fields are
@@ -75,24 +75,24 @@ type LayerStats struct {
 type ChaseStats struct {
 	// Rounds is the number of tgd passes executed (including the final
 	// pass that fires nothing and certifies the fixpoint).
-	Rounds int `json:"rounds"`
+	Rounds int `json:"rounds" sem:"det"`
 	// TriggersCollected is the total number of body homomorphisms
 	// gathered across all passes, before applicability re-checks.
-	TriggersCollected int `json:"triggers_collected"`
+	TriggersCollected int `json:"triggers_collected" sem:"det"`
 	// TriggersFired is the number of tgd applications performed
 	// (identical to the chase Result.Steps counter, and to the number
 	// of tgd entries in a Trace).
-	TriggersFired int `json:"triggers_fired"`
+	TriggersFired int `json:"triggers_fired" sem:"det"`
 	// NullsCreated is the number of fresh labelled nulls minted for
 	// existential head variables.
-	NullsCreated int `json:"nulls_created"`
+	NullsCreated int `json:"nulls_created" sem:"det"`
 	// Merges is the number of egd term identifications performed
 	// (identical to the number of merge entries in a Trace).
-	Merges int `json:"merges"`
+	Merges int `json:"merges" sem:"det"`
 	// Atoms is the size of the chased instance.
-	Atoms int `json:"atoms"`
+	Atoms int `json:"atoms" sem:"det"`
 	// Complete reports whether the chase reached its fixpoint.
-	Complete bool `json:"complete"`
+	Complete bool `json:"complete" sem:"det"`
 }
 
 // Fingerprint renders the deterministic chase fields canonically.
@@ -105,19 +105,19 @@ func (c ChaseStats) Fingerprint() string {
 type SearchStats struct {
 	// Branches is the number of top-level enumeration branches seeded.
 	// DETERMINISTIC.
-	Branches int `json:"branches"`
+	Branches int `json:"branches" sem:"det"`
 	// Bound is the atom bound actually enumerated to (after the
 	// UCQ-class cap, when applied). DETERMINISTIC.
-	Bound int `json:"bound"`
+	Bound int `json:"bound" sem:"det"`
 	// Budget is the verification-slot budget the run was given.
 	// DETERMINISTIC.
-	Budget int `json:"budget"`
+	Budget int `json:"budget" sem:"det"`
 	// WinnerBranch is the index of the branch whose witness was
 	// elected, -1 when no witness was returned. DETERMINISTIC: the
 	// canonically least complete-prefixed witness wins at every -j.
-	WinnerBranch int `json:"winner_branch"`
+	WinnerBranch int `json:"winner_branch" sem:"det"`
 	// Exhausted reports a definitive full enumeration. DETERMINISTIC.
-	Exhausted bool `json:"exhausted"`
+	Exhausted bool `json:"exhausted" sem:"det"`
 	// Candidates is the decisive candidate count: the number of
 	// verifications the sequential (-j 1) order performs up to the
 	// decision point. DETERMINISTIC — when a witness is returned it
@@ -128,38 +128,38 @@ type SearchStats struct {
 	// be reconstructed from a parallel run, so the field is -1 ("not
 	// defined") — identically at every -j. See CandidatesObserved for
 	// the raw count.
-	Candidates int `json:"candidates"`
+	Candidates int `json:"candidates" sem:"det"`
 
 	// CandidatesObserved is the raw number of verification slots
 	// granted, including work by branches an earlier winner later
 	// aborted. NONDETERMINISTIC.
-	CandidatesObserved int `json:"candidates_observed"`
+	CandidatesObserved int `json:"candidates_observed" sem:"nondet"`
 	// NodesVisited counts enumeration-tree nodes expanded.
 	// NONDETERMINISTIC.
-	NodesVisited int64 `json:"nodes_visited"`
+	NodesVisited int64 `json:"nodes_visited" sem:"nondet"`
 	// PrunedByHom counts prefixes cut by the Lemma 1 pinned-
 	// homomorphism test. NONDETERMINISTIC.
-	PrunedByHom int64 `json:"pruned_by_hom"`
+	PrunedByHom int64 `json:"pruned_by_hom" sem:"nondet"`
 	// Verified counts containment verifications actually evaluated
 	// (candidate-memo misses); hits return the cached verdict.
 	// NONDETERMINISTIC.
-	Verified int64 `json:"verified"`
+	Verified int64 `json:"verified" sem:"nondet"`
 	// Indefinite counts non-definitive verification verdicts (a budget
 	// inside the containment check). NONDETERMINISTIC.
-	Indefinite int64 `json:"indefinite"`
+	Indefinite int64 `json:"indefinite" sem:"nondet"`
 	// PruneMemoHits / PruneMemoMisses are the prefix-homomorphism cache
 	// rates. NONDETERMINISTIC (racing branches may recompute a key).
-	PruneMemoHits   int64 `json:"prune_memo_hits"`
-	PruneMemoMisses int64 `json:"prune_memo_misses"`
+	PruneMemoHits   int64 `json:"prune_memo_hits" sem:"nondet"`
+	PruneMemoMisses int64 `json:"prune_memo_misses" sem:"nondet"`
 	// CandMemoHits / CandMemoMisses are the candidate-containment cache
 	// rates. NONDETERMINISTIC.
-	CandMemoHits   int64 `json:"cand_memo_hits"`
-	CandMemoMisses int64 `json:"cand_memo_misses"`
+	CandMemoHits   int64 `json:"cand_memo_hits" sem:"nondet"`
+	CandMemoMisses int64 `json:"cand_memo_misses" sem:"nondet"`
 	// Workers is the resolved worker count; WorkerBranches[w] is the
 	// number of branches worker w processed (utilization, not
 	// assignment). NONDETERMINISTIC.
-	Workers        int     `json:"workers"`
-	WorkerBranches []int64 `json:"worker_branches,omitempty"`
+	Workers        int     `json:"workers" sem:"nondet"`
+	WorkerBranches []int64 `json:"worker_branches,omitempty" sem:"nondet"`
 }
 
 // Fingerprint renders the deterministic search fields canonically.
@@ -172,18 +172,18 @@ func (s SearchStats) Fingerprint() string {
 type ContainmentStats struct {
 	// Method is the containment procedure selected for the fixed
 	// right-hand side. DETERMINISTIC.
-	Method string `json:"method"`
+	Method string `json:"method" sem:"det"`
 	// RewriteDisjuncts is the size of the hoisted UCQ rewriting
 	// (sticky / non-recursive sets), 0 when the method does not
 	// rewrite, -1 when no prepared checker was built (memo disabled).
 	// DETERMINISTIC for a fixed DisableSearchMemo setting.
-	RewriteDisjuncts int `json:"rewrite_disjuncts"`
+	RewriteDisjuncts int `json:"rewrite_disjuncts" sem:"det"`
 	// RewriteComplete reports whether the rewriting was exhaustive.
-	RewriteComplete bool `json:"rewrite_complete"`
+	RewriteComplete bool `json:"rewrite_complete" sem:"det"`
 	// PreparedChecks is the number of Check calls served by the
 	// prepared right-hand side — the Prepare reuse count.
 	// NONDETERMINISTIC (aborted branches verify extra candidates).
-	PreparedChecks int64 `json:"prepared_checks"`
+	PreparedChecks int64 `json:"prepared_checks" sem:"nondet"`
 }
 
 // Fingerprint renders the deterministic containment fields canonically.
@@ -198,10 +198,10 @@ func (c ContainmentStats) Fingerprint() string {
 type HomStats struct {
 	// Enumerations counts hom.Enumerate calls (every Exists/Find/
 	// Evaluate funnels through it).
-	Enumerations int64 `json:"enumerations"`
+	Enumerations int64 `json:"enumerations" sem:"nondet"`
 	// Backtracks counts candidate-atom match attempts that failed and
 	// forced the backtracking search to retreat.
-	Backtracks int64 `json:"backtracks"`
+	Backtracks int64 `json:"backtracks" sem:"nondet"`
 }
 
 // AddLayer appends one layer record.

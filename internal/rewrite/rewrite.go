@@ -147,7 +147,7 @@ func Rewrite(q *cq.CQ, set *deps.Set, opt Options) (*Result, error) {
 	}
 	ucq, err := cq.NewUCQ(order...)
 	if err != nil {
-		return nil, fmt.Errorf("rewrite: internal: %v", err)
+		return nil, fmt.Errorf("rewrite: internal: %w", err)
 	}
 	return &Result{UCQ: ucq, Complete: complete, Rounds: rounds}, nil
 }
@@ -262,6 +262,7 @@ func applyPiece(frozen *cq.CQ, t *deps.TGD, assign []int,
 			}
 		}
 		// No outside-S p-variable may resolve into z's class.
+		//semalint:allow detmap(existence check; any hit rejects identically)
 		for v := range outside {
 			if mu.Resolve(v) == rz {
 				return nil

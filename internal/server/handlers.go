@@ -115,13 +115,13 @@ func parseUnit(req *DecideRequest, kind string) (*decideUnit, error) {
 	}
 	q, err := cq.Parse(req.Query)
 	if err != nil {
-		return nil, fmt.Errorf("query: %v", err)
+		return nil, fmt.Errorf("query: %w", err)
 	}
 	set := &deps.Set{}
 	if strings.TrimSpace(req.Deps) != "" {
 		set, err = deps.Parse(req.Deps)
 		if err != nil {
-			return nil, fmt.Errorf("deps: %v", err)
+			return nil, fmt.Errorf("deps: %w", err)
 		}
 	}
 	dk := set.String()

@@ -21,11 +21,20 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== semalint =="
+# The determinism & cancellation contracts, enforced statically: no raw
+# map ranges in decision packages, every fixpoint loop polls
+# Options.Cancel, no wall-clock input to fingerprints, errors.Is for
+# sentinels, every obs stats field classified. See internal/lint.
+go run ./cmd/semalint ./...
+
 echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
-go test -race ./...
+# -shuffle=on randomizes test (and subtest-sibling) execution order so
+# accidental inter-test coupling surfaces here, not in a flaky bisect.
+go test -race -shuffle=on ./...
 
 echo "== cancellation & server gate (race) =="
 # The semacycd service package and the per-layer cancellation tests are

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Convenience wrapper around the semalint multichecker.
+#
+#   scripts/lint.sh               # human-readable findings, vet style
+#   scripts/lint.sh -json         # machine-readable JSON array
+#   scripts/lint.sh ./internal/chase/
+#
+# Flags and package patterns are passed through verbatim; see
+# `go run ./cmd/semalint -h` for per-analyzer toggles. Exit status:
+# 0 clean, 1 findings, 2 analysis error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec go run ./cmd/semalint "$@"
