@@ -68,6 +68,7 @@ func main() {
 	serveN := flag.Int("serve-n", 10000, "decision count for the -serve-out mixed workload")
 	serveClients := flag.Int("serve-clients", 16, "concurrent client connections for -serve-out")
 	evalOut := flag.String("eval-out", "", "measure the evaluation trajectory (indexed vs scan Yannakakis, plan cache, game crossover) and write the JSON to this file")
+	internOut := flag.String("intern-out", "", "measure the interned hot path against the string-path oracle and write the JSON trajectory to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar (the semacyclic.* counters) on this address, e.g. :6060")
 	flag.Parse()
 	if *pprofAddr != "" {
@@ -87,6 +88,9 @@ func main() {
 	}
 	if *evalOut != "" {
 		os.Exit(runEvalOut(*evalOut))
+	}
+	if *internOut != "" {
+		os.Exit(runInternOut(*internOut))
 	}
 	want := map[string]bool{}
 	for _, a := range flag.Args() {

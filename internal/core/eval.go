@@ -7,6 +7,7 @@ import (
 	"semacyclic/internal/cq"
 	"semacyclic/internal/deps"
 	"semacyclic/internal/game"
+	"semacyclic/internal/hypergraph"
 	"semacyclic/internal/instance"
 	"semacyclic/internal/term"
 	"semacyclic/internal/yannakakis"
@@ -21,6 +22,9 @@ type Evaluator struct {
 	Query   *cq.CQ
 	Witness *cq.CQ
 	result  *Result
+	// compiled is the witness's interned Yannakakis program, built once
+	// here so each Evaluate call skips GYO and query-side interning.
+	compiled *yannakakis.Compiled
 }
 
 // NewEvaluator reformulates q under the set. It fails when q is not
@@ -34,18 +38,30 @@ func NewEvaluator(q *cq.CQ, set *deps.Set, opt Options) (*Evaluator, error) {
 	if res.Verdict != Yes {
 		return nil, fmt.Errorf("core: query is not verifiably semantically acyclic (verdict %s)", res.Verdict)
 	}
-	return &Evaluator{Query: q, Witness: res.Witness, result: res}, nil
+	forest, ok := hypergraph.GYO(res.Witness.Atoms)
+	if !ok {
+		return nil, fmt.Errorf("core: verified witness %s is not acyclic", res.Witness)
+	}
+	compiled, err := yannakakis.Compile(res.Witness, forest)
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling witness %s: %w", res.Witness, err)
+	}
+	return &Evaluator{Query: q, Witness: res.Witness, result: res, compiled: compiled}, nil
 }
 
 // Evaluate computes q(D) for a database D ⊨ Σ by evaluating the
 // acyclic witness with Yannakakis' algorithm.
 func (e *Evaluator) Evaluate(db *instance.Instance) ([][]term.Term, error) {
-	return yannakakis.Evaluate(e.Witness, db)
+	return e.compiled.Execute(db, yannakakis.Options{})
 }
 
 // EvaluateBool reports whether q(D) is nonempty.
 func (e *Evaluator) EvaluateBool(db *instance.Instance) (bool, error) {
-	return yannakakis.EvaluateBool(e.Witness, db)
+	ans, err := e.compiled.Execute(db, yannakakis.Options{})
+	if err != nil {
+		return false, err
+	}
+	return len(ans) > 0, nil
 }
 
 // Result returns the decision backing this evaluator.

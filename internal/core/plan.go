@@ -14,6 +14,7 @@ import (
 	"semacyclic/internal/hypergraph"
 	"semacyclic/internal/instance"
 	"semacyclic/internal/obs"
+	"semacyclic/internal/symtab"
 	"semacyclic/internal/term"
 	"semacyclic/internal/yannakakis"
 )
@@ -59,6 +60,11 @@ type Plan struct {
 	// computed once at compile time.
 	pattern []instance.Atom
 	frozen  []term.Term
+	// compiled is the witness's interned Yannakakis program for
+	// MethodYannakakis: the whole query side (argument structure,
+	// semijoin columns, join/projection programs) is integer-coded once
+	// here, so Execute never re-interns the query per database.
+	compiled *yannakakis.Compiled
 }
 
 // EvalOptions tunes one Plan.Execute run.
@@ -134,7 +140,11 @@ func CompilePlan(q *cq.CQ, set *deps.Set, opt Options, method string) (*Plan, er
 			if !ok {
 				return nil, fmt.Errorf("core: verified witness %s is not acyclic", res.Witness)
 			}
-			p.Method, p.Witness, p.Forest = MethodYannakakis, res.Witness, forest
+			compiled, err := yannakakis.Compile(res.Witness, forest)
+			if err != nil {
+				return nil, fmt.Errorf("core: compiling witness %s: %w", res.Witness, err)
+			}
+			p.Method, p.Witness, p.Forest, p.compiled = MethodYannakakis, res.Witness, forest, compiled
 			return p, nil
 		}
 		if method == MethodYannakakis {
@@ -160,7 +170,7 @@ func (p *Plan) Execute(db *instance.Instance, eopt EvalOptions) ([][]term.Term, 
 	)
 	switch p.Method {
 	case MethodYannakakis:
-		ans, err = yannakakis.EvaluateWithForestOpt(p.Witness, p.Forest, db, yannakakis.Options{
+		ans, err = p.compiled.Execute(db, yannakakis.Options{
 			Cancel:       eopt.Cancel,
 			DisableIndex: eopt.DisableIndex,
 			Stats:        st,
@@ -233,6 +243,11 @@ func genericEvaluate(q *cq.CQ, db *instance.Instance, cancel <-chan struct{}) ([
 	if cancel == nil {
 		return hom.Evaluate(q, db), nil
 	}
+	hom.PrepareTarget(db)
+	// Duplicate rejection runs on dense integer ids from a per-call
+	// interner (4 bytes per term, allocation-free probe); the ids never
+	// reach the output, which canonicalizeAnswers orders by string keys.
+	local := symtab.New()
 	seen := make(map[string]bool)
 	var answers [][]term.Term
 	var buf []byte
@@ -245,7 +260,10 @@ func genericEvaluate(q *cq.CQ, db *instance.Instance, cancel <-chan struct{}) ([
 		default:
 		}
 		tuple := s.ResolveTuple(q.Free)
-		buf = hom.AppendTupleKey(buf[:0], tuple)
+		buf = buf[:0]
+		for _, t := range tuple {
+			buf = symtab.AppendID(buf, local.Intern(t))
+		}
 		if !seen[string(buf)] {
 			seen[string(buf)] = true
 			answers = append(answers, tuple)

@@ -8,6 +8,7 @@ import (
 	"semacyclic/internal/cq"
 	"semacyclic/internal/instance"
 	"semacyclic/internal/term"
+	"semacyclic/internal/testutil"
 )
 
 func benchDB(size, domain int) *instance.Instance {
@@ -101,6 +102,37 @@ func BenchmarkTupleKeyBuilder(b *testing.B) {
 		if tupleKey(tuple) == "" {
 			b.Fatal("empty key")
 		}
+	}
+}
+
+// TestAllocsCandidateProbe is the regression guard for the interned
+// candidate-check path: selecting the most selective candidate set for
+// an atom (the per-node inner operation of Enumerate) must not allocate
+// — one symbol lookup plus one binary search per pinned position, a
+// by-value candSet out. The ci.sh `-run 'TestAllocs'` gate runs this
+// without -race on every push.
+func TestAllocsCandidateProbe(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	db := benchDB(2000, 200)
+	if db.Interned() == nil {
+		t.Fatal("no interned view")
+	}
+	x, y := term.Var("x"), term.Var("y")
+	a := instance.NewAtom("E", x, y)
+	sub := term.NewSubst()
+	sub[x] = term.Const("c7")
+	var sink int
+	allocs := testing.AllocsPerRun(1000, func() {
+		cs := pickCandidates(db, a, sub)
+		sink += cs.n
+	})
+	if allocs != 0 {
+		t.Fatalf("pickCandidates allocates %v per op, want 0", allocs)
+	}
+	if sink == 0 {
+		t.Fatal("probe matched nothing; fixture too sparse to mean anything")
 	}
 }
 

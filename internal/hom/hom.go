@@ -11,6 +11,7 @@ import (
 	"semacyclic/internal/cq"
 	"semacyclic/internal/instance"
 	"semacyclic/internal/obs"
+	"semacyclic/internal/symtab"
 	"semacyclic/internal/term"
 )
 
@@ -101,7 +102,9 @@ func Enumerate(pattern []instance.Atom, target *instance.Instance, init term.Sub
 			return yield(sub)
 		}
 		a := ordered[i]
-		for _, cand := range candidates(target, a, sub) {
+		cs := pickCandidates(target, a, sub)
+		for k := 0; k < cs.n; k++ {
+			cand := cs.at(k)
 			added, ok := term.MatchTuple(sub, a.Args, cand.Args)
 			if !ok {
 				backtracks++
@@ -141,26 +144,33 @@ func Exists(pattern []instance.Atom, target *instance.Instance, init term.Subst)
 // Evaluate computes q(I): the set of answer tuples, each a tuple over
 // the terms of I, deduplicated, in deterministic order.
 //
-// Allocation discipline: duplicate answers are rejected through a
-// reused key buffer (the map probe with string(buf) does not allocate),
-// a key string is materialized once per distinct tuple, and the final
-// sort compares those retained keys instead of re-deriving them per
-// comparison.
+// Allocation discipline: duplicate answers are rejected on dense
+// integer ids from a per-call interner — 4 bytes per term in a reused
+// buffer, and the map probe with string(buf) does not allocate. The
+// canonical string key is materialized once per distinct tuple, only to
+// order the answers (ids never influence the output order), and the
+// final sort compares those retained keys instead of re-deriving them
+// per comparison.
 func Evaluate(q *cq.CQ, target *instance.Instance) [][]term.Term {
+	PrepareTarget(target)
 	type keyed struct {
 		key   string
 		tuple []term.Term
 	}
+	local := symtab.New()
 	seen := make(map[string]bool)
 	var answers []keyed
-	var buf []byte
+	var idbuf, keybuf []byte
 	Enumerate(q.Atoms, target, nil, func(s term.Subst) bool {
 		tuple := s.ResolveTuple(q.Free)
-		buf = AppendTupleKey(buf[:0], tuple)
-		if !seen[string(buf)] {
-			key := string(buf)
-			seen[key] = true
-			answers = append(answers, keyed{key: key, tuple: tuple})
+		idbuf = idbuf[:0]
+		for _, t := range tuple {
+			idbuf = symtab.AppendID(idbuf, local.Intern(t))
+		}
+		if !seen[string(idbuf)] {
+			seen[string(idbuf)] = true
+			keybuf = AppendTupleKey(keybuf[:0], tuple)
+			answers = append(answers, keyed{key: string(keybuf), tuple: tuple})
 		}
 		return true
 	})
@@ -178,9 +188,7 @@ func Evaluate(q *cq.CQ, target *instance.Instance) [][]term.Term {
 // construction allocation-free.
 func AppendTupleKey(buf []byte, ts []term.Term) []byte {
 	for _, t := range ts {
-		buf = append(buf, byte(t.K))
-		buf = append(buf, t.Name...)
-		buf = append(buf, 0)
+		buf = t.AppendKey(buf)
 	}
 	return buf
 }
@@ -205,6 +213,7 @@ func tupleKey(ts []term.Term) string {
 // EvaluateBool reports whether the Boolean query holds (for non-Boolean
 // queries: whether the answer set is nonempty).
 func EvaluateBool(q *cq.CQ, target *instance.Instance) bool {
+	PrepareTarget(target)
 	return Exists(q.Atoms, target, nil)
 }
 

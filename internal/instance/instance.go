@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"semacyclic/internal/schema"
 	"semacyclic/internal/term"
@@ -29,6 +30,10 @@ type Instance struct {
 	byPred map[string][]Atom // predicate → atoms (order of insertion, compacted on removal)
 	byPos  map[posKey][]Atom
 	sch    *schema.Schema // lazily grown signature of the instance
+
+	// interned caches the columnar integer-coded view (see interned.go);
+	// dropped on every mutation, rebuilt lazily by Interned.
+	interned atomic.Pointer[InternedView]
 }
 
 // New returns an empty instance.
@@ -90,6 +95,7 @@ func (ins *Instance) AddReport(a Atom) (added bool, err error) {
 		pk := posKey{a.Pred, i, t}
 		ins.byPos[pk] = append(ins.byPos[pk], a)
 	}
+	ins.invalidateInterned()
 	return true, nil
 }
 
@@ -109,6 +115,7 @@ func (ins *Instance) Remove(a Atom) bool {
 			delete(ins.byPos, pk)
 		}
 	}
+	ins.invalidateInterned()
 	return true
 }
 

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// InternLeak polices the string↔id boundary of the interned hot path
+// (internal/symtab): inside the deterministic decision packages, the
+// de-intern helpers symtab.Table.Term and symtab.Table.AppendTerms may
+// only appear on the print/error/answer-materialization paths, each
+// call annotated //semalint:allow internleak(reason). An unannotated
+// call is the smell the analyzer exists for: an id leaking back into a
+// string key inside a hot loop, quietly re-paying the alloc/hash tax
+// the interning layer removed.
+var InternLeak = &Analyzer{
+	Name: "internleak",
+	Doc: "restrict symtab de-intern helpers (Table.Term, Table.AppendTerms) in " +
+		"deterministic decision packages to annotated print/error boundary sites, " +
+		"so interned ids cannot silently flow back into hot-loop string keys",
+	Run: runInternLeak,
+}
+
+// deinternMethods are the symtab.Table methods that cross the id→string
+// boundary.
+var deinternMethods = map[string]bool{
+	"Term":        true,
+	"AppendTerms": true,
+}
+
+func runInternLeak(p *Pass) {
+	if !isDeterministicPkg(p.Pkg) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !deinternMethods[sel.Sel.Name] {
+				return true
+			}
+			if !isSymtabTable(p, sel.X) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"symtab de-intern %s in deterministic package %s: ids may reach strings "+
+					"only at print/error boundaries; annotate the site with "+
+					"//semalint:allow internleak(reason) if this is one", sel.Sel.Name, p.Pkg.Name)
+			return true
+		})
+	}
+}
+
+// isSymtabTable reports whether the expression's type is
+// symtab.Table or *symtab.Table.
+func isSymtabTable(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	typ := tv.Type
+	if ptr, ok := typ.Underlying().(*types.Pointer); ok {
+		typ = ptr.Elem()
+	}
+	named, ok := typ.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Name() == "Table" && path.Base(obj.Pkg().Path()) == "symtab"
+}

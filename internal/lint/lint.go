@@ -106,7 +106,7 @@ func isObsPkg(p *Package) bool {
 
 // All returns the full semalint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{DetMap, CancelPoll, NoWallTime, ErrWrap, StatsClass}
+	return []*Analyzer{DetMap, CancelPoll, NoWallTime, ErrWrap, StatsClass, InternLeak}
 }
 
 // pragma is one parsed //semalint:allow comment.

@@ -103,6 +103,9 @@ func TestNoWallTimeFixture(t *testing.T) {
 }
 func TestErrWrapFixture(t *testing.T)    { runFixture(t, lint.ErrWrap, "errwrap/errs") }
 func TestStatsClassFixture(t *testing.T) { runFixture(t, lint.StatsClass, "statsclass/obs") }
+func TestInternLeakFixture(t *testing.T) {
+	runFixture(t, lint.InternLeak, "internleak/core")
+}
 
 // TestPragmaHygiene checks that malformed pragmas are findings and do
 // not suppress the analyzer they misname.
@@ -143,7 +146,7 @@ func TestSuiteNames(t *testing.T) {
 	for _, a := range lint.All() {
 		got = append(got, a.Name)
 	}
-	want := []string{"detmap", "cancelpoll", "nowalltime", "errwrap", "statsclass"}
+	want := []string{"detmap", "cancelpoll", "nowalltime", "errwrap", "statsclass", "internleak"}
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Fatalf("analyzer suite = %v, want %v", got, want)
 	}

@@ -1,0 +1,47 @@
+// Package core is an internleak fixture: symtab de-intern helpers may
+// only appear at annotated print/error boundary sites inside
+// deterministic decision packages.
+package core
+
+import (
+	"fmt"
+
+	"semacyclic/internal/symtab"
+	"semacyclic/internal/term"
+)
+
+// hotLoop rebuilds string keys from ids inside a loop: exactly the
+// alloc/hash regression the analyzer exists to stop.
+func hotLoop(tab *symtab.Table, ids []symtab.ID) []string {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, tab.Term(id).Name) // want "symtab de-intern Term in deterministic package"
+	}
+	return out
+}
+
+// batchLeak de-interns a whole tuple without annotation.
+func batchLeak(tab *symtab.Table, ids []symtab.ID) []term.Term {
+	return tab.AppendTerms(nil, ids) // want "symtab de-intern AppendTerms in deterministic package"
+}
+
+// answerBoundary is a sanctioned site: answers leave the engine as
+// terms, and the pragma documents the boundary crossing.
+func answerBoundary(tab *symtab.Table, ids []symtab.ID) []term.Term {
+	//semalint:allow internleak(answer materialization at the string boundary)
+	return tab.AppendTerms(nil, ids)
+}
+
+// errorPath renders an id for a diagnostic; also sanctioned.
+func errorPath(tab *symtab.Table, id symtab.ID) error {
+	//semalint:allow internleak(error rendering)
+	return fmt.Errorf("core: no binding for %s", tab.Term(id))
+}
+
+// sameNameOtherType proves the check is type-based: a local Table with
+// a Term method is not symtab.Table and is never flagged.
+type Table struct{}
+
+func (Table) Term(i int) int { return i }
+
+func sameNameOtherType(t Table) int { return t.Term(3) }

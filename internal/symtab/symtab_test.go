@@ -1,0 +1,100 @@
+package symtab
+
+import (
+	"testing"
+
+	"semacyclic/internal/term"
+)
+
+func TestInternDense(t *testing.T) {
+	tab := New()
+	a := tab.Intern(term.Const("a"))
+	b := tab.Intern(term.Const("b"))
+	n := tab.Intern(term.NullTerm("1"))
+	if a != 0 || b != 1 || n != 2 {
+		t.Fatalf("ids not dense: %d %d %d", a, b, n)
+	}
+	if got := tab.Intern(term.Const("a")); got != a {
+		t.Fatalf("re-intern changed id: %d vs %d", got, a)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tab.Len())
+	}
+	// Same name, different kind: distinct symbols.
+	if tab.Intern(term.NullTerm("a")) == a {
+		t.Fatal("null 'a' collided with const 'a'")
+	}
+}
+
+func TestLookupAndDeintern(t *testing.T) {
+	tab := New()
+	c := term.Const("c")
+	if _, ok := tab.Lookup(c); ok {
+		t.Fatal("Lookup hit before Intern")
+	}
+	id := tab.Intern(c)
+	got, ok := tab.Lookup(c)
+	if !ok || got != id {
+		t.Fatalf("Lookup = %d,%v want %d,true", got, ok, id)
+	}
+	if tab.Term(id) != c {
+		t.Fatalf("Term(%d) = %v, want %v", id, tab.Term(id), c)
+	}
+	out := tab.AppendTerms(nil, []ID{id, id})
+	if len(out) != 2 || out[0] != c || out[1] != c {
+		t.Fatalf("AppendTerms = %v", out)
+	}
+}
+
+func TestAppendID(t *testing.T) {
+	buf := AppendID(nil, 0x01020304)
+	want := []byte{1, 2, 3, 4}
+	if string(buf) != string(want) {
+		t.Fatalf("AppendID = %v, want %v", buf, want)
+	}
+	buf = AppendID(buf, 5)
+	if len(buf) != 8 || buf[7] != 5 {
+		t.Fatalf("AppendID append = %v", buf)
+	}
+}
+
+func TestSortRowsAndRange(t *testing.T) {
+	// Rows of width 2: (3,1) (1,2) (3,0) (1,2) (2,9)
+	ids := []ID{3, 1, 1, 2, 3, 0, 1, 2, 2, 9}
+	SortRows(ids, 2)
+	want := []ID{1, 2, 1, 2, 2, 9, 3, 0, 3, 1}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("SortRows = %v, want %v", ids, want)
+		}
+	}
+	lo, hi := RowRange(ids, 2, []ID{1, 2})
+	if lo != 0 || hi != 2 {
+		t.Fatalf("RowRange(1,2) = %d,%d want 0,2", lo, hi)
+	}
+	lo, hi = RowRange(ids, 2, []ID{3, 0})
+	if lo != 3 || hi != 4 {
+		t.Fatalf("RowRange(3,0) = %d,%d want 3,4", lo, hi)
+	}
+	lo, hi = RowRange(ids, 2, []ID{0, 0})
+	if lo != hi {
+		t.Fatalf("RowRange(miss) = %d,%d want empty", lo, hi)
+	}
+	if !ContainsRow(ids, 2, []ID{2, 9}) {
+		t.Fatal("ContainsRow missed present row")
+	}
+	if ContainsRow(ids, 2, []ID{2, 8}) {
+		t.Fatal("ContainsRow found absent row")
+	}
+}
+
+func TestZeroWidthRows(t *testing.T) {
+	// Width 0 models Boolean projections: every probe matches.
+	if !ContainsRow(nil, 0, nil) {
+		t.Fatal("zero-width ContainsRow should hold")
+	}
+	lo, hi := RowRange(nil, 0, nil)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("zero-width RowRange = %d,%d", lo, hi)
+	}
+}

@@ -84,6 +84,17 @@ func (t Term) String() string {
 	}
 }
 
+// AppendKey appends t's canonical key encoding — kind byte, name
+// bytes, NUL — to buf. Tuple keys built by concatenating AppendKey
+// over the tuple's terms are the repo-wide canonical dedup/sort key
+// format (hom.AppendTupleKey, the yannakakis oracle keys); the byte
+// layout is load-bearing for answer order and must not change.
+func (t Term) AppendKey(buf []byte) []byte {
+	buf = append(buf, byte(t.K))
+	buf = append(buf, t.Name...)
+	return append(buf, 0)
+}
+
 // Compare orders terms first by kind then by name. It induces a total
 // order used for canonical forms.
 func (t Term) Compare(u Term) int {

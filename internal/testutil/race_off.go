@@ -1,0 +1,8 @@
+//go:build !race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with -race. The
+// allocation-count guards skip under the race detector, whose
+// instrumentation changes allocation behavior.
+const RaceEnabled = false

@@ -1,0 +1,47 @@
+package yannakakis
+
+import (
+	"testing"
+
+	"semacyclic/internal/symtab"
+	"semacyclic/internal/testutil"
+)
+
+// TestAllocsSemijoinProbe is the regression guard for the steady-state
+// semijoin probe: with the right-side filter already projected and
+// sorted, testing each left row for membership (key projection into a
+// reused buffer + merge-join binary search) must not allocate. This is
+// the exact per-row operation of ievalState.semijoin; the ci.sh
+// `-run 'TestAllocs'` gate runs it without -race on every push.
+func TestAllocsSemijoinProbe(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	const w = 2
+	var filter []symtab.ID
+	for i := 0; i < 512; i++ {
+		filter = append(filter, symtab.ID(i%37), symtab.ID(i%11))
+	}
+	symtab.SortRows(filter, w)
+	var left []symtab.ID
+	for i := 0; i < 256; i++ {
+		left = append(left, symtab.ID(i%41), symtab.ID(i%13))
+	}
+	key := make([]symtab.ID, w)
+	hits := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		for r := 0; r < 256; r++ {
+			key[0] = left[r*w]
+			key[1] = left[r*w+1]
+			if symtab.ContainsRow(filter, w, key) {
+				hits++
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("semijoin probe allocates %v per op, want 0", allocs)
+	}
+	if hits == 0 {
+		t.Fatal("probe never hit; fixture is meaningless")
+	}
+}

@@ -3,12 +3,19 @@
 // tractability result the paper's notion of semantic acyclicity buys):
 // a full semijoin reduction over a join tree followed by a bottom-up
 // join that never materializes more than the answer requires.
+//
+// The production data path is integer-coded: EvaluateWithForestOpt
+// compiles the query to a Compiled program (interned.go) and executes
+// it over the database's columnar interned view, replacing per-tuple
+// string keys with merge-joins over sorted id runs. The original
+// string-keyed implementation survives in oracle.go as the
+// differential-test oracle; both paths produce identical answers,
+// order and EvalStats.
 package yannakakis
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"semacyclic/internal/cq"
 	"semacyclic/internal/hypergraph"
@@ -32,7 +39,7 @@ type Options struct {
 	// whole evaluation.
 	Cancel <-chan struct{}
 	// DisableIndex forces leaf loading to scan the full per-predicate
-	// list even when constant argument positions admit a ByPos index
+	// list even when constant argument positions admit an index
 	// lookup. A benchmarking ablation knob (the indexed-vs-scan arm of
 	// BENCH_4); the answers are identical either way.
 	DisableIndex bool
@@ -70,14 +77,6 @@ func (st *evalState) cancelled() bool {
 	}
 }
 
-// node is one join-tree node: a query atom, its distinct flexible
-// terms, and the rows of the database matching it (aligned with vars).
-type node struct {
-	atom instance.Atom
-	vars []term.Term
-	rows [][]term.Term
-}
-
 // Evaluate computes q(D) for an acyclic q. It returns an error when q
 // is not acyclic (callers wanting cyclic evaluation use package hom).
 // For Boolean queries the answer set is [[]] (one empty tuple) when the
@@ -109,357 +108,14 @@ func EvaluateWithForest(q *cq.CQ, forest *hypergraph.Forest, db *instance.Instan
 
 // EvaluateWithForestOpt is the full evaluator: a precomputed join
 // forest (the compiled-plan path of the semacycd /evaluate endpoint),
-// index-aware leaf loading, cancellation and stats per Options.
+// index-aware leaf loading, cancellation and stats per Options. It
+// compiles the query once and executes on the interned data path;
+// callers evaluating the same plan repeatedly should Compile once and
+// reuse the Compiled program instead.
 func EvaluateWithForestOpt(q *cq.CQ, forest *hypergraph.Forest, db *instance.Instance, opt Options) ([][]term.Term, error) {
-	st := &evalState{opt: opt}
-	if st.opt.Stats != nil {
-		st.opt.Stats.Method = "yannakakis"
+	c, err := Compile(q, forest)
+	if err != nil {
+		return nil, err
 	}
-	nodes := make([]*node, forest.Len())
-	for i, a := range forest.Atoms {
-		n := &node{atom: a, vars: flexTerms(a)}
-		rows, err := matchRows(a, n.vars, db, st)
-		if err != nil {
-			return nil, err
-		}
-		n.rows = rows
-		nodes[i] = n
-	}
-
-	children := forest.Children()
-	roots := forest.Roots()
-
-	// Phase 1: bottom-up semijoin parent ⋉ child.
-	post := postorder(forest, roots, children)
-	for _, i := range post {
-		p := forest.Parent[i]
-		if p >= 0 {
-			if err := semijoin(nodes[p], nodes[i], st); err != nil {
-				return nil, err
-			}
-		}
-	}
-	// Phase 2: top-down semijoin child ⋉ parent.
-	for k := len(post) - 1; k >= 0; k-- {
-		i := post[k]
-		if p := forest.Parent[i]; p >= 0 {
-			if err := semijoin(nodes[i], nodes[p], st); err != nil {
-				return nil, err
-			}
-		}
-	}
-	// Any empty node after full reduction means no answers.
-	for _, n := range nodes {
-		if len(n.rows) == 0 {
-			return nil, nil
-		}
-	}
-
-	freeSet := make(map[term.Term]bool, len(q.Free))
-	for _, x := range q.Free {
-		freeSet[x] = true
-	}
-
-	// Phase 3: bottom-up join, keeping only node vars plus free
-	// variables collected from the subtree.
-	var joinUp func(i int) ([]term.Term, [][]term.Term, error)
-	joinUp = func(i int) ([]term.Term, [][]term.Term, error) {
-		n := nodes[i]
-		vars := append([]term.Term(nil), n.vars...)
-		rows := n.rows
-		for _, ch := range children[i] {
-			cvars, crows, err := joinUp(ch)
-			if err != nil {
-				return nil, nil, err
-			}
-			vars, rows, err = join(vars, rows, cvars, crows, st)
-			if err != nil {
-				return nil, nil, err
-			}
-		}
-		// Project to node vars ∪ free vars seen so far; free vars from
-		// the subtree must survive to the root.
-		keep := make([]term.Term, 0, len(vars))
-		for _, v := range vars {
-			if freeSet[v] || containsTerm(n.vars, v) {
-				keep = append(keep, v)
-			}
-		}
-		vars, rows = project(vars, rows, keep)
-		return vars, rows, nil
-	}
-
-	// Evaluate each tree; cross-product the per-tree free projections.
-	resultVars := []term.Term{}
-	resultRows := [][]term.Term{nil} // one empty row: identity for ⨯
-	for _, r := range roots {
-		vars, rows, err := joinUp(r)
-		if err != nil {
-			return nil, err
-		}
-		var keep []term.Term
-		for _, v := range vars {
-			if freeSet[v] {
-				keep = append(keep, v)
-			}
-		}
-		vars, rows = project(vars, rows, keep)
-		if len(rows) == 0 {
-			return nil, nil
-		}
-		resultVars, resultRows, err = join(resultVars, resultRows, vars, rows, st)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Order columns as q.Free and dedup.
-	colIdx := make([]int, len(q.Free))
-	for i, x := range q.Free {
-		colIdx[i] = indexOf(resultVars, x)
-		if colIdx[i] < 0 {
-			return nil, fmt.Errorf("yannakakis: free variable %s lost during evaluation", x)
-		}
-	}
-	seen := make(map[string]bool, len(resultRows))
-	var out [][]term.Term
-	for _, row := range resultRows {
-		tuple := make([]term.Term, len(q.Free))
-		for i, c := range colIdx {
-			tuple[i] = row[c]
-		}
-		k := tupleKey(tuple)
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, tuple)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return tupleKey(out[i]) < tupleKey(out[j]) })
-	if st.opt.Stats != nil {
-		st.opt.Stats.Answers = len(out)
-	}
-	return out, nil
-}
-
-func flexTerms(a instance.Atom) []term.Term {
-	ts := a.Terms()
-	out := ts[:0]
-	for _, t := range ts {
-		if !t.IsConst() {
-			out = append(out, t)
-		}
-	}
-	return out
-}
-
-// matchRows loads the database rows matching atom a. When a mentions
-// constants and indexing is enabled, the candidate list comes from the
-// most selective per-(predicate, position, term) index instead of the
-// full per-predicate scan; each candidate is still verified against
-// all of a's constants and repeated terms by MatchTuple.
-func matchRows(a instance.Atom, vars []term.Term, db *instance.Instance, st *evalState) ([][]term.Term, error) {
-	candidates := db.ByPred(a.Pred)
-	indexed := false
-	if !st.opt.DisableIndex {
-		// Probe every bound (constant) position and keep the smallest
-		// candidate list. Probes are map lookups; on paper-scale atom
-		// widths the exhaustive probing is cheaper than guessing wrong.
-		for pos, t := range a.Args {
-			if !t.IsConst() {
-				continue
-			}
-			byPos := db.ByPos(a.Pred, pos, t)
-			if st.opt.Stats != nil {
-				st.opt.Stats.IndexLookups++
-			}
-			if !indexed || len(byPos) < len(candidates) {
-				candidates = byPos
-				indexed = true
-			}
-		}
-	}
-	if st.opt.Stats != nil {
-		st.opt.Stats.RowsScanned += int64(len(candidates))
-		if indexed {
-			st.opt.Stats.IndexHits += int64(len(candidates))
-			st.opt.Stats.IndexSkippedRows += int64(len(db.ByPred(a.Pred)) - len(candidates))
-		}
-	}
-	obs.EvalRowsScanned.Add(int64(len(candidates)))
-	if indexed {
-		obs.EvalIndexHits.Add(int64(len(candidates)))
-	}
-	var rows [][]term.Term
-	sub := term.NewSubst()
-	for _, fact := range candidates {
-		if st.cancelled() {
-			return nil, ErrCancelled
-		}
-		added, ok := term.MatchTuple(sub, a.Args, fact.Args)
-		if !ok {
-			continue
-		}
-		row := make([]term.Term, len(vars))
-		for i, v := range vars {
-			row[i] = sub.Apply(v)
-		}
-		rows = append(rows, row)
-		term.Unbind(sub, added)
-	}
-	return rows, nil
-}
-
-// semijoin keeps the rows of left having a join partner in right.
-func semijoin(left, right *node, st *evalState) error {
-	if st.opt.Stats != nil {
-		st.opt.Stats.Semijoins++
-	}
-	shared, li, ri := sharedColumns(left.vars, right.vars)
-	if len(shared) == 0 {
-		if len(right.rows) == 0 {
-			if st.opt.Stats != nil {
-				st.opt.Stats.SemijoinDroppedRows += int64(len(left.rows))
-			}
-			left.rows = nil
-		}
-		return nil
-	}
-	keys := make(map[string]bool, len(right.rows))
-	for _, row := range right.rows {
-		if st.cancelled() {
-			return ErrCancelled
-		}
-		keys[projKey(row, ri)] = true
-	}
-	kept := left.rows[:0]
-	for _, row := range left.rows {
-		if st.cancelled() {
-			return ErrCancelled
-		}
-		if keys[projKey(row, li)] {
-			kept = append(kept, row)
-		}
-	}
-	if st.opt.Stats != nil {
-		st.opt.Stats.SemijoinDroppedRows += int64(len(left.rows) - len(kept))
-	}
-	left.rows = kept
-	return nil
-}
-
-// join hash-joins two relations on their shared variables.
-func join(lv []term.Term, lr [][]term.Term, rv []term.Term, rr [][]term.Term, st *evalState) ([]term.Term, [][]term.Term, error) {
-	_, li, ri := sharedColumns(lv, rv)
-	// Output vars: all of lv, then rv minus shared.
-	rExtra := make([]int, 0, len(rv))
-	outVars := append([]term.Term(nil), lv...)
-	for i, v := range rv {
-		if indexOf(lv, v) < 0 {
-			rExtra = append(rExtra, i)
-			outVars = append(outVars, v)
-		}
-	}
-	index := make(map[string][][]term.Term, len(rr))
-	for _, row := range rr {
-		k := projKey(row, ri)
-		index[k] = append(index[k], row)
-	}
-	var outRows [][]term.Term
-	for _, lrow := range lr {
-		for _, rrow := range index[projKey(lrow, li)] {
-			if st.cancelled() {
-				return nil, nil, ErrCancelled
-			}
-			row := make([]term.Term, 0, len(outVars))
-			row = append(row, lrow...)
-			for _, i := range rExtra {
-				row = append(row, rrow[i])
-			}
-			outRows = append(outRows, row)
-		}
-	}
-	if st.opt.Stats != nil {
-		st.opt.Stats.JoinRows += int64(len(outRows))
-	}
-	return outVars, outRows, nil
-}
-
-// project restricts the relation to the keep columns, deduplicating.
-func project(vars []term.Term, rows [][]term.Term, keep []term.Term) ([]term.Term, [][]term.Term) {
-	idx := make([]int, len(keep))
-	for i, v := range keep {
-		idx[i] = indexOf(vars, v)
-	}
-	seen := make(map[string]bool, len(rows))
-	var out [][]term.Term
-	for _, row := range rows {
-		p := make([]term.Term, len(keep))
-		for i, c := range idx {
-			p[i] = row[c]
-		}
-		k := tupleKey(p)
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, p)
-		}
-	}
-	return keep, out
-}
-
-func sharedColumns(lv, rv []term.Term) (shared []term.Term, li, ri []int) {
-	for i, v := range lv {
-		if j := indexOf(rv, v); j >= 0 {
-			shared = append(shared, v)
-			li = append(li, i)
-			ri = append(ri, j)
-		}
-	}
-	return shared, li, ri
-}
-
-func indexOf(vars []term.Term, v term.Term) int {
-	for i, u := range vars {
-		if u == v {
-			return i
-		}
-	}
-	return -1
-}
-
-func containsTerm(vars []term.Term, v term.Term) bool { return indexOf(vars, v) >= 0 }
-
-func projKey(row []term.Term, cols []int) string {
-	var b []byte
-	for _, c := range cols {
-		t := row[c]
-		b = append(b, byte(t.K))
-		b = append(b, t.Name...)
-		b = append(b, 0)
-	}
-	return string(b)
-}
-
-func tupleKey(ts []term.Term) string {
-	var b []byte
-	for _, t := range ts {
-		b = append(b, byte(t.K))
-		b = append(b, t.Name...)
-		b = append(b, 0)
-	}
-	return string(b)
-}
-
-func postorder(f *hypergraph.Forest, roots []int, children [][]int) []int {
-	var out []int
-	var rec func(i int)
-	rec = func(i int) {
-		for _, ch := range children[i] {
-			rec(ch)
-		}
-		out = append(out, i)
-	}
-	for _, r := range roots {
-		rec(r)
-	}
-	return out
+	return c.Execute(db, opt)
 }

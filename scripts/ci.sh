@@ -36,6 +36,12 @@ echo "== go test -race =="
 # accidental inter-test coupling surfaces here, not in a flaky bisect.
 go test -race -shuffle=on ./...
 
+echo "== allocation guards (no race: counts must be exact) =="
+# The interned hot path promises 0 allocs/op on its probe operations
+# (candidate pre-filter, semijoin membership, index range). The guards
+# skip themselves under -race, so run them once without it.
+go test -count=1 -run 'TestAllocs' ./internal/hom/ ./internal/yannakakis/ ./internal/instance/
+
 echo "== cancellation & server gate (race) =="
 # The semacycd service package and the per-layer cancellation tests are
 # the PR-acceptance surface for deadline propagation; run them again
