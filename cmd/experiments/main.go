@@ -37,6 +37,7 @@ import (
 	"semacyclic/internal/obs"
 	"semacyclic/internal/pcp"
 	"semacyclic/internal/rewrite"
+	"semacyclic/internal/telemetry"
 	"semacyclic/internal/yannakakis"
 )
 
@@ -69,6 +70,7 @@ func main() {
 	serveClients := flag.Int("serve-clients", 16, "concurrent client connections for -serve-out")
 	evalOut := flag.String("eval-out", "", "measure the evaluation trajectory (indexed vs scan Yannakakis, plan cache, game crossover) and write the JSON to this file")
 	internOut := flag.String("intern-out", "", "measure the interned hot path against the string-path oracle and write the JSON trajectory to this file")
+	metricsOut := flag.String("metrics-out", "", "measure per-class decision latency quantiles via telemetry histograms plus the tracing overhead and write the JSON trajectory to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar (the semacyclic.* counters) on this address, e.g. :6060")
 	flag.Parse()
 	if *pprofAddr != "" {
@@ -92,6 +94,9 @@ func main() {
 	if *internOut != "" {
 		os.Exit(runInternOut(*internOut))
 	}
+	if *metricsOut != "" {
+		os.Exit(runMetricsOut(*metricsOut))
+	}
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
 		want[strings.ToLower(a)] = true
@@ -113,9 +118,9 @@ func main() {
 }
 
 func timeIt(f func()) time.Duration {
-	start := time.Now()
+	sw := telemetry.StartTimer()
 	f()
-	return time.Since(start)
+	return sw.Elapsed()
 }
 
 // runE1: decide Example 1, then compare evaluation of the original

@@ -1,0 +1,222 @@
+// Telemetry trajectory: `experiments -metrics-out BENCH_6.json` runs
+// the per-class decision workloads of runT1 twice per repetition — once
+// with a request-scoped span recorder attached, once with Trace nil —
+// interleaved so clock drift and cache warmth hit both arms equally.
+// Per-decision wall times feed one telemetry.Histogram per (class, arm);
+// the report carries the quantiles as the histogram resolves them (the
+// same log-bucketed estimate a /metrics scrape sees) next to the exact
+// sorted-sample quantiles, the paired tracing overhead (median of
+// traced/plain ratios, the acceptance claim is within 2%), and the span
+// structure, which must be identical across repetitions and arms'
+// repeats — tracing is passive and its shape deterministic.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"semacyclic/internal/core"
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/telemetry"
+)
+
+const (
+	metricsReps   = 40
+	metricsWarmup = 3
+)
+
+// metricsClasses mirrors runT1's constraint classes: one workload per
+// decidability frontier the paper prices (Theorems 11/14/18/20/23).
+func metricsClasses() []struct {
+	name string
+	set  *deps.Set
+} {
+	return []struct {
+		name string
+		set  *deps.Set
+	}{
+		{"guarded", deps.MustParse("Interest(x,z), Class(y,z) -> Owns2(x,y,z).\nOwns2(x,y,z) -> Owns(x,y).")},
+		{"inclusion", deps.MustParse("Owns(x,y) -> Interest(x,z).")},
+		{"non-recursive", deps.MustParse("Interest(x,z), Class(y,z) -> Owns(x,y).")},
+		{"keys(K2)", deps.MustParse("Owns(x,y), Owns(x,z) -> y = z.")},
+	}
+}
+
+// metricsClassResult is one class's measurements across all query sizes.
+type metricsClassResult struct {
+	Class      string `json:"class"`
+	QuerySizes []int  `json:"query_sizes"`
+	// Decisions counts core.Decide calls per arm (sizes × reps).
+	Decisions int `json:"decisions_per_arm"`
+	// HistTraced/HistPlain are quantiles as the log-bucketed telemetry
+	// histogram resolves them — the resolution a /metrics scrape has.
+	HistTraced quantilesMS `json:"latency_hist_traced"`
+	HistPlain  quantilesMS `json:"latency_hist_plain"`
+	// ExactTraced/ExactPlain are quantiles from the raw sorted samples.
+	ExactTraced quantilesMS `json:"latency_exact_traced"`
+	ExactPlain  quantilesMS `json:"latency_exact_plain"`
+	// OverheadPct is the tracing cost: median over all (size, rep)
+	// pairs of traced/plain − 1, in percent. Paired so per-iteration
+	// drift cancels.
+	OverheadPct float64 `json:"overhead_pct"`
+	// SpanStructure is the span tree of the largest query, identical
+	// across every traced repetition (asserted before reporting).
+	SpanStructure string `json:"span_structure"`
+}
+
+type metricsReport struct {
+	GeneratedBy string               `json:"generated_by"`
+	GoVersion   string               `json:"go_version"`
+	GOMAXPROCS  int                  `json:"gomaxprocs"`
+	Reps        int                  `json:"reps"`
+	Classes     []metricsClassResult `json:"classes"`
+	// MaxOverheadPct is the worst per-class tracing overhead; the
+	// acceptance claim is ≤ 2%.
+	MaxOverheadPct     float64 `json:"max_overhead_pct"`
+	OverheadWithin2Pct bool    `json:"overhead_within_2pct"`
+	// StructuresDeterministic records that every traced repetition of a
+	// (class, size) produced the same span structure.
+	StructuresDeterministic bool `json:"structures_deterministic"`
+}
+
+// histQuantilesMS reads the standard quantiles back out of a bucketed
+// histogram snapshot, in milliseconds.
+func histQuantilesMS(s telemetry.HistogramSnapshot) quantilesMS {
+	at := func(q float64) float64 { return s.Quantile(q).Millis() }
+	return quantilesMS{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: at(1.0)}
+}
+
+// metricsDecide runs one decision, optionally traced, and returns its
+// wall time (and the span structure when traced).
+func metricsDecide(q *cq.CQ, set *deps.Set, traced bool) (time.Duration, string, error) {
+	opt := core.Options{SearchBudget: 3000, SkipCompleteSearch: true}
+	var rec *telemetry.Recorder
+	if traced {
+		rec = telemetry.NewRecorder("request")
+		opt.Trace = rec
+	}
+	sw := telemetry.StartTimer()
+	_, err := core.Decide(q, set, opt)
+	d := sw.Elapsed()
+	if err != nil {
+		return 0, "", err
+	}
+	if traced {
+		return d, rec.Finish().Structure(), nil
+	}
+	return d, "", nil
+}
+
+func runMetricsOut(path string) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "experiments: -metrics-out:", err)
+		return 1
+	}
+	sizes := []int{3, 4, 5}
+	report := metricsReport{
+		GeneratedBy:             "experiments -metrics-out",
+		GoVersion:               runtime.Version(),
+		GOMAXPROCS:              runtime.GOMAXPROCS(0),
+		Reps:                    metricsReps,
+		OverheadWithin2Pct:      true,
+		StructuresDeterministic: true,
+	}
+	for _, c := range metricsClasses() {
+		var (
+			histTraced, histPlain telemetry.Histogram
+			rawTraced, rawPlain   []time.Duration
+			ratios                []float64
+			querySizes            []int
+			structure             string
+		)
+		for _, k := range sizes {
+			q := chainQuery(k)
+			querySizes = append(querySizes, q.Size())
+			var sizeStructure string
+			for rep := 0; rep < metricsWarmup+metricsReps; rep++ {
+				warm := rep < metricsWarmup
+				// Alternate arm order per repetition so drift within a
+				// repetition biases neither arm.
+				order := []bool{true, false}
+				if rep%2 == 1 {
+					order = []bool{false, true}
+				}
+				var dTraced, dPlain time.Duration
+				for _, traced := range order {
+					d, s, err := metricsDecide(q, c.set, traced)
+					if err != nil {
+						return fail(fmt.Errorf("%s k=%d: %w", c.name, k, err))
+					}
+					if traced {
+						dTraced = d
+						if s == "request" {
+							return fail(fmt.Errorf("%s k=%d: no spans recorded", c.name, k))
+						}
+						if sizeStructure == "" {
+							sizeStructure = s
+						} else if s != sizeStructure {
+							report.StructuresDeterministic = false
+						}
+					} else {
+						dPlain = d
+					}
+				}
+				if warm {
+					continue
+				}
+				histTraced.Observe(telemetry.DurationNS(dTraced))
+				histPlain.Observe(telemetry.DurationNS(dPlain))
+				rawTraced = append(rawTraced, dTraced)
+				rawPlain = append(rawPlain, dPlain)
+				if dPlain > 0 {
+					ratios = append(ratios, float64(dTraced)/float64(dPlain))
+				}
+			}
+			structure = sizeStructure
+		}
+		sort.Float64s(ratios)
+		overhead := 0.0
+		if n := len(ratios); n > 0 {
+			overhead = (ratios[n/2] - 1) * 100
+		}
+		if overhead > 2 {
+			report.OverheadWithin2Pct = false
+		}
+		report.Classes = append(report.Classes, metricsClassResult{
+			Class:         c.name,
+			QuerySizes:    querySizes,
+			Decisions:     len(rawTraced),
+			HistTraced:    histQuantilesMS(histTraced.Snapshot()),
+			HistPlain:     histQuantilesMS(histPlain.Snapshot()),
+			ExactTraced:   summarize(rawTraced),
+			ExactPlain:    summarize(rawPlain),
+			OverheadPct:   overhead,
+			SpanStructure: structure,
+		})
+		if overhead > report.MaxOverheadPct {
+			report.MaxOverheadPct = overhead
+		}
+		fmt.Printf("%-14s overhead=%+.2f%% p50 traced=%.3fms plain=%.3fms\n",
+			c.name, overhead,
+			report.Classes[len(report.Classes)-1].ExactTraced.P50,
+			report.Classes[len(report.Classes)-1].ExactPlain.P50)
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fail(err)
+	}
+	fmt.Printf("wrote %s (max overhead %+.2f%%, within 2%%: %v, structures deterministic: %v)\n",
+		path, report.MaxOverheadPct, report.OverheadWithin2Pct, report.StructuresDeterministic)
+	if !report.OverheadWithin2Pct || !report.StructuresDeterministic {
+		return 1
+	}
+	return 0
+}

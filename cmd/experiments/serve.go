@@ -24,6 +24,7 @@ import (
 	"semacyclic/internal/gen"
 	"semacyclic/internal/obs"
 	"semacyclic/internal/server"
+	"semacyclic/internal/telemetry"
 )
 
 // serveTemplate is one reusable request shape of the load mix.
@@ -139,15 +140,15 @@ func postJSON(c *http.Client, url string, v any) (int, []byte, time.Duration, er
 	if err != nil {
 		return 0, nil, 0, err
 	}
-	start := time.Now()
+	sw := telemetry.StartTimer()
 	resp, err := c.Post(url, "application/json", bytes.NewReader(b))
 	if err != nil {
-		return 0, nil, time.Since(start), err
+		return 0, nil, sw.Elapsed(), err
 	}
 	var buf bytes.Buffer
 	_, _ = buf.ReadFrom(resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, buf.Bytes(), time.Since(start), nil
+	return resp.StatusCode, buf.Bytes(), sw.Elapsed(), nil
 }
 
 // postRetry is postJSON with backpressure handling: a 429 is retried
@@ -155,11 +156,11 @@ func postJSON(c *http.Client, url string, v any) (int, []byte, time.Duration, er
 // loaded service. The returned duration covers the whole exchange,
 // retries included.
 func postRetry(c *http.Client, url string, v any) (int, []byte, time.Duration, error) {
-	start := time.Now()
+	sw := telemetry.StartTimer()
 	for attempt := 0; ; attempt++ {
 		status, body, _, err := postJSON(c, url, v)
 		if err != nil || status != http.StatusTooManyRequests || attempt >= 500 {
-			return status, body, time.Since(start), err
+			return status, body, sw.Elapsed(), err
 		}
 		time.Sleep(time.Duration(2+attempt) * time.Millisecond)
 	}
@@ -178,7 +179,7 @@ func runLoad(clients int, jobs []func(c *http.Client) (int, int, time.Duration))
 	var wg sync.WaitGroup
 	hits0 := obs.ServerCacheHits.Load()
 	shed0 := obs.ServerShed.Load()
-	start := time.Now()
+	sw := telemetry.StartTimer()
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
 		go func() {
@@ -209,7 +210,7 @@ func runLoad(clients int, jobs []func(c *http.Client) (int, int, time.Duration))
 	}
 	close(ch)
 	wg.Wait()
-	wall := time.Since(start)
+	wall := sw.Elapsed()
 	res.CacheHits = obs.ServerCacheHits.Load() - hits0
 	res.ShedEvents = obs.ServerShed.Load() - shed0
 	res.WallMS = float64(wall) / float64(time.Millisecond)

@@ -36,6 +36,8 @@ func run(args []string) int {
 	maxAtoms := fs.Int("max-instance-atoms", 1_000_000, "per-instance atom limit (larger loads get 413)")
 	deadline := fs.Duration("deadline", 10*time.Second, "default per-request deadline (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown connection-drain budget")
+	slowMS := fs.Int64("slow-ms", 0, "log requests slower than this many milliseconds with their span tree (0 = off)")
+	traceRing := fs.Int("trace-ring", 128, "recent request traces kept for GET /debug/traces")
 	_ = fs.Parse(args)
 
 	// Publish is idempotent: server.New publishes again, harmlessly.
@@ -49,6 +51,8 @@ func run(args []string) int {
 		MaxInstances:     *maxInstances,
 		MaxInstanceAtoms: *maxAtoms,
 		DefaultDeadline:  *deadline,
+		SlowRequest:      time.Duration(*slowMS) * time.Millisecond,
+		TraceRingSize:    *traceRing,
 	}
 	if *deadline == 0 {
 		cfg.DefaultDeadline = -1 // flag 0 means "no default deadline"

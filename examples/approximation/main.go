@@ -11,10 +11,10 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
-	"time"
 
 	semacyclic "semacyclic"
 	"semacyclic/internal/gen"
+	"semacyclic/internal/telemetry"
 )
 
 func main() {
@@ -38,16 +38,16 @@ func main() {
 			log.Fatal(err)
 		}
 
-		t0 := time.Now()
+		t0 := telemetry.StartTimer()
 		exact := semacyclic.Evaluate(q, db)
-		tExact := time.Since(t0)
+		tExact := t0.Elapsed()
 
-		t0 = time.Now()
+		t0 = telemetry.StartTimer()
 		quick, err := semacyclic.EvaluateAcyclic(ap.Query, db)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tQuick := time.Since(t0)
+		tQuick := t0.Elapsed()
 
 		// Quick answers must be a subset of exact answers (soundness of
 		// the approximation).

@@ -16,10 +16,10 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
-	"time"
 
 	semacyclic "semacyclic"
 	"semacyclic/internal/gen"
+	"semacyclic/internal/telemetry"
 )
 
 func main() {
@@ -30,12 +30,12 @@ func main() {
 	q := gen.Example1Query()
 	sigma := gen.Example1TGD()
 
-	start := time.Now()
+	sw := telemetry.StartTimer()
 	ev, err := semacyclic.NewEvaluator(q, sigma, semacyclic.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("reformulated once in %v: %s\n\n", time.Since(start), ev.Witness)
+	fmt.Printf("reformulated once in %v: %s\n\n", sw.Elapsed(), ev.Witness)
 
 	fmt.Printf("%-10s %-9s %-14s %-14s\n", "|D|", "answers", "generic join", "yannakakis")
 	r := rand.New(rand.NewSource(7))
@@ -46,16 +46,16 @@ func main() {
 			log.Fatal("generator produced a violating store")
 		}
 
-		t0 := time.Now()
+		t0 := telemetry.StartTimer()
 		direct := semacyclic.Evaluate(q, db)
-		tGeneric := time.Since(t0)
+		tGeneric := t0.Elapsed()
 
-		t0 = time.Now()
+		t0 = telemetry.StartTimer()
 		fast, err := ev.Evaluate(db)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tFast := time.Since(t0)
+		tFast := t0.Elapsed()
 
 		if len(direct) != len(fast) {
 			log.Fatalf("strategies disagree: %d vs %d answers", len(direct), len(fast))

@@ -26,6 +26,7 @@ import (
 	"semacyclic/internal/hom"
 	"semacyclic/internal/obs"
 	"semacyclic/internal/rewrite"
+	"semacyclic/internal/telemetry"
 )
 
 // Method names a containment decision procedure.
@@ -48,6 +49,12 @@ type Options struct {
 	Chase chase.Options
 	// Rewrite tunes the rewriting-based method.
 	Rewrite rewrite.Options
+	// Trace, when non-nil, records a span around Prepare (the hoisted,
+	// possibly-exponential right-hand-side work). Per-candidate Check
+	// calls are deliberately unspanned: they run inside the layer-4
+	// branch workers, where spans would make the tree shape depend on
+	// scheduling. Nil is free.
+	Trace *telemetry.Recorder
 }
 
 // Decision is the outcome of a containment check.
@@ -183,6 +190,8 @@ type Prepared struct {
 
 // Prepare builds a Prepared checker for the fixed right-hand side q'.
 func Prepare(qp *cq.CQ, set *deps.Set, opt Options) (*Prepared, error) {
+	sp := opt.Trace.Start("containment:prepare")
+	defer sp.End()
 	m := SelectMethod(set, opt)
 	p := &Prepared{qp: qp, set: set, opt: opt, m: m, checks: new(atomic.Int64)}
 	if m == MethodRewrite {

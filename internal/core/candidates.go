@@ -120,7 +120,9 @@ func searchChaseSubsets(q *cq.CQ, set *deps.Set, opt Options, bound int) (*cq.CQ
 		copt.MaxDepth = q.Size() + len(set.TGDs) + 2
 		copt.MaxSteps = 2000
 	}
+	chSp := opt.Trace.Start("chase")
 	res, frozen, err := chase.Query(q, set, copt)
+	chSp.End()
 	if err != nil {
 		if errors.Is(err, chase.ErrCancelled) {
 			return nil, 0, ErrCancelled

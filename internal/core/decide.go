@@ -23,7 +23,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"time"
 
 	"semacyclic/internal/chase"
 	"semacyclic/internal/containment"
@@ -33,6 +32,7 @@ import (
 	"semacyclic/internal/hypergraph"
 	"semacyclic/internal/obs"
 	"semacyclic/internal/rewrite"
+	"semacyclic/internal/telemetry"
 )
 
 // Verdict is the outcome of a SemAc decision.
@@ -104,6 +104,14 @@ type Options struct {
 	// cost against this baseline. The process-global obs counters stay on
 	// regardless (they are not per-decision state).
 	DisableStats bool
+	// Trace, when non-nil, receives a span per pipeline stage (the
+	// decision, each layer, the layer-3 chase, containment preparation).
+	// Spans are opened only from the sequential coordinator code — never
+	// from parallel branch workers — so the span-tree *structure* (names
+	// and nesting) is identical at every Parallelism value; only the
+	// recorded durations are nondeterministic. A nil Trace is free: the
+	// hooks are no-ops that allocate nothing.
+	Trace *telemetry.Recorder
 	// Prepared, when non-nil, supplies a pre-built containment checker
 	// for the layer-4 verification right-hand side. It MUST have been
 	// built by containment.Prepare with this decision's query as q' and
@@ -143,6 +151,9 @@ func (o Options) withDefaults() Options {
 		if o.Containment.Rewrite.Cancel == nil {
 			o.Containment.Rewrite.Cancel = o.Cancel
 		}
+	}
+	if o.Trace != nil && o.Containment.Trace == nil {
+		o.Containment.Trace = o.Trace
 	}
 	return o
 }
@@ -186,17 +197,17 @@ func Decide(q *cq.CQ, set *deps.Set, opt Options) (*Result, error) {
 	if !opt.DisableStats {
 		st = obs.NewStats()
 	}
-	//semalint:allow nowalltime(wall clock feeds NONDETERMINISTIC WallNS only)
-	start := time.Now()
+	sw := telemetry.StartTimer()
 	snap := obs.TakeSnapshot()
+	sp := opt.Trace.Start("decide")
 	res, err := decide(q, set, opt, st)
+	sp.End()
 	if err != nil {
 		return nil, mapCancelled(err)
 	}
 	obs.Decisions.Add(1)
 	if st != nil {
-		//semalint:allow nowalltime(wall clock feeds NONDETERMINISTIC WallNS only)
-		st.WallNS = time.Since(start).Nanoseconds()
+		st.WallNS = sw.ElapsedNS()
 		st.Hom = snap.HomDelta()
 		res.Stats = st
 	}
@@ -212,19 +223,27 @@ func decide(q *cq.CQ, set *deps.Set, opt Options, st *obs.Stats) (*Result, error
 	if set == nil {
 		set = &deps.Set{}
 	}
-	//semalint:allow nowalltime(wall clock feeds NONDETERMINISTIC LayerStats.WallNS only)
-	layerStart := time.Now()
+	// Each layer gets a stopwatch segment (for LayerStats.WallNS) and,
+	// when tracing, a "layer:<name>" span. beginLayer/record are always
+	// paired on the sequential coordinator path, so the span nesting is
+	// scheduling-independent.
+	layerSW := telemetry.StartTimer()
+	var layerSpan *telemetry.Span
+	beginLayer := func(name string) {
+		layerSpan = opt.Trace.Start("layer:" + name)
+	}
 	record := func(name string, candidates int) {
+		layerSpan.End()
+		layerSpan = nil
 		if st != nil {
-			//semalint:allow nowalltime(wall clock feeds NONDETERMINISTIC LayerStats.WallNS only)
-			now := time.Now()
-			st.AddLayer(name, candidates, now.Sub(layerStart).Nanoseconds())
-			layerStart = now
+			st.AddLayer(name, candidates, layerSW.ElapsedNS())
+			layerSW = telemetry.StartTimer()
 		}
 	}
 
 	// Layer 1: the classical no-constraint criterion. Sound under any
 	// Σ: if core(q) is acyclic then q ≡ core(q) ≡Σ core(q).
+	beginLayer("core")
 	c := hom.Core(q)
 	if hypergraph.IsAcyclic(c.Atoms) {
 		record("core", 1)
@@ -240,6 +259,7 @@ func decide(q *cq.CQ, set *deps.Set, opt Options, st *obs.Stats) (*Result, error
 	// Σ-unsatisfiable queries (failing egd chase) are equivalent to any
 	// acyclic Σ-unsatisfiable query; handle them before the chase-based
 	// layers, which cannot reason via Lemma 1 without a chase.
+	beginLayer("unsatisfiable")
 	if res, handled, err := decideUnsatisfiable(q, set, opt); err != nil {
 		return nil, err
 	} else if handled {
@@ -252,6 +272,7 @@ func decide(q *cq.CQ, set *deps.Set, opt Options, st *obs.Stats) (*Result, error
 	res := &Result{Bound: bound}
 
 	// Layer 2: quotients and subqueries of q.
+	beginLayer("quotient")
 	if w, n, err := searchQuotients(q, set, opt, res.Candidates); err != nil {
 		return nil, err
 	} else {
@@ -264,6 +285,7 @@ func decide(q *cq.CQ, set *deps.Set, opt Options, st *obs.Stats) (*Result, error
 	}
 
 	// Layer 3: acyclic connected subsets of the (bounded) chase of q.
+	beginLayer("chase-subset")
 	if w, n, err := searchChaseSubsets(q, set, opt, bound); err != nil {
 		return nil, err
 	} else {
@@ -277,6 +299,7 @@ func decide(q *cq.CQ, set *deps.Set, opt Options, st *obs.Stats) (*Result, error
 
 	// Layer 4: complete bounded enumeration.
 	if !opt.SkipCompleteSearch && bound > 0 {
+		beginLayer("complete")
 		w, n, exhausted, err := searchComplete(q, set, opt, bound, st)
 		if err != nil {
 			return nil, err

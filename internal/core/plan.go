@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"time"
 
 	"semacyclic/internal/chase"
 	"semacyclic/internal/cq"
@@ -15,6 +14,7 @@ import (
 	"semacyclic/internal/instance"
 	"semacyclic/internal/obs"
 	"semacyclic/internal/symtab"
+	"semacyclic/internal/telemetry"
 	"semacyclic/internal/term"
 	"semacyclic/internal/yannakakis"
 )
@@ -76,6 +76,10 @@ type EvalOptions struct {
 	// DisableIndex forces the Yannakakis leaf-load to scan instead of
 	// using the per-position indexes (benchmarking ablation).
 	DisableIndex bool
+	// Trace, when non-nil, receives an "execute" span with per-phase
+	// children from the Yannakakis evaluator (leaf loading, the two
+	// semijoin passes, the join). Nil is free — see core.Options.Trace.
+	Trace *telemetry.Recorder
 }
 
 // CompilePlan compiles an evaluation plan for (q, Σ). method is one of
@@ -94,6 +98,8 @@ type EvalOptions struct {
 //     pure egd set. The chase of q happens here, once.
 //   - generic: the backtracking evaluator, no decision at all.
 func CompilePlan(q *cq.CQ, set *deps.Set, opt Options, method string) (*Plan, error) {
+	sp := opt.Trace.Start("compile")
+	defer sp.End()
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -162,8 +168,9 @@ func CompilePlan(q *cq.CQ, set *deps.Set, opt Options, method string) (*Plan, er
 // evaluation stats. Safe for concurrent use.
 func (p *Plan) Execute(db *instance.Instance, eopt EvalOptions) ([][]term.Term, *obs.EvalStats, error) {
 	st := &obs.EvalStats{Method: p.Method}
-	//semalint:allow nowalltime(wall clock feeds NONDETERMINISTIC WallNS only)
-	start := time.Now()
+	sw := telemetry.StartTimer()
+	sp := eopt.Trace.Start("execute")
+	defer sp.End()
 	var (
 		ans [][]term.Term
 		err error
@@ -174,6 +181,7 @@ func (p *Plan) Execute(db *instance.Instance, eopt EvalOptions) ([][]term.Term, 
 			Cancel:       eopt.Cancel,
 			DisableIndex: eopt.DisableIndex,
 			Stats:        st,
+			Trace:        eopt.Trace,
 		})
 	case MethodGuardedGame:
 		ans, err = game.EvaluateOpt(p.Query, db, game.Options{Cancel: eopt.Cancel})
@@ -189,8 +197,7 @@ func (p *Plan) Execute(db *instance.Instance, eopt EvalOptions) ([][]term.Term, 
 	}
 	ans = canonicalizeAnswers(ans)
 	st.Answers = len(ans)
-	//semalint:allow nowalltime(wall clock feeds NONDETERMINISTIC WallNS only)
-	st.WallNS = time.Since(start).Nanoseconds()
+	st.WallNS = sw.ElapsedNS()
 	return ans, st, nil
 }
 

@@ -81,7 +81,9 @@ func searchComplete(q *cq.CQ, set *deps.Set, opt Options, bound int, st *obs.Sta
 		copt.MaxDepth = q.Size() + len(set.TGDs) + 2
 		copt.MaxSteps = 2000
 	}
+	chSp := opt.Trace.Start("chase")
 	chres, frozen, err := chase.Query(q, set, copt)
+	chSp.End()
 	if err != nil {
 		if errors.Is(err, chase.ErrCancelled) {
 			return nil, 0, false, err

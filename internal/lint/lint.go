@@ -104,6 +104,12 @@ func isObsPkg(p *Package) bool {
 	return path.Base(p.Path) == "obs"
 }
 
+// isTelemetryPkg reports whether the package is internal/telemetry —
+// the one package sanctioned to read the wall clock.
+func isTelemetryPkg(p *Package) bool {
+	return path.Base(p.Path) == "telemetry"
+}
+
 // All returns the full semalint suite in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{DetMap, CancelPoll, NoWallTime, ErrWrap, StatsClass, InternLeak}

@@ -101,6 +101,15 @@ func TestCancelPollFixture(t *testing.T) {
 func TestNoWallTimeFixture(t *testing.T) {
 	runFixture(t, lint.NoWallTime, "nowalltime/core")
 }
+
+// The wall-clock quarantine: internal/telemetry is exempt, every other
+// package is flagged (without the deterministic-only rand/map rules).
+func TestNoWallTimeTelemetryExempt(t *testing.T) {
+	runFixture(t, lint.NoWallTime, "nowalltime/telemetry")
+}
+func TestNoWallTimeServingScope(t *testing.T) {
+	runFixture(t, lint.NoWallTime, "nowalltime/server")
+}
 func TestErrWrapFixture(t *testing.T)    { runFixture(t, lint.ErrWrap, "errwrap/errs") }
 func TestStatsClassFixture(t *testing.T) { runFixture(t, lint.StatsClass, "statsclass/obs") }
 func TestInternLeakFixture(t *testing.T) {

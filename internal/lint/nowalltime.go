@@ -8,21 +8,29 @@ import (
 
 // NoWallTime keeps nondeterministic inputs out of the code that feeds
 // DeterministicFingerprint and the DETERMINISTIC-classified fields of
-// core.Result.Stats. Inside the deterministic decision packages and
-// internal/obs it forbids:
+// core.Result.Stats.
 //
-//   - time.Now / time.Since — wall clocks. The only sanctioned use is
-//     filling a NONDETERMINISTIC-classified field (WallNS), which the
-//     site documents with //semalint:allow nowalltime(reason);
+// Wall-clock access (time.Now / time.Since) is quarantined in
+// internal/telemetry: every other package — deterministic or not —
+// must time through telemetry.StartTimer / Stopwatch, so timing flows
+// only into telemetry.DurationNS values that the statsclass analyzer
+// forces to be NONDETERMINISTIC-classified. A site in a deterministic
+// package that genuinely must read the clock documents itself with
+// //semalint:allow nowalltime(reason).
+//
+// Inside the deterministic decision packages and internal/obs it
+// additionally forbids:
+//
 //   - math/rand and math/rand/v2 — any import;
 //   - fmt-formatting a map value (Sprintf("%v", m) and friends) —
 //     map formatting walks the map in random order, so the rendered
 //     text differs run to run.
 var NoWallTime = &Analyzer{
 	Name: "nowalltime",
-	Doc: "forbid wall clocks (time.Now/Since), math/rand and map formatting in the " +
-		"deterministic decision packages and internal/obs, where they would leak " +
-		"nondeterminism into DETERMINISTIC-classified stats and fingerprints",
+	Doc: "quarantine wall clocks (time.Now/Since) in internal/telemetry, and forbid " +
+		"math/rand and map formatting in the deterministic decision packages and " +
+		"internal/obs, where they would leak nondeterminism into " +
+		"DETERMINISTIC-classified stats and fingerprints",
 	Run: runNoWallTime,
 }
 
@@ -36,16 +44,22 @@ var fmtFormatters = map[string]bool{
 }
 
 func runNoWallTime(p *Pass) {
-	if !isDeterministicPkg(p.Pkg) && !isObsPkg(p.Pkg) {
+	// The rand and map-formatting rules apply in the deterministic
+	// decision packages and internal/obs; the wall-clock quarantine
+	// applies everywhere except internal/telemetry itself.
+	strict := isDeterministicPkg(p.Pkg) || isObsPkg(p.Pkg)
+	if isTelemetryPkg(p.Pkg) && !strict {
 		return
 	}
 	for _, f := range p.Pkg.Files {
-		for _, spec := range f.Imports {
-			path := strings.Trim(spec.Path.Value, `"`)
-			if path == "math/rand" || path == "math/rand/v2" {
-				p.Reportf(spec.Pos(),
-					"import of %s in deterministic package %s: randomness cannot feed "+
-						"DETERMINISTIC stats or fingerprints", path, p.Pkg.Name)
+		if strict {
+			for _, spec := range f.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if path == "math/rand" || path == "math/rand/v2" {
+					p.Reportf(spec.Pos(),
+						"import of %s in deterministic package %s: randomness cannot feed "+
+							"DETERMINISTIC stats or fingerprints", path, p.Pkg.Name)
+				}
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -60,11 +74,21 @@ func runNoWallTime(p *Pass) {
 			pkgName := importedPkg(p, sel)
 			switch {
 			case pkgName == "time" && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since"):
-				p.Reportf(call.Pos(),
-					"time.%s in deterministic package %s: wall time may only fill "+
-						"NONDETERMINISTIC-classified fields; annotate the site with "+
-						"//semalint:allow nowalltime(reason) if it does", sel.Sel.Name, p.Pkg.Name)
+				if strict {
+					p.Reportf(call.Pos(),
+						"time.%s in deterministic package %s: wall time may only fill "+
+							"NONDETERMINISTIC-classified fields; annotate the site with "+
+							"//semalint:allow nowalltime(reason) if it does", sel.Sel.Name, p.Pkg.Name)
+				} else {
+					p.Reportf(call.Pos(),
+						"time.%s outside internal/telemetry: the wall clock is quarantined; "+
+							"time through telemetry.StartTimer/Stopwatch so measurements stay "+
+							"NONDETERMINISTIC-classified", sel.Sel.Name)
+				}
 			case pkgName == "fmt" && fmtFormatters[sel.Sel.Name]:
+				if !strict {
+					return true
+				}
 				for _, arg := range call.Args {
 					tv, ok := p.Pkg.Info.Types[arg]
 					if !ok || tv.Type == nil {

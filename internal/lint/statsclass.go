@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"path"
 	"reflect"
 	"strings"
 )
@@ -16,6 +17,11 @@ import (
 //	sem:"nondet"  scheduling-dependent measurement
 //	sem:"group"   a nested stats struct (or slice of one) whose own
 //	              fields carry the classification
+//
+// A field whose type comes from internal/telemetry (DurationNS,
+// Stopwatch, ...) carries a wall-clock measurement by construction and
+// must be sem:"nondet" — the type system marks the nondeterminism, the
+// tag must agree.
 //
 // — and each struct's Fingerprint / DeterministicFingerprint method
 // must cover exactly the DETERMINISTIC set: every det field referenced,
@@ -71,12 +77,27 @@ func runStatsClass(p *Pass) {
 						"(see the determinism contract in docs/ARCHITECTURE.md)", name, fld.Name())
 				f.class = ""
 			case "det", "nondet":
+				if tag == "det" && isTelemetryType(fld.Type()) {
+					p.Reportf(fld.Pos(),
+						"field %s.%s has telemetry-derived type %s and must be tagged sem:\"nondet\": "+
+							"wall-clock measurements are scheduling-dependent", name, fld.Name(), fld.Type())
+					break
+				}
+				if isTelemetryType(fld.Type()) {
+					break // a nondet telemetry value (e.g. a Stopwatch) is not a stats group
+				}
 				if structish {
 					p.Reportf(fld.Pos(),
 						"field %s.%s nests a stats struct and must be tagged sem:\"group\" "+
 							"(its leaves carry the det/nondet classification)", name, fld.Name())
 				}
 			case "group":
+				if isTelemetryType(fld.Type()) {
+					p.Reportf(fld.Pos(),
+						"field %s.%s has telemetry-derived type %s and must be tagged sem:\"nondet\": "+
+							"wall-clock measurements are scheduling-dependent", name, fld.Name(), fld.Type())
+					break
+				}
 				if !structish {
 					p.Reportf(fld.Pos(),
 						"field %s.%s is tagged sem:\"group\" but is not a nested stats struct; "+
@@ -192,6 +213,27 @@ func runStatsClass(p *Pass) {
 		}
 		check(m.recv, "")
 	}
+}
+
+// isTelemetryType reports whether the type — behind pointers, slices,
+// arrays and map values — is a named type declared in
+// internal/telemetry. Such a value is a wall-clock measurement by
+// construction.
+func isTelemetryType(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Pointer:
+		return isTelemetryType(u.Elem())
+	case *types.Slice:
+		return isTelemetryType(u.Elem())
+	case *types.Array:
+		return isTelemetryType(u.Elem())
+	case *types.Map:
+		return isTelemetryType(u.Elem())
+	case *types.Named:
+		pkg := u.Obj().Pkg()
+		return pkg != nil && path.Base(pkg.Path()) == "telemetry"
+	}
+	return false
 }
 
 // statsElem resolves the stats struct (if any) behind a field type:

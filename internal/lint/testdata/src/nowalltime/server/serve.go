@@ -1,0 +1,23 @@
+// Package server is a nowalltime fixture for the non-deterministic
+// scope: the wall-clock quarantine applies (time.Now/Since flagged),
+// but the rand and map-formatting rules do not — those bind only the
+// deterministic decision packages and internal/obs.
+package server
+
+import (
+	"fmt"
+	"math/rand" // NOT flagged: rand is only forbidden in deterministic packages
+	"time"
+)
+
+// Measure times a request the forbidden way.
+func Measure() int64 {
+	start := time.Now() // want "time.Now outside internal/telemetry"
+	_ = rand.Int()
+	return time.Since(start).Nanoseconds() // want "time.Since outside internal/telemetry"
+}
+
+// Render may format maps here: order only reaches logs, not verdicts.
+func Render(m map[string]int) string {
+	return fmt.Sprintf("%v", m)
+}

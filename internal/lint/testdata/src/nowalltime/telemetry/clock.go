@@ -1,0 +1,15 @@
+// Package telemetry is a nowalltime fixture: the package name opts it
+// into the wall-clock quarantine's sanctioned zone, so time.Now and
+// time.Since are allowed here and only here.
+package telemetry
+
+import "time"
+
+// Stopwatch mirrors the real package's clock access: unflagged.
+type Stopwatch struct{ t time.Time }
+
+// Start reads the wall clock — sanctioned in this package.
+func Start() Stopwatch { return Stopwatch{t: time.Now()} }
+
+// ElapsedNS reads the wall clock — sanctioned in this package.
+func (s Stopwatch) ElapsedNS() int64 { return time.Since(s.t).Nanoseconds() }

@@ -1,0 +1,15 @@
+// telem.go exercises the telemetry-derived classification rule: a
+// field whose type comes from internal/telemetry is a wall-clock
+// measurement by construction and must be sem:"nondet".
+package obs
+
+import "semacyclic/internal/telemetry"
+
+// TimedStats mixes counters with telemetry measurements.
+type TimedStats struct {
+	Candidates int                    `json:"candidates" sem:"det"`
+	WallNS     telemetry.DurationNS   `json:"wall_ns" sem:"nondet"`
+	BadWall    telemetry.DurationNS   `json:"bad_wall" sem:"det"` // want "telemetry-derived type .* must be tagged"
+	Clock      telemetry.Stopwatch    `json:"-" sem:"group"`      // want "telemetry-derived type .* must be tagged"
+	PerLayer   []telemetry.DurationNS `json:"per_layer" sem:"nondet"`
+}

@@ -102,6 +102,15 @@ func (s Snapshot) HomDelta() HomStats {
 	}
 }
 
+// All returns every registered global counter, in registration order.
+// The registry is fixed at init time, so the returned slice is safe to
+// iterate without synchronization (the counters themselves are atomic).
+// The /metrics exposition uses this to render the counters alongside
+// the serving histograms.
+func All() []*Counter {
+	return registry
+}
+
 var publishOnce sync.Once
 
 // Publish registers every global counter with expvar (idempotent).

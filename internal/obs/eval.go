@@ -1,6 +1,10 @@
 package obs
 
-import "fmt"
+import (
+	"fmt"
+
+	"semacyclic/internal/telemetry"
+)
 
 // EvalStats is the per-evaluation observability snapshot: one query
 // executed against one database instance, by whichever method the plan
@@ -41,7 +45,7 @@ type EvalStats struct {
 	// DETERMINISTIC.
 	JoinRows int64 `json:"join_rows" sem:"det"`
 	// WallNS is the evaluation wall time. NONDETERMINISTIC.
-	WallNS int64 `json:"wall_ns" sem:"nondet"`
+	WallNS telemetry.DurationNS `json:"wall_ns" sem:"nondet"`
 }
 
 // Fingerprint renders the deterministic evaluation fields canonically;

@@ -23,6 +23,8 @@ package obs
 import (
 	"fmt"
 	"strings"
+
+	"semacyclic/internal/telemetry"
 )
 
 // Stats is the per-decision observability snapshot attached to
@@ -44,8 +46,11 @@ type Stats struct {
 	// Layers records, in order, each decision layer that ran: its
 	// candidate count (deterministic) and wall time (nondeterministic).
 	Layers []LayerStats `json:"layers,omitempty" sem:"group"`
-	// WallNS is the total decision wall time. NONDETERMINISTIC.
-	WallNS int64 `json:"wall_ns" sem:"nondet"`
+	// WallNS is the total decision wall time. NONDETERMINISTIC — the
+	// telemetry.DurationNS type marks it as wall-clock-derived, and the
+	// statsclass analyzer rejects any telemetry-typed field not tagged
+	// sem:"nondet".
+	WallNS telemetry.DurationNS `json:"wall_ns" sem:"nondet"`
 }
 
 // NewStats returns a Stats with the "not defined" sentinels applied.
@@ -63,7 +68,7 @@ type LayerStats struct {
 	// total.
 	Candidates int `json:"candidates" sem:"det"`
 	// WallNS is the layer's wall time. NONDETERMINISTIC.
-	WallNS int64 `json:"wall_ns" sem:"nondet"`
+	WallNS telemetry.DurationNS `json:"wall_ns" sem:"nondet"`
 }
 
 // ChaseStats counts the work of one chase run. All fields are
@@ -205,7 +210,7 @@ type HomStats struct {
 }
 
 // AddLayer appends one layer record.
-func (s *Stats) AddLayer(name string, candidates int, wallNS int64) {
+func (s *Stats) AddLayer(name string, candidates int, wallNS telemetry.DurationNS) {
 	s.Layers = append(s.Layers, LayerStats{Name: name, Candidates: candidates, WallNS: wallNS})
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"semacyclic/internal/core"
 	"semacyclic/internal/obs"
+	"semacyclic/internal/telemetry"
 	"semacyclic/internal/term"
 )
 
@@ -73,13 +74,15 @@ func planKey(u *decideUnit, method string) string {
 // plan returns the compiled evaluation plan for the unit, from the
 // cache when possible. Must run on a worker goroutine: compilation
 // contains a full decision.
-func (s *Server) plan(u *decideUnit, method string, cancel <-chan struct{}) (*core.Plan, bool, error) {
+func (s *Server) plan(u *decideUnit, method string, cancel <-chan struct{}, rec *telemetry.Recorder) (*core.Plan, bool, error) {
 	pk := planKey(u, method)
 	if v, ok := s.plans.Get(pk); ok {
 		obs.ServerPlanCacheHits.Add(1)
+		rec.Event("cache:plan:hit")
 		return v.(*core.Plan), true, nil
 	}
-	opt, err := s.options(u, cancel)
+	rec.Event("cache:plan:miss")
+	opt, err := s.options(u, cancel, rec)
 	if err != nil {
 		return nil, false, err
 	}
@@ -127,18 +130,23 @@ func (s *Server) serveEvaluate(w http.ResponseWriter, r *http.Request) {
 	var cached bool
 	var derr error
 	done, err := s.submit(func() {
+		rec := traceRec(ctx)
 		var p *core.Plan
-		p, cached, derr = s.plan(u, method, ctx.Done())
+		p, cached, derr = s.plan(u, method, ctx.Done(), rec)
 		if derr != nil {
 			return
 		}
 		ans, stats, execErr := p.Execute(entry.db, core.EvalOptions{
 			Cancel:       ctx.Done(),
 			DisableIndex: req.NoIndex,
+			Trace:        rec,
 		})
 		if execErr != nil {
 			derr = execErr
 			return
+		}
+		if stats != nil {
+			s.metrics.observeEval(p.Method, stats.WallNS)
 		}
 		resp = &EvaluateResponse{
 			Method:     p.Method,

@@ -16,6 +16,7 @@ import (
 	"semacyclic/internal/deps"
 	"semacyclic/internal/obs"
 	"semacyclic/internal/rewrite"
+	"semacyclic/internal/telemetry"
 )
 
 // DecideRequest is the JSON body of /decide, one element of
@@ -144,16 +145,17 @@ func (s *Server) requestCtx(parent context.Context, ms int64) (context.Context, 
 }
 
 // options assembles the core.Options for a unit, wiring the deadline
-// channel and the prepared checker.
-func (s *Server) options(u *decideUnit, cancel <-chan struct{}) (core.Options, error) {
+// channel, the request's span recorder, and the prepared checker.
+func (s *Server) options(u *decideUnit, cancel <-chan struct{}, rec *telemetry.Recorder) (core.Options, error) {
 	opt := core.Options{
 		SearchBudget:       u.req.Budget,
 		MaxWitnessSize:     u.req.MaxWitness,
 		SkipCompleteSearch: u.req.SkipComplete,
 		Parallelism:        u.req.Parallelism,
 		Cancel:             cancel,
+		Trace:              rec,
 	}
-	prep, err := s.prepared(u.depsKey, u.set, u.q, cancel)
+	prep, err := s.prepared(u.depsKey, u.set, u.q, cancel, rec)
 	if err != nil {
 		return opt, err
 	}
@@ -162,15 +164,20 @@ func (s *Server) options(u *decideUnit, cancel <-chan struct{}) (core.Options, e
 }
 
 // computeDecide runs one decision on the calling (worker) goroutine
-// and returns the marshaled response bytes.
+// and returns the marshaled response bytes. The per-layer wall times
+// land in the layer histograms here; they never enter the response
+// (DecideResponse carries only deterministic fields).
 func (s *Server) computeDecide(ctx context.Context, u *decideUnit) ([]byte, error) {
-	opt, err := s.options(u, ctx.Done())
+	opt, err := s.options(u, ctx.Done(), traceRec(ctx))
 	if err != nil {
 		return nil, err
 	}
 	res, err := core.Decide(u.q, u.set, opt)
 	if err != nil {
 		return nil, err
+	}
+	if res.Stats != nil {
+		s.metrics.observeLayers(res.Stats.Layers)
 	}
 	resp := DecideResponse{
 		Verdict:    res.Verdict.String(),
@@ -189,7 +196,7 @@ func (s *Server) computeDecide(ctx context.Context, u *decideUnit) ([]byte, erro
 
 // computeApprox runs one approximation on the calling goroutine.
 func (s *Server) computeApprox(ctx context.Context, u *decideUnit) ([]byte, error) {
-	opt, err := s.options(u, ctx.Done())
+	opt, err := s.options(u, ctx.Done(), traceRec(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -280,11 +287,14 @@ func (s *Server) serveDecide(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	rec := traceRec(r.Context())
 	if body, ok := s.decisions.Get(u.key); ok {
 		obs.ServerCacheHits.Add(1)
+		rec.Event("cache:decision:hit")
 		writeBody(w, body.([]byte), true)
 		return
 	}
+	rec.Event("cache:decision:miss")
 	ctx, cancel := s.requestCtx(r.Context(), req.DeadlineMS)
 	defer cancel()
 	var body []byte
@@ -313,6 +323,7 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	obs.ServerRequests.Add(int64(len(breq.Requests)))
+	rec := traceRec(r.Context())
 	n := len(breq.Requests)
 	units := make([]*decideUnit, n)
 	results := make([]BatchResult, n)
@@ -326,10 +337,12 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) {
 		units[i] = u
 		if body, ok := s.decisions.Get(u.key); ok {
 			obs.ServerCacheHits.Add(1)
+			rec.Event("cache:decision:hit")
 			results[i].Result = json.RawMessage(body.([]byte))
 			results[i].Cached = true
 			continue
 		}
+		rec.Event("cache:decision:miss")
 		pending = append(pending, i)
 	}
 	if len(pending) == 0 {
@@ -387,11 +400,14 @@ func (s *Server) serveApproximate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	rec := traceRec(r.Context())
 	if body, ok := s.decisions.Get(u.key); ok {
 		obs.ServerCacheHits.Add(1)
+		rec.Event("cache:decision:hit")
 		writeBody(w, body.([]byte), true)
 		return
 	}
+	rec.Event("cache:decision:miss")
 	ctx, cancel := s.requestCtx(r.Context(), req.DeadlineMS)
 	defer cancel()
 	var body []byte

@@ -3,7 +3,53 @@ package server
 import (
 	"container/list"
 	"sync"
+
+	"semacyclic/internal/telemetry"
 )
+
+// lruStats aggregates a cache's hit/miss/eviction counters. A stats
+// block can be shared by several lruCaches (the per-Σ prepared-checker
+// caches all feed one block) so the /metrics surface reports one series
+// per logical cache, not one per shard.
+type lruStats struct {
+	mu           sync.Mutex
+	hits         int64
+	misses       int64
+	evictions    int64
+	evictedAgeNS int64
+}
+
+func (st *lruStats) hit() {
+	st.mu.Lock()
+	st.hits++
+	st.mu.Unlock()
+}
+
+func (st *lruStats) miss() {
+	st.mu.Lock()
+	st.misses++
+	st.mu.Unlock()
+}
+
+func (st *lruStats) evict(age telemetry.DurationNS) {
+	st.mu.Lock()
+	st.evictions++
+	st.evictedAgeNS += int64(age)
+	st.mu.Unlock()
+}
+
+// Hits returns the cumulative Get-hit count.
+func (st *lruStats) Hits() int64 { st.mu.Lock(); defer st.mu.Unlock(); return st.hits }
+
+// Misses returns the cumulative Get-miss count.
+func (st *lruStats) Misses() int64 { st.mu.Lock(); defer st.mu.Unlock(); return st.misses }
+
+// Evictions returns the cumulative capacity-eviction count.
+func (st *lruStats) Evictions() int64 { st.mu.Lock(); defer st.mu.Unlock(); return st.evictions }
+
+// EvictedAgeNS returns the summed residency age of evicted entries —
+// low total age per eviction means the cache is churning (undersized).
+func (st *lruStats) EvictedAgeNS() int64 { st.mu.Lock(); defer st.mu.Unlock(); return st.evictedAgeNS }
 
 // lruCache is a small mutex-guarded LRU map. Both server caches sit on
 // the request path before the worker pool, so the critical sections are
@@ -14,47 +60,101 @@ type lruCache struct {
 	max   int
 	ll    *list.List
 	items map[string]*list.Element
+	stats *lruStats
+	// onEvict, when non-nil, observes each capacity eviction (key and
+	// evicted value), called outside the cache lock so a callback may
+	// touch other caches without lock-order concerns.
+	onEvict func(key string, val any)
 }
 
 type lruEntry struct {
-	key string
-	val any
+	key   string
+	val   any
+	added telemetry.Stopwatch
 }
 
 func newLRU(max int) *lruCache {
+	return newLRUWithStats(max, &lruStats{})
+}
+
+// newLRUWithStats builds a cache that feeds the given (possibly shared)
+// stats block.
+func newLRUWithStats(max int, stats *lruStats) *lruCache {
 	if max < 1 {
 		max = 1
 	}
-	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element), stats: stats}
 }
+
+// Stats returns the cache's counter block.
+func (c *lruCache) Stats() *lruStats { return c.stats }
+
+// SetOnEvict installs the eviction callback. Call before the cache is
+// shared across goroutines (installation is not synchronized).
+func (c *lruCache) SetOnEvict(fn func(key string, val any)) { c.onEvict = fn }
 
 // Get returns the cached value and promotes it to most-recently-used.
 func (c *lruCache) Get(key string) (any, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	e, ok := c.items[key]
 	if !ok {
+		c.mu.Unlock()
+		c.stats.miss()
 		return nil, false
 	}
 	c.ll.MoveToFront(e)
-	return e.Value.(*lruEntry).val, true
+	val := e.Value.(*lruEntry).val
+	c.mu.Unlock()
+	c.stats.hit()
+	return val, true
 }
 
 // Add inserts or refreshes the entry, evicting the least-recently-used
 // entries beyond the capacity.
 func (c *lruCache) Add(key string, val any) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if e, ok := c.items[key]; ok {
 		c.ll.MoveToFront(e)
 		e.Value.(*lruEntry).val = val
+		c.mu.Unlock()
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val, added: telemetry.StartTimer()})
+	var evicted []*lruEntry
 	for c.ll.Len() > c.max {
 		old := c.ll.Back()
 		c.ll.Remove(old)
-		delete(c.items, old.Value.(*lruEntry).key)
+		ent := old.Value.(*lruEntry)
+		delete(c.items, ent.key)
+		evicted = append(evicted, ent)
+	}
+	c.mu.Unlock()
+	for _, ent := range evicted {
+		c.stats.evict(ent.added.ElapsedNS())
+		if c.onEvict != nil {
+			c.onEvict(ent.key, ent.val)
+		}
+	}
+}
+
+// dropAll evicts every entry, recording each into the stats (and the
+// callback) like a capacity eviction. Used when a whole cache is being
+// discarded — e.g. a sigma entry eviction drops its nested
+// prepared-checker cache.
+func (c *lruCache) dropAll() {
+	c.mu.Lock()
+	ents := make([]*lruEntry, 0, c.ll.Len())
+	for e := c.ll.Front(); e != nil; e = e.Next() {
+		ents = append(ents, e.Value.(*lruEntry))
+	}
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.mu.Unlock()
+	for _, ent := range ents {
+		c.stats.evict(ent.added.ElapsedNS())
+		if c.onEvict != nil {
+			c.onEvict(ent.key, ent.val)
+		}
 	}
 }
 

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Under capacity pressure the cache evicts least-recently-used entries,
+// counts each eviction (with residency age) in its stats block, and
+// reports each evicted key/value through the onEvict callback.
+func TestLRUEvictionUnderPressure(t *testing.T) {
+	c := newLRU(2)
+	var evicted []string
+	c.SetOnEvict(func(key string, val any) { evicted = append(evicted, key) })
+
+	for i := 0; i < 5; i++ {
+		c.Add(fmt.Sprintf("k%d", i), i)
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	st := c.Stats()
+	if got := st.Evictions(); got != 3 {
+		t.Fatalf("Evictions = %d, want 3", got)
+	}
+	if st.EvictedAgeNS() < 0 {
+		t.Fatalf("EvictedAgeNS = %d, want >= 0", st.EvictedAgeNS())
+	}
+	want := []string{"k0", "k1", "k2"}
+	if len(evicted) != len(want) {
+		t.Fatalf("onEvict saw %v, want %v", evicted, want)
+	}
+	for i, k := range want {
+		if evicted[i] != k {
+			t.Fatalf("onEvict order %v, want %v (LRU first)", evicted, want)
+		}
+	}
+
+	// The survivors are the most recently added.
+	if _, ok := c.Get("k3"); !ok {
+		t.Fatal("k3 missing after evictions")
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("k0 survived past capacity")
+	}
+	if h, m := st.Hits(), st.Misses(); h != 1 || m != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", h, m)
+	}
+}
+
+// A Get-promoted entry is not the eviction victim.
+func TestLRUPromotionChangesVictim(t *testing.T) {
+	c := newLRU(2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Add("c", 3) // evicts b, not the freshly-used a
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("promoted entry a was evicted")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU victim b survived")
+	}
+}
+
+// dropAll empties the cache and accounts every entry as an eviction —
+// the path a sigma-entry eviction takes for its nested prepared cache.
+func TestLRUDropAll(t *testing.T) {
+	st := &lruStats{}
+	a := newLRUWithStats(4, st)
+	b := newLRUWithStats(4, st) // shares the stats block, like the per-Σ prep shards
+	a.Add("x", 1)
+	a.Add("y", 2)
+	b.Add("z", 3)
+	a.dropAll()
+	if got := a.Len(); got != 0 {
+		t.Fatalf("Len after dropAll = %d, want 0", got)
+	}
+	if got := st.Evictions(); got != 2 {
+		t.Fatalf("shared Evictions = %d, want 2", got)
+	}
+	b.dropAll()
+	if got := st.Evictions(); got != 3 {
+		t.Fatalf("shared Evictions = %d, want 3", got)
+	}
+}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"semacyclic/internal/obs"
+	"semacyclic/internal/telemetry"
+)
+
+// traceHeaderName is the opt-in trace-echo header: a request carrying
+// it (any value) gets its span tree back, compact JSON, in the same
+// header of the response. The echo lives in a *header* so the response
+// *body* stays byte-identical across cache hit/miss and traced/untraced
+// — the serving determinism contract covers bodies.
+const traceHeaderName = "X-Semacycd-Trace"
+
+// recKey carries the request's span recorder through the context chain
+// (instrument installs it; requestCtx-derived deadline contexts inherit
+// it).
+type recKey struct{}
+
+// traceRec extracts the request recorder, nil when the request is not
+// being traced through an instrumented route.
+func traceRec(ctx context.Context) *telemetry.Recorder {
+	rec, _ := ctx.Value(recKey{}).(*telemetry.Recorder)
+	return rec
+}
+
+// Metric family names and help strings.
+const (
+	mRequestDur  = "semacycd_request_duration_seconds"
+	hRequestDur  = "request wall time by endpoint"
+	mLayerDur    = "semacycd_decision_layer_duration_seconds"
+	hLayerDur    = "per-decision-layer wall time (core, unsatisfiable, quotient, chase-subset, complete)"
+	mEvalDur     = "semacycd_evaluate_duration_seconds"
+	hEvalDur     = "plan execution wall time by evaluation method"
+	mCacheHits   = "semacycd_cache_hits_total"
+	hCacheHits   = "cache lookups served from the cache"
+	mCacheMisses = "semacycd_cache_misses_total"
+	hCacheMisses = "cache lookups that missed"
+	mCacheEvict  = "semacycd_cache_evictions_total"
+	hCacheEvict  = "entries evicted under capacity pressure"
+	mCacheAge    = "semacycd_cache_evicted_age_ns_total"
+	hCacheAge    = "summed residency age of evicted entries in nanoseconds"
+	mCacheLen    = "semacycd_cache_entries"
+	hCacheLen    = "live entries per cache"
+	mQueueDepth  = "semacycd_queue_depth"
+	hQueueDepth  = "admitted-but-unstarted requests in the worker queue"
+	mInflight    = "semacycd_inflight_requests"
+	hInflight    = "requests admitted and not yet finished"
+	mInstances   = "semacycd_instances"
+	hInstances   = "named database instances loaded"
+)
+
+// metricsSet owns the server's telemetry registry and the handles the
+// request path observes through.
+type metricsSet struct {
+	reg *telemetry.Registry
+}
+
+// newMetricsSet builds the registry and registers the scrape-time
+// series: per-cache hit/miss/eviction/age counters, queue and registry
+// gauges, and every process-global obs counter (sanitized to Prometheus
+// naming).
+func newMetricsSet(s *Server) *metricsSet {
+	m := &metricsSet{reg: telemetry.NewRegistry()}
+	caches := []struct {
+		name string
+		st   *lruStats
+	}{
+		{"decision", s.decisions.Stats()},
+		{"sigma", s.sigmas.Stats()},
+		{"prepared", s.prepStats},
+		{"plan", s.plans.Stats()},
+	}
+	for _, c := range caches {
+		ls := telemetry.Labels("cache", c.name)
+		m.reg.CounterFunc(mCacheHits, hCacheHits, ls, c.st.Hits)
+		m.reg.CounterFunc(mCacheMisses, hCacheMisses, ls, c.st.Misses)
+		m.reg.CounterFunc(mCacheEvict, hCacheEvict, ls, c.st.Evictions)
+		m.reg.CounterFunc(mCacheAge, hCacheAge, ls, c.st.EvictedAgeNS)
+	}
+	lens := []struct {
+		name string
+		fn   func() int
+	}{
+		{"decision", s.decisions.Len},
+		{"sigma", s.sigmas.Len},
+		{"plan", s.plans.Len},
+	}
+	for _, c := range lens {
+		fn := c.fn
+		m.reg.GaugeFunc(mCacheLen, hCacheLen, telemetry.Labels("cache", c.name), func() int64 { return int64(fn()) })
+	}
+	m.reg.GaugeFunc(mQueueDepth, hQueueDepth, "", func() int64 { return int64(len(s.queue)) })
+	m.reg.GaugeFunc(mInflight, hInflight, "", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(s.inflight)
+	})
+	m.reg.GaugeFunc(mInstances, hInstances, "", func() int64 { return int64(s.instances.len()) })
+	for _, c := range obs.All() {
+		c := c
+		m.reg.CounterFunc(promCounterName(c.Name()), "process-global counter "+c.Name(), "", c.Load)
+	}
+	return m
+}
+
+// promCounterName maps an obs counter name ("server.cache_hits") to
+// Prometheus naming ("server_cache_hits_total").
+func promCounterName(name string) string {
+	return strings.ReplaceAll(name, ".", "_") + "_total"
+}
+
+// requestHist returns the per-endpoint latency histogram handle.
+func (m *metricsSet) requestHist(endpoint string) *telemetry.Histogram {
+	return m.reg.Histogram(mRequestDur, hRequestDur, telemetry.Labels("endpoint", endpoint))
+}
+
+// observeLayers feeds one decision's per-layer wall times into the
+// layer histograms. The layer label set is small and fixed (the five
+// pipeline layers), so the registry lookup cost per decision is a few
+// short mutex sections.
+func (m *metricsSet) observeLayers(layers []obs.LayerStats) {
+	for _, l := range layers {
+		m.reg.Histogram(mLayerDur, hLayerDur, telemetry.Labels("layer", l.Name)).Observe(l.WallNS)
+	}
+}
+
+// observeEval feeds one plan execution into the per-method histogram.
+func (m *metricsSet) observeEval(method string, wall telemetry.DurationNS) {
+	m.reg.Histogram(mEvalDur, hEvalDur, telemetry.Labels("method", method)).Observe(wall)
+}
+
+// instrument wraps a route handler with the request telemetry: a span
+// recorder in the request context, the per-endpoint latency histogram,
+// the trace ring, the opt-in header echo, and the slow-request log.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.metrics.requestHist(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := telemetry.StartTimer()
+		rec := telemetry.NewRecorder("request:" + endpoint)
+		r = r.WithContext(context.WithValue(r.Context(), recKey{}, rec))
+		if r.Header.Get(traceHeaderName) != "" {
+			w = &traceEchoWriter{ResponseWriter: w, rec: rec}
+		}
+		h(w, r)
+		ns := sw.ElapsedNS()
+		hist.Observe(ns)
+		root := rec.Finish()
+		s.traces.Add(&telemetry.TraceEntry{Endpoint: endpoint, DurNS: ns, Root: root})
+		if thr := s.cfg.SlowRequest; thr > 0 && ns.Duration() >= thr {
+			fmt.Fprintf(s.slowLog, "semacycd: slow request %s took %v (threshold %v): %s\n",
+				endpoint, ns.Duration(), thr, root.Structure())
+		}
+	}
+}
+
+// traceEchoWriter injects the span-tree snapshot into the response
+// headers at first write, when the spans recorded so far (the whole
+// handler's work) are in the tree but the headers are still open.
+type traceEchoWriter struct {
+	http.ResponseWriter
+	rec   *telemetry.Recorder
+	wrote bool
+}
+
+func (t *traceEchoWriter) setTrace() {
+	if !t.wrote {
+		t.wrote = true
+		t.Header().Set(traceHeaderName, string(t.rec.SnapshotJSON()))
+	}
+}
+
+func (t *traceEchoWriter) WriteHeader(code int) {
+	t.setTrace()
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *traceEchoWriter) Write(b []byte) (int, error) {
+	t.setTrace()
+	return t.ResponseWriter.Write(b)
+}
+
+// serveMetrics renders the registry in Prometheus text exposition
+// format: per-endpoint and per-layer latency histograms, cache
+// hit/miss/eviction series, queue gauges and the obs counters.
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.reg.WritePrometheus(w)
+}
+
+// serveTraces dumps the trace ring (most recent request span trees,
+// newest first) as JSON.
+func (s *Server) serveTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"traces": s.traces.Entries()})
+}

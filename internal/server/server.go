@@ -34,7 +34,9 @@ package server
 import (
 	"errors"
 	"expvar"
+	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -43,6 +45,7 @@ import (
 	"semacyclic/internal/cq"
 	"semacyclic/internal/deps"
 	"semacyclic/internal/obs"
+	"semacyclic/internal/telemetry"
 )
 
 // Config tunes the server. The zero value picks defaults sized to the
@@ -79,6 +82,15 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// RetryAfter is the hint attached to 429 responses (default 1s).
 	RetryAfter time.Duration
+	// TraceRingSize bounds the /debug/traces ring of recent request
+	// span trees (default 128).
+	TraceRingSize int
+	// SlowRequest, when positive, logs any request whose wall time
+	// meets the threshold (endpoint, duration and span structure) to
+	// SlowLogWriter. 0 disables the slow log.
+	SlowRequest time.Duration
+	// SlowLogWriter receives slow-request lines (default os.Stderr).
+	SlowLogWriter io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +124,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.TraceRingSize <= 0 {
+		c.TraceRingSize = 128
+	}
+	if c.SlowLogWriter == nil {
+		c.SlowLogWriter = os.Stderr
+	}
 	return c
 }
 
@@ -142,6 +160,17 @@ type Server struct {
 	plans *lruCache
 	// instances is the named-database registry behind /instances.
 	instances *registry
+
+	// prepStats aggregates hit/miss/eviction counters across every
+	// per-Σ prepared-checker cache, so /metrics reports one "prepared"
+	// series instead of one per constraint set.
+	prepStats *lruStats
+	// metrics owns the /metrics registry and the histogram handles.
+	metrics *metricsSet
+	// traces is the /debug/traces ring of recent request span trees.
+	traces *telemetry.TraceRing
+	// slowLog receives slow-request lines when cfg.SlowRequest > 0.
+	slowLog io.Writer
 }
 
 type task struct {
@@ -166,22 +195,36 @@ func New(cfg Config) *Server {
 		sigmas:    newLRU(cfg.SigmaCacheSize),
 		plans:     newLRU(cfg.PlanCacheSize),
 		instances: newRegistry(cfg.MaxInstances, cfg.MaxInstanceAtoms),
+		prepStats: &lruStats{},
+		traces:    telemetry.NewTraceRing(cfg.TraceRingSize),
+		slowLog:   cfg.SlowLogWriter,
 	}
 	s.cond = sync.NewCond(&s.mu)
+	// An evicted sigma entry takes its nested prepared-checker cache
+	// with it; fold those entries into the shared prepared stats so the
+	// eviction series accounts for them.
+	s.sigmas.SetOnEvict(func(_ string, val any) {
+		if se, ok := val.(*sigmaEntry); ok {
+			se.preps.dropAll()
+		}
+	})
+	s.metrics = newMetricsSet(s)
 	obs.Publish()
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /decide", s.serveDecide)
-	mux.HandleFunc("POST /decide/batch", s.serveBatch)
-	mux.HandleFunc("POST /approximate", s.serveApproximate)
-	mux.HandleFunc("POST /instances", s.serveInstanceLoad)
+	mux.HandleFunc("POST /decide", s.instrument("/decide", s.serveDecide))
+	mux.HandleFunc("POST /decide/batch", s.instrument("/decide/batch", s.serveBatch))
+	mux.HandleFunc("POST /approximate", s.instrument("/approximate", s.serveApproximate))
+	mux.HandleFunc("POST /instances", s.instrument("/instances", s.serveInstanceLoad))
 	mux.HandleFunc("GET /instances", s.serveInstanceList)
 	mux.HandleFunc("DELETE /instances/{name}", s.serveInstanceDelete)
-	mux.HandleFunc("POST /evaluate", s.serveEvaluate)
+	mux.HandleFunc("POST /evaluate", s.instrument("/evaluate", s.serveEvaluate))
 	mux.HandleFunc("GET /healthz", s.serveHealthz)
+	mux.HandleFunc("GET /metrics", s.serveMetrics)
+	mux.HandleFunc("GET /debug/traces", s.serveTraces)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux = mux
 	return s
@@ -269,7 +312,7 @@ func (s *Server) sigma(depsKey string, set *deps.Set) *sigmaEntry {
 	if v, ok := s.sigmas.Get(depsKey); ok {
 		return v.(*sigmaEntry)
 	}
-	se := &sigmaEntry{set: set, preps: newLRU(s.cfg.PrepCacheSize)}
+	se := &sigmaEntry{set: set, preps: newLRUWithStats(s.cfg.PrepCacheSize, s.prepStats)}
 	s.sigmas.Add(depsKey, se)
 	return se
 }
@@ -280,15 +323,18 @@ func (s *Server) sigma(depsKey string, set *deps.Set) *sigmaEntry {
 // value is stored with cancellation cleared so a stale per-request
 // channel never outlives its request; core re-wires the live channel
 // per decision via WithCancel.
-func (s *Server) prepared(depsKey string, set *deps.Set, q *cq.CQ, cancel <-chan struct{}) (*containment.Prepared, error) {
+func (s *Server) prepared(depsKey string, set *deps.Set, q *cq.CQ, cancel <-chan struct{}, rec *telemetry.Recorder) (*containment.Prepared, error) {
 	se := s.sigma(depsKey, set)
 	qk := q.CanonicalKey()
 	if v, ok := se.preps.Get(qk); ok {
+		rec.Event("cache:prepared:hit")
 		return v.(*containment.Prepared), nil
 	}
+	rec.Event("cache:prepared:miss")
 	var copt containment.Options
 	copt.Chase.Cancel = cancel
 	copt.Rewrite.Cancel = cancel
+	copt.Trace = rec
 	p, err := containment.Prepare(q, se.set, copt)
 	if err != nil {
 		return nil, err // a cancelled Prepare is not cached

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the number of finite histogram buckets. Boundaries are
+// fixed powers of two starting at 1µs: bucket i holds observations with
+// value ≤ 1µs·2^i, so the finite range spans 1µs … ~8.6s and anything
+// slower lands in the overflow (+Inf) bucket. Fixed log-spaced
+// boundaries keep Observe lock-free (one atomic add into a fixed array)
+// and make every histogram in the process mergeable.
+const HistBuckets = 24
+
+// bucketBoundNS returns the inclusive upper bound of finite bucket i in
+// nanoseconds.
+func bucketBoundNS(i int) int64 { return 1000 << uint(i) }
+
+// BucketBound returns the inclusive upper bound of finite bucket i.
+func BucketBound(i int) DurationNS { return DurationNS(bucketBoundNS(i)) }
+
+// bucketOf maps an observation to its bucket index (HistBuckets =
+// overflow). Non-positive observations land in bucket 0.
+func bucketOf(ns int64) int {
+	if ns <= 1000 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns-1) / 1000)
+	if b > HistBuckets {
+		return HistBuckets
+	}
+	return b
+}
+
+// Histogram is a lock-free latency histogram: fixed log-spaced bucket
+// boundaries, atomic counters. Concurrent Observe calls never block and
+// never lose counts; Snapshot is a racy-but-monotone read (each counter
+// individually exact, the set read without a global barrier), which is
+// the standard trade for scrape-style consumers.
+type Histogram struct {
+	counts [HistBuckets + 1]atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d DurationNS) {
+	ns := int64(d)
+	h.counts[bucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's counters.
+type HistogramSnapshot struct {
+	// Counts holds per-bucket counts; index HistBuckets is overflow.
+	Counts [HistBuckets + 1]int64
+	// SumNS is the sum of all observed durations in nanoseconds.
+	SumNS int64
+}
+
+// Snapshot copies the current counters.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.SumNS = h.sum.Load()
+	return s
+}
+
+// Count returns the total number of observations in the snapshot.
+func (s HistogramSnapshot) Count() int64 {
+	var n int64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucketed
+// counts, interpolating linearly inside the selected bucket. Returns 0
+// for an empty snapshot. Values from the overflow bucket are reported
+// as the largest finite bound (the histogram cannot resolve further).
+func (s HistogramSnapshot) Quantile(q float64) DurationNS {
+	total := s.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= HistBuckets {
+			return BucketBound(HistBuckets - 1)
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = bucketBoundNS(i - 1)
+		}
+		hi := bucketBoundNS(i)
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return DurationNS(lo + int64(frac*float64(hi-lo)))
+	}
+	return BucketBound(HistBuckets - 1)
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {999, 0}, {1000, 0},
+		{1001, 1}, {1999, 1}, {2000, 1},
+		{2001, 2}, {4000, 2}, {4001, 3},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Every finite bound is the last value of its own bucket; the next
+	// nanosecond spills into the following bucket.
+	for i := 0; i < HistBuckets; i++ {
+		bound := bucketBoundNS(i)
+		if got := bucketOf(bound); got != i {
+			t.Errorf("bucketOf(bound %d) = %d, want %d", bound, got, i)
+		}
+		next := i + 1
+		if next > HistBuckets {
+			next = HistBuckets
+		}
+		if got := bucketOf(bound + 1); got != next {
+			t.Errorf("bucketOf(bound %d + 1) = %d, want %d", bound, got, next)
+		}
+	}
+	if got := bucketOf(bucketBoundNS(HistBuckets-1) + 1); got != HistBuckets {
+		t.Errorf("overflow bucket: got %d, want %d", got, HistBuckets)
+	}
+	if got := bucketOf(int64(1) << 62); got != HistBuckets {
+		t.Errorf("huge value bucket: got %d, want %d", got, HistBuckets)
+	}
+}
+
+// TestConcurrentAgreesWithSerialOracle observes the same deterministic
+// value stream once from many goroutines and once serially; the two
+// histograms must be bit-identical (no lost counts under -race).
+func TestConcurrentAgreesWithSerialOracle(t *testing.T) {
+	const workers = 8
+	const perWorker = 10000
+	values := make([][]DurationNS, workers)
+	seed := uint64(0x9e3779b97f4a7c15)
+	for w := range values {
+		values[w] = make([]DurationNS, perWorker)
+		for i := range values[w] {
+			// xorshift: deterministic, spread across all buckets.
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			values[w][i] = DurationNS(seed % (1 << 35))
+		}
+	}
+
+	var concurrent Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(vs []DurationNS) {
+			defer wg.Done()
+			for _, v := range vs {
+				concurrent.Observe(v)
+			}
+		}(values[w])
+	}
+	wg.Wait()
+
+	var serial Histogram
+	for _, vs := range values {
+		for _, v := range vs {
+			serial.Observe(v)
+		}
+	}
+
+	got, want := concurrent.Snapshot(), serial.Snapshot()
+	if got != want {
+		t.Fatalf("concurrent snapshot diverges from serial oracle:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Count() != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got.Count(), workers*perWorker)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", q)
+	}
+	// 100 observations inside bucket 1 (1000, 2000]: the interpolated
+	// median sits at the bucket midpoint.
+	for i := 0; i < 100; i++ {
+		h.Observe(1500)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 1500 {
+		t.Fatalf("median = %d, want 1500", q)
+	}
+	if q := s.Quantile(1); q != 2000 {
+		t.Fatalf("p100 = %d, want bucket upper bound 2000", q)
+	}
+	// Overflow observations report the largest finite bound.
+	var o Histogram
+	o.Observe(DurationNS(bucketBoundNS(HistBuckets-1) + 1))
+	if q := o.Snapshot().Quantile(0.99); q != BucketBound(HistBuckets-1) {
+		t.Fatalf("overflow quantile = %d, want %d", q, BucketBound(HistBuckets-1))
+	}
+	if s.SumNS != 150000 {
+		t.Fatalf("sum = %d, want 150000", s.SumNS)
+	}
+}

@@ -1,0 +1,58 @@
+package telemetry
+
+import "sync"
+
+// TraceEntry is one completed request trace held in a TraceRing.
+type TraceEntry struct {
+	// ID increases by one per recorded trace (process lifetime).
+	ID int64 `json:"id"`
+	// Endpoint names the serving endpoint that produced the trace.
+	Endpoint string `json:"endpoint"`
+	// DurNS is the request's total wall time.
+	DurNS DurationNS `json:"dur_ns"`
+	// Root is the finished span tree.
+	Root *Span `json:"spans"`
+}
+
+// TraceRing is a fixed-capacity ring buffer of recent request traces.
+// Add overwrites the oldest entry once full; Entries returns a copy,
+// newest first. Safe for concurrent use.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []*TraceEntry
+	next int   // index of the slot Add writes next
+	id   int64 // last assigned ID
+}
+
+// NewTraceRing returns a ring holding up to n traces (n < 1 → 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]*TraceEntry, n)}
+}
+
+// Add records a trace, assigning its ID.
+func (r *TraceRing) Add(e *TraceEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.id++
+	e.ID = r.id
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Entries returns the held traces, newest first.
+func (r *TraceRing) Entries() []*TraceEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*TraceEntry, 0, len(r.buf))
+	for i := 1; i <= len(r.buf); i++ {
+		e := r.buf[(r.next-i+len(r.buf))%len(r.buf)]
+		if e == nil {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}

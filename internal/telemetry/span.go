@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Span is one timed node in a request's span tree. Name and nesting are
+// deterministic (they reflect the sequential structure of the pipeline,
+// not scheduling); DurNS is wall-clock and therefore not.
+type Span struct {
+	Name     string     `json:"name"`
+	DurNS    DurationNS `json:"dur_ns"`
+	Children []*Span    `json:"children,omitempty"`
+
+	rec   *Recorder
+	start Stopwatch
+	done  bool
+}
+
+// Recorder builds one span tree per request. It is nil-safe: every
+// method on a nil *Recorder is a no-op and Start returns a nil *Span
+// whose End is also a no-op — the untraced path allocates nothing
+// (pinned by an allocation guard). A Recorder is safe for use from the
+// single goroutine driving a request plus any code it calls
+// sequentially; the internal mutex additionally makes interleaved use
+// from helper goroutines memory-safe, though span order then follows
+// the interleaving.
+type Recorder struct {
+	mu   sync.Mutex
+	root *Span
+	open []*Span // stack of started-but-unfinished spans; open[0] == root
+}
+
+// NewRecorder starts a recorder whose root span is named rootName.
+func NewRecorder(rootName string) *Recorder {
+	r := &Recorder{}
+	r.root = &Span{Name: rootName, rec: r, start: StartTimer()}
+	r.open = append(r.open, r.root)
+	return r
+}
+
+// Start opens a child span under the innermost open span and returns
+// it. On a nil (or already finished) recorder it returns nil.
+func (r *Recorder) Start(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.open) == 0 {
+		return nil
+	}
+	parent := r.open[len(r.open)-1]
+	s := &Span{Name: name, rec: r, start: StartTimer()}
+	parent.Children = append(parent.Children, s)
+	r.open = append(r.open, s)
+	return s
+}
+
+// Event records an instantaneous (zero-duration) child span under the
+// innermost open span.
+func (r *Recorder) Event(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.open) == 0 {
+		return
+	}
+	parent := r.open[len(r.open)-1]
+	parent.Children = append(parent.Children, &Span{Name: name, done: true})
+}
+
+// End closes the span, ending any still-open descendants first (a span
+// cannot outlive its parent). Calling End twice, or on nil, is a no-op.
+func (s *Span) End() {
+	if s == nil || s.rec == nil {
+		return
+	}
+	r := s.rec
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.open) - 1; i >= 0; i-- {
+		if r.open[i] != s {
+			continue
+		}
+		for j := len(r.open) - 1; j >= i; j-- {
+			r.open[j].close()
+		}
+		r.open = r.open[:i]
+		return
+	}
+}
+
+// close marks the span finished; caller holds the recorder lock.
+func (s *Span) close() {
+	if !s.done {
+		s.DurNS = s.start.ElapsedNS()
+		s.done = true
+	}
+}
+
+// Finish ends every open span including the root and returns the
+// completed tree. Idempotent; returns nil on a nil recorder. After
+// Finish the tree is immutable and safe to publish (trace ring, JSON).
+func (r *Recorder) Finish() *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for j := len(r.open) - 1; j >= 0; j-- {
+		r.open[j].close()
+	}
+	r.open = r.open[:0]
+	return r.root
+}
+
+// SnapshotJSON renders the current span tree as compact JSON without
+// waiting for Finish; still-open spans report their elapsed time so
+// far. Returns nil on a nil recorder.
+func (r *Recorder) SnapshotJSON() []byte {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	appendSpanJSON(&b, r.root)
+	return []byte(b.String())
+}
+
+func appendSpanJSON(b *strings.Builder, s *Span) {
+	b.WriteString(`{"name":`)
+	b.WriteString(strconv.Quote(s.Name))
+	b.WriteString(`,"dur_ns":`)
+	ns := s.DurNS
+	if !s.done {
+		ns = s.start.ElapsedNS()
+	}
+	b.WriteString(strconv.FormatInt(int64(ns), 10))
+	if len(s.Children) > 0 {
+		b.WriteString(`,"children":[`)
+		for i, c := range s.Children {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			appendSpanJSON(b, c)
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte('}')
+}
+
+// Structure renders only the deterministic shape of the tree — names
+// and nesting, no durations — as "name(child1,child2(grandchild))".
+// Two runs of the same request must produce equal Structure strings at
+// any parallelism; the determinism tests pin this.
+func (s *Span) Structure() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	appendStructure(&b, s)
+	return b.String()
+}
+
+func appendStructure(b *strings.Builder, s *Span) {
+	b.WriteString(s.Name)
+	if len(s.Children) == 0 {
+		return
+	}
+	b.WriteByte('(')
+	for i, c := range s.Children {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		appendStructure(b, c)
+	}
+	b.WriteByte(')')
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"semacyclic/internal/testutil"
+)
+
+func TestSpanTree(t *testing.T) {
+	r := NewRecorder("request")
+	a := r.Start("decide")
+	b := r.Start("layer:core")
+	r.Event("cache:miss")
+	b.End()
+	c := r.Start("layer:complete")
+	c.End()
+	a.End()
+	root := r.Finish()
+
+	want := "request(decide(layer:core(cache:miss),layer:complete))"
+	if got := root.Structure(); got != want {
+		t.Fatalf("structure = %q, want %q", got, want)
+	}
+	if root.DurNS < a.DurNS || a.DurNS < b.DurNS {
+		t.Fatalf("parent durations must cover children: root=%d a=%d b=%d", root.DurNS, a.DurNS, b.DurNS)
+	}
+}
+
+func TestSpanEndClosesDanglingChildren(t *testing.T) {
+	r := NewRecorder("request")
+	outer := r.Start("outer")
+	r.Start("inner") // never explicitly ended
+	outer.End()      // must close inner too
+	s := r.Start("after")
+	s.End()
+	root := r.Finish()
+	if got := root.Structure(); got != "request(outer(inner),after)" {
+		t.Fatalf("structure = %q", got)
+	}
+	// Double End is a no-op.
+	outer.End()
+	if got := root.Structure(); got != "request(outer(inner),after)" {
+		t.Fatalf("structure after double End = %q", got)
+	}
+}
+
+func TestFinishIdempotentAndNilSafety(t *testing.T) {
+	var r *Recorder
+	sp := r.Start("x")
+	sp.End()
+	r.Event("y")
+	if r.Finish() != nil {
+		t.Fatal("nil recorder Finish must return nil")
+	}
+	if r.SnapshotJSON() != nil {
+		t.Fatal("nil recorder SnapshotJSON must return nil")
+	}
+	if sp.Structure() != "" {
+		t.Fatal("nil span Structure must be empty")
+	}
+
+	live := NewRecorder("request")
+	live.Start("a")
+	first := live.Finish()
+	second := live.Finish()
+	if first != second {
+		t.Fatal("Finish must be idempotent")
+	}
+	if live.Start("late") != nil {
+		t.Fatal("Start after Finish must return nil")
+	}
+}
+
+func TestSnapshotJSONIsValid(t *testing.T) {
+	r := NewRecorder("request")
+	sp := r.Start("decide")
+	sp.End()
+	raw := r.SnapshotJSON() // before Finish: open root reports elapsed
+	var got struct {
+		Name     string `json:"name"`
+		DurNS    int64  `json:"dur_ns"`
+		Children []struct {
+			Name string `json:"name"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("SnapshotJSON is not valid JSON: %v\n%s", err, raw)
+	}
+	if got.Name != "request" || len(got.Children) != 1 || got.Children[0].Name != "decide" {
+		t.Fatalf("unexpected tree: %s", raw)
+	}
+	// Finished trees marshal identically via encoding/json.
+	root := r.Finish()
+	std, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(std), `"name":"decide"`) {
+		t.Fatalf("std marshal missing child: %s", std)
+	}
+}
+
+// TestNilRecorderSpanHookAllocs pins the untraced span hook at zero
+// allocations: threading Trace through the pipeline must cost nothing
+// when no recorder is installed.
+func TestNilRecorderSpanHookAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := r.Start("layer:core")
+		r.Event("cache:miss")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-recorder span hook allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkNilRecorderSpanHook(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.Start("layer:core")
+		sp.End()
+	}
+}
+
+func BenchmarkSpanStartEnd(b *testing.B) {
+	r := NewRecorder("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.Start("layer:core")
+		sp.End()
+	}
+}

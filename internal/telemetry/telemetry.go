@@ -1,0 +1,52 @@
+// Package telemetry is the repository's wall-clock quarantine: the one
+// package allowed to call time.Now/time.Since (enforced statically by
+// semalint's nowalltime analyzer). Everything the rest of the system
+// knows about elapsed wall time flows through the types defined here —
+// Stopwatch for measuring, DurationNS for carrying, Histogram for
+// aggregating, and Recorder/Span for per-request timelines — so a
+// reviewer (or the linter) can audit every site where nondeterministic
+// timing enters the system by auditing this package's callers.
+//
+// Timing data is nondeterministic by construction and must never reach
+// a Result field or a DeterministicFingerprint; the statsclass analyzer
+// rejects any telemetry-derived field in an obs stats struct that is
+// not tagged sem:"nondet".
+//
+// The tracing hooks are nil-safe throughout: a nil *Recorder produces
+// nil *Spans whose methods are no-ops, and that path performs zero
+// allocations (pinned by an allocation guard in CI), so the pipeline
+// can thread trace points unconditionally without taxing untraced
+// decisions.
+package telemetry
+
+import "time"
+
+// DurationNS is an elapsed wall-clock duration in nanoseconds. It is a
+// distinct type (rather than int64 or time.Duration) so the statsclass
+// analyzer can recognize telemetry-derived fields structurally and
+// demand the sem:"nondet" classification.
+type DurationNS int64
+
+// Duration converts to the stdlib representation.
+func (d DurationNS) Duration() time.Duration { return time.Duration(d) }
+
+// Seconds converts to floating-point seconds (Prometheus convention).
+func (d DurationNS) Seconds() float64 { return float64(d) / 1e9 }
+
+// Millis converts to floating-point milliseconds.
+func (d DurationNS) Millis() float64 { return float64(d) / 1e6 }
+
+// Stopwatch marks a start instant. The zero value is usable but
+// anchored at the zero time; call StartTimer for a meaningful origin.
+type Stopwatch struct {
+	t time.Time
+}
+
+// StartTimer starts a stopwatch at the current instant.
+func StartTimer() Stopwatch { return Stopwatch{t: time.Now()} }
+
+// ElapsedNS returns the wall time elapsed since the stopwatch started.
+func (s Stopwatch) ElapsedNS() DurationNS { return DurationNS(time.Since(s.t).Nanoseconds()) }
+
+// Elapsed returns the elapsed time as a stdlib duration.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.t) }

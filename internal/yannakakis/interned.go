@@ -279,6 +279,7 @@ func (c *Compiled) Execute(db *instance.Instance, opt Options) ([][]term.Term, e
 		constID[i], constOK[i] = iv.Table.Lookup(t)
 	}
 
+	leafSp := opt.Trace.Start("yannakakis:leaves")
 	rels := make([]irel, len(c.nodes))
 	for i := range c.nodes {
 		r, err := loadLeaf(&c.nodes[i], iv, constID, constOK, st)
@@ -287,8 +288,10 @@ func (c *Compiled) Execute(db *instance.Instance, opt Options) ([][]term.Term, e
 		}
 		rels[i] = r
 	}
+	leafSp.End()
 
 	// Phase 1: bottom-up semijoin parent ⋉ child.
+	upSp := opt.Trace.Start("yannakakis:semijoin-up")
 	for _, i := range c.post {
 		if p := c.forest.Parent[i]; p >= 0 {
 			if err := st.semijoin(&rels[p], &rels[i], c.nodes[i].down.li, c.nodes[i].down.ri); err != nil {
@@ -296,7 +299,9 @@ func (c *Compiled) Execute(db *instance.Instance, opt Options) ([][]term.Term, e
 			}
 		}
 	}
+	upSp.End()
 	// Phase 2: top-down semijoin child ⋉ parent.
+	downSp := opt.Trace.Start("yannakakis:semijoin-down")
 	for k := len(c.post) - 1; k >= 0; k-- {
 		i := c.post[k]
 		if p := c.forest.Parent[i]; p >= 0 {
@@ -305,6 +310,7 @@ func (c *Compiled) Execute(db *instance.Instance, opt Options) ([][]term.Term, e
 			}
 		}
 	}
+	downSp.End()
 	// Any empty node after full reduction means no answers.
 	for i := range rels {
 		if rels[i].n == 0 {
@@ -313,6 +319,8 @@ func (c *Compiled) Execute(db *instance.Instance, opt Options) ([][]term.Term, e
 	}
 
 	// Phase 3: bottom-up join per tree, cross-product across trees.
+	joinSp := opt.Trace.Start("yannakakis:join")
+	defer joinSp.End()
 	result := irel{w: 0, n: 1} // one empty row: identity for ⨯
 	for ridx, r := range c.roots {
 		uv, err := c.joinUp(r, rels, st)

@@ -21,6 +21,7 @@ import (
 	"semacyclic/internal/hypergraph"
 	"semacyclic/internal/instance"
 	"semacyclic/internal/obs"
+	"semacyclic/internal/telemetry"
 	"semacyclic/internal/term"
 )
 
@@ -47,6 +48,11 @@ type Options struct {
 	// (rows scanned, index hits, semijoin reductions). Collection never
 	// influences the answers.
 	Stats *obs.EvalStats
+	// Trace, when non-nil, records one span per Execute phase (leaf
+	// loading, the two semijoin passes, the join). The phases run
+	// sequentially, so the span structure is deterministic; nil is free
+	// (the hooks are no-ops that allocate nothing).
+	Trace *telemetry.Recorder
 }
 
 // cancelCheckRows is the row granularity of cancellation polls inside

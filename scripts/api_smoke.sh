@@ -88,6 +88,37 @@ ans2=$(grep -o '"answers":\[[^]]*\]\]' <<<"$e2" || true)
 echo "-- evaluate errors: bad method 400"
 request POST /evaluate 400 '{"query":"q :- E(x,y).","instance":"musicstore","method":"bogus"}' >/dev/null
 
+echo "-- metrics (Prometheus text format)"
+# Request/cache metrics are observed after the response is written, so
+# give the post-handler hook a moment to land before scraping.
+metrics=""
+for _ in $(seq 1 50); do
+    metrics=$(request GET /metrics 200)
+    [[ "$metrics" == *'semacycd_request_duration_seconds_bucket{endpoint="/decide"'* ]] && break
+    sleep 0.1
+done
+expect_contains "$metrics" '# TYPE semacycd_request_duration_seconds histogram' metrics
+expect_contains "$metrics" 'semacycd_request_duration_seconds_bucket{endpoint="/decide",le="+Inf"}' metrics
+expect_contains "$metrics" 'semacycd_decision_layer_duration_seconds_bucket' metrics
+expect_contains "$metrics" 'semacycd_cache_hits_total{cache="decision"}' metrics
+expect_contains "$metrics" 'semacycd_cache_misses_total{cache="decision"}' metrics
+expect_contains "$metrics" 'semacycd_cache_evictions_total{cache="decision"}' metrics
+expect_contains "$metrics" 'server_requests_total' metrics
+
+echo "-- trace header echo (opt-in, body unchanged)"
+traced=$(curl -s -D /tmp/smoke_headers.$$ -H 'X-Semacycd-Trace: 1' \
+    -X POST "$BASE/decide" -d "$DECIDE_BODY")
+trace_hdr=$(grep -i '^X-Semacycd-Trace:' /tmp/smoke_headers.$$ || true)
+rm -f /tmp/smoke_headers.$$
+expect_contains "$trace_hdr" 'request:/decide' trace-header
+[[ "$traced" == "$first" ]] || fail "trace header changed the response body"
+plain_hdr=$(curl -s -D - -o /dev/null -X POST "$BASE/decide" -d "$DECIDE_BODY" \
+    | grep -ci '^X-Semacycd-Trace:' || true)
+[[ "$plain_hdr" == "0" ]] || fail "trace header echoed without opt-in"
+
+echo "-- debug traces ring"
+expect_contains "$(request GET /debug/traces 200)" '"traces":' debug-traces
+
 echo "-- expvar counters"
 vars=$(request GET /debug/vars 200)
 expect_contains "$vars" '"server.evaluations"' expvar

@@ -38,9 +38,11 @@ go test -race -shuffle=on ./...
 
 echo "== allocation guards (no race: counts must be exact) =="
 # The interned hot path promises 0 allocs/op on its probe operations
-# (candidate pre-filter, semijoin membership, index range). The guards
-# skip themselves under -race, so run them once without it.
-go test -count=1 -run 'TestAllocs' ./internal/hom/ ./internal/yannakakis/ ./internal/instance/
+# (candidate pre-filter, semijoin membership, index range), and the
+# telemetry nil-recorder span hook promises 0 allocs/op so untraced
+# requests pay nothing. The guards skip themselves under -race, so run
+# them once without it.
+go test -count=1 -run 'Allocs' ./internal/hom/ ./internal/yannakakis/ ./internal/instance/ ./internal/telemetry/
 
 echo "== cancellation & server gate (race) =="
 # The semacycd service package and the per-layer cancellation tests are
