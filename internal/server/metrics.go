@@ -160,6 +160,14 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	}
 }
 
+// traceHeaderMaxBytes bounds the echoed trace header. A /decide/batch
+// with many items grows the span tree linearly, and proxies / HTTP2
+// peers reject oversized header blocks (8 KB is under the common 16 KB
+// SETTINGS_MAX_HEADER_LIST_SIZE default), so past the cap the echo
+// degrades to the deterministic structure string; the full tree is
+// still available from /debug/traces.
+const traceHeaderMaxBytes = 8 << 10
+
 // traceEchoWriter injects the span-tree snapshot into the response
 // headers at first write, when the spans recorded so far (the whole
 // handler's work) are in the tree but the headers are still open.
@@ -172,8 +180,26 @@ type traceEchoWriter struct {
 func (t *traceEchoWriter) setTrace() {
 	if !t.wrote {
 		t.wrote = true
-		t.Header().Set(traceHeaderName, string(t.rec.SnapshotJSON()))
+		t.Header().Set(traceHeaderName, traceHeaderValue(t.rec))
 	}
+}
+
+// traceHeaderValue renders the span tree for the echo header, capped at
+// traceHeaderMaxBytes: full JSON when it fits, otherwise a stub around
+// the durations-free structure string, itself hard-truncated so the
+// header is bounded no matter the batch size.
+func traceHeaderValue(rec *telemetry.Recorder) string {
+	v := rec.SnapshotJSON()
+	if len(v) <= traceHeaderMaxBytes {
+		return string(v)
+	}
+	s := rec.SnapshotStructure()
+	const slack = 64 // stub framing + worst-case quote escaping headroom
+	if len(s) > traceHeaderMaxBytes-slack {
+		s = s[:traceHeaderMaxBytes-slack] + "..."
+	}
+	stub, _ := json.Marshal(map[string]any{"truncated": true, "structure": s})
+	return string(stub)
 }
 
 func (t *traceEchoWriter) WriteHeader(code int) {
@@ -184,6 +210,16 @@ func (t *traceEchoWriter) WriteHeader(code int) {
 func (t *traceEchoWriter) Write(b []byte) (int, error) {
 	t.setTrace()
 	return t.ResponseWriter.Write(b)
+}
+
+// Flush forwards http.Flusher so a traced request keeps the streaming
+// capability an untraced one has; the trace header is set first since a
+// flush commits the header block.
+func (t *traceEchoWriter) Flush() {
+	t.setTrace()
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // serveMetrics renders the registry in Prometheus text exposition

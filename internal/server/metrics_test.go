@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"semacyclic/internal/telemetry"
 )
 
 // fetch GETs a path and returns the body.
@@ -134,6 +136,34 @@ func TestTraceHeaderEcho(t *testing.T) {
 	}
 	if !bytes.Equal(plain, buf.Bytes()) {
 		t.Fatalf("traced body differs from untraced:\n plain  %s\n traced %s", plain, buf.Bytes())
+	}
+}
+
+// The trace echo header is bounded: a span tree whose JSON exceeds
+// traceHeaderMaxBytes (e.g. a large /decide/batch) degrades to a
+// truncated-structure stub instead of an arbitrarily large header that
+// proxies or HTTP2 header limits would reject.
+func TestTraceHeaderCapped(t *testing.T) {
+	rec := telemetry.NewRecorder("request:/decide/batch")
+	for i := 0; i < 2000; i++ {
+		rec.Event("item:decide")
+	}
+	v := traceHeaderValue(rec)
+	if len(v) > traceHeaderMaxBytes {
+		t.Fatalf("capped header is %d bytes, exceeds cap %d", len(v), traceHeaderMaxBytes)
+	}
+	if !json.Valid([]byte(v)) {
+		t.Fatalf("capped header is not valid JSON: %.120s", v)
+	}
+	if !strings.Contains(v, `"truncated":true`) {
+		t.Fatalf("expected truncation stub, got: %.120s", v)
+	}
+
+	small := telemetry.NewRecorder("request:/decide")
+	small.Event("cache:decision")
+	sv := traceHeaderValue(small)
+	if strings.Contains(sv, `"truncated"`) || !json.Valid([]byte(sv)) {
+		t.Fatalf("small tree should echo full JSON: %s", sv)
 	}
 }
 

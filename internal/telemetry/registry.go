@@ -150,33 +150,44 @@ func (r *Registry) GaugeFunc(name, help, labels string, fn func() int64) {
 	f.series[labels] = &series{labels: labels, fn: fn}
 }
 
+// familySnapshot is a scrape-time copy of one family: name/help/kind
+// plus the series pointers sorted by label key. The registry's series
+// maps are mutated under r.mu by lazy registration (Histogram et al.),
+// so the snapshot must be taken under the lock; the *series values
+// themselves are immutable after creation and their reads (histogram
+// buckets, gauge loads) are atomic, so rendering from the copy needs no
+// lock.
+type familySnapshot struct {
+	name, help, kind string
+	series           []*series
+}
+
 // WritePrometheus renders every family in Prometheus text exposition
 // format (version 0.0.4). Families and series are emitted in sorted
 // order so the output layout is deterministic given equal counters.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
-	names := make([]string, 0, len(r.families))
-	for n := range r.families {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	fams := make([]*family, len(names))
-	for i, n := range names {
-		fams[i] = r.families[n]
-	}
-	r.mu.Unlock()
-
-	var b strings.Builder
-	for _, f := range fams {
-		b.Reset()
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+	fams := make([]familySnapshot, 0, len(r.families))
+	for _, f := range r.families {
 		keys := make([]string, 0, len(f.series))
 		for k := range f.series {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		for _, k := range keys {
-			s := f.series[k]
+		ss := make([]*series, len(keys))
+		for i, k := range keys {
+			ss[i] = f.series[k]
+		}
+		fams = append(fams, familySnapshot{name: f.name, help: f.help, kind: f.kind, series: ss})
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		for _, s := range f.series {
 			switch {
 			case s.hist != nil:
 				writeHistogram(&b, f.name, s.labels, s.hist.Snapshot())

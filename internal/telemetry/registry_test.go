@@ -1,7 +1,10 @@
 package telemetry
 
 import (
+	"io"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -81,6 +84,49 @@ func TestRegistryReuseAndLabels(t *testing.T) {
 	if Labels() != "" {
 		t.Fatal("empty Labels must render empty")
 	}
+}
+
+// TestConcurrentScrapeAndRegister pins the fix for a fatal concurrent
+// map read/write: layer and eval-method series register lazily at
+// request time, so a scrape iterating a family's series map while a
+// first-time registration inserts into it crashed the process. The
+// scrape must render from a snapshot taken under the registry lock.
+// Run with -race.
+func TestConcurrentScrapeAndRegister(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if i == 0 {
+				close(started)
+			}
+			// Bounded label space keeps scrapes cheap; CounterFunc
+			// re-assigns its key every iteration, so the family maps
+			// are written for the whole lifetime of the scrape loop.
+			ls := Labels("k", strconv.Itoa(i%256))
+			v := int64(i)
+			r.Histogram("race_hist_seconds", "h", ls).Observe(DurationNS(i))
+			r.Gauge("race_gauge", "g", ls).Set(v)
+			r.CounterFunc("race_counter_total", "c", ls, func() int64 { return v })
+		}
+	}()
+	<-started
+	for i := 0; i < 200; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
 }
 
 func TestRingBuffer(t *testing.T) {

@@ -155,6 +155,18 @@ func appendSpanJSON(b *strings.Builder, s *Span) {
 	b.WriteByte('}')
 }
 
+// SnapshotStructure renders the deterministic structure string of the
+// current tree (see Span.Structure) without waiting for Finish.
+// Returns "" on a nil recorder.
+func (r *Recorder) SnapshotStructure() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.root.Structure()
+}
+
 // Structure renders only the deterministic shape of the tree — names
 // and nesting, no durations — as "name(child1,child2(grandchild))".
 // Two runs of the same request must produce equal Structure strings at
