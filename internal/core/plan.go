@@ -334,10 +334,17 @@ func egdGameAnswers(q *cq.CQ, pattern []instance.Atom, frozen []term.Term, db *i
 // candidateValues collects, per free position, the database values
 // occurring at a (predicate, position) where the frozen head term
 // occurs in the pattern — the output-bounded candidate domains the
-// egd-game enumeration ranges over.
+// egd-game enumeration ranges over. A head coordinate the egd chase
+// equated with a genuine constant is semantically forced to that
+// constant on every Σ-satisfying database, so its domain is that
+// single value (the game check would reject anything else anyway).
 func candidateValues(q *cq.CQ, pattern []instance.Atom, frozen []term.Term, db *instance.Instance) [][]term.Term {
 	cand := make([][]term.Term, len(q.Free))
 	for i, f := range frozen {
+		if f.IsConst() && !cq.IsFrozenConst(f) {
+			cand[i] = []term.Term{f}
+			continue
+		}
 		seen := make(map[term.Term]bool)
 		for _, a := range pattern {
 			for p, t := range a.Args {

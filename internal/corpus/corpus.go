@@ -1,0 +1,203 @@
+// Package corpus loads and runs the data-driven torture corpus under
+// testdata/corpus: JSON cases, auto-discovered by walking three tier
+// directories, that freeze parser regressions, pin differential
+// evaluation results across every applicable method, and lock error
+// messages the tooling relies on.
+//
+// Layout (relative to the corpus root):
+//
+//	parse/*.json  — parser torture: an input for one of the three
+//	                parsers (cq, deps, instance) that must either fail
+//	                with a stable message (want_error) or parse and
+//	                round-trip through its canonical rendering;
+//	eval/*.json   — a (query, deps, database) triple with the expected
+//	                decision verdict and the canonical answer matrix
+//	                every applicable method must return;
+//	error/*.json  — input that must fail at a named stage (query, deps,
+//	                database, or compile) with a stable message.
+//
+// Unknown JSON fields are rejected, so a typo in a case file is a test
+// failure, not silently ignored data. New cases are picked up by the
+// root-level TestCorpus without any code change; gen.EmitEvalCase
+// renders a failing fuzz triple in exactly this format.
+package corpus
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Tiers lists the corpus tier directories in run order.
+var Tiers = []string{"parse", "eval", "error"}
+
+// Case is one corpus case. Which fields are meaningful depends on the
+// tier (the directory the file lives in); Load validates per tier.
+type Case struct {
+	// Name is "<tier>/<filename>" and Tier the directory; both are
+	// derived from the path, not stored in the file.
+	Name string `json:"-"`
+	Tier string `json:"-"`
+
+	// Parse tier: Parser names the target ("cq", "deps" or
+	// "instance"); Input is the source text, or InputBase64 the raw
+	// bytes when the input is deliberately not valid UTF-8 (JSON
+	// strings cannot carry those). WantError, when set, is a substring
+	// the parse error must contain; when empty the input must parse,
+	// and Canonical, when set, is the expected canonical rendering
+	// (String for cq/deps, Dump for instance), which must also
+	// re-parse to the same rendering.
+	Parser      string `json:"parser,omitempty"`
+	Input       string `json:"input,omitempty"`
+	InputBase64 string `json:"input_base64,omitempty"`
+	WantError   string `json:"want_error,omitempty"`
+	Canonical   string `json:"canonical,omitempty"`
+
+	// Eval tier: the triple in source syntax (Deps may be empty for
+	// Σ = ∅), the expected Decide verdict ("yes", "no", "unknown")
+	// and the canonical answer matrix ([[]] is the Boolean true, []
+	// the empty result). Every applicable method must reproduce
+	// Answers exactly; a Boolean "no"/"unknown" case still runs the
+	// generic arm.
+	Query    string     `json:"query,omitempty"`
+	Deps     string     `json:"deps,omitempty"`
+	Database string     `json:"database,omitempty"`
+	Verdict  string     `json:"verdict,omitempty"`
+	Answers  [][]string `json:"answers,omitempty"`
+
+	// Error tier: Stage names the step that must fail ("query",
+	// "deps", "database" — parse failures of the respective field — or
+	// "compile", where CompilePlan for Method must refuse); WantError
+	// is the required message substring.
+	Stage  string `json:"stage,omitempty"`
+	Method string `json:"method,omitempty"`
+
+	// Note is free-form documentation of what the case freezes.
+	Note string `json:"note,omitempty"`
+}
+
+// Bytes returns the parse-tier input bytes, decoding InputBase64 when
+// present.
+func (c *Case) Bytes() ([]byte, error) {
+	if c.InputBase64 != "" {
+		raw, err := base64.StdEncoding.DecodeString(c.InputBase64)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %s: decoding input_base64: %w", c.Name, err)
+		}
+		return raw, nil
+	}
+	return []byte(c.Input), nil
+}
+
+// Load walks the tier directories under root, decodes every .json file
+// (unknown fields are errors) and validates tier-specific invariants.
+// Cases come back sorted by tier order then filename, so runs are
+// deterministic. A missing tier directory is an error: the corpus
+// always ships all three tiers.
+func Load(root string) ([]*Case, error) {
+	var out []*Case
+	for _, tier := range Tiers {
+		dir := filepath.Join(root, tier)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: reading tier %s: %w", tier, err)
+		}
+		for _, e := range entries { // ReadDir sorts by name
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			buf, err := os.ReadFile(path)
+			if err != nil {
+				return nil, fmt.Errorf("corpus: %w", err)
+			}
+			c := &Case{Name: tier + "/" + e.Name(), Tier: tier}
+			dec := json.NewDecoder(strings.NewReader(string(buf)))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(c); err != nil {
+				return nil, fmt.Errorf("corpus: %s: %w", c.Name, err)
+			}
+			if err := c.validate(); err != nil {
+				return nil, err
+			}
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("corpus: no cases under %s", root)
+	}
+	return out, nil
+}
+
+func (c *Case) validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("corpus: %s: %s", c.Name, fmt.Sprintf(format, args...))
+	}
+	switch c.Tier {
+	case "parse":
+		switch c.Parser {
+		case "cq", "deps", "instance":
+		default:
+			return bad("parser must be cq, deps or instance, got %q", c.Parser)
+		}
+		if c.Input == "" && c.InputBase64 == "" {
+			return bad("one of input or input_base64 is required")
+		}
+		if c.Input != "" && c.InputBase64 != "" {
+			return bad("input and input_base64 are mutually exclusive")
+		}
+		if c.WantError != "" && c.Canonical != "" {
+			return bad("want_error and canonical are mutually exclusive")
+		}
+		if _, err := c.Bytes(); err != nil {
+			return err
+		}
+	case "eval":
+		if c.Query == "" {
+			return bad("query is required")
+		}
+		if c.Database == "" {
+			return bad("database is required")
+		}
+		switch c.Verdict {
+		case "yes", "no", "unknown":
+		default:
+			return bad("verdict must be yes, no or unknown, got %q", c.Verdict)
+		}
+		if c.Answers == nil {
+			return bad("answers is required (use [] for empty, [[]] for Boolean true)")
+		}
+	case "error":
+		switch c.Stage {
+		case "query", "deps", "database", "compile":
+		default:
+			return bad("stage must be query, deps, database or compile, got %q", c.Stage)
+		}
+		if c.WantError == "" {
+			return bad("want_error is required")
+		}
+		if c.Stage == "compile" && c.Method == "" {
+			return bad("compile-stage cases must name the method")
+		}
+		switch c.Stage {
+		case "query", "compile":
+			if c.Query == "" {
+				return bad("query is required")
+			}
+		case "deps":
+			if c.Deps == "" {
+				return bad("deps is required")
+			}
+		case "database":
+			if c.Database == "" {
+				return bad("database is required")
+			}
+		}
+	default:
+		return bad("unknown tier")
+	}
+	return nil
+}

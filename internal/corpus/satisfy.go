@@ -1,0 +1,33 @@
+package corpus
+
+import (
+	"fmt"
+
+	"semacyclic/internal/chase"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// SatisfyingDB chases db with Σ under the given step budget and
+// renames every labelled null of the result to a fresh constant
+// ("k_<null>"): the renaming is an isomorphism onto a null-free
+// instance, so a complete chase yields a database satisfying Σ. When
+// the budget truncates the chase (the guarded chase need not
+// terminate) the returned instance may not satisfy Σ — callers gate on
+// chase.Satisfies, as the differential driver does. An egd clash of
+// rigid constants is returned as an error.
+//
+// This lives here rather than in internal/gen because it needs the
+// chase, and the chase's own tests draw workloads from gen.
+func SatisfyingDB(db *instance.Instance, set *deps.Set, maxSteps int) (*instance.Instance, error) {
+	res, err := chase.Run(db, set, chase.Options{MaxSteps: maxSteps, MaxDepth: 4})
+	if err != nil {
+		return nil, fmt.Errorf("corpus: chasing database: %w", err)
+	}
+	out := res.Instance
+	for _, n := range out.Nulls() {
+		out.ReplaceTerm(n, term.Const("k_"+n.Name))
+	}
+	return out, nil
+}

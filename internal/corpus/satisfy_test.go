@@ -1,0 +1,26 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+
+	"semacyclic/internal/chase"
+	"semacyclic/internal/gen"
+)
+
+func TestSatisfyingDB(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, class := range []string{"inclusion", "nonrecursive", "keys"} {
+		_, set, db := gen.RandomWorkload(r, class, 2, 3, 8, 4)
+		sat, err := SatisfyingDB(db, set, 4000)
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if len(sat.Nulls()) != 0 {
+			t.Fatalf("%s: nulls survived renaming: %v", class, sat.Nulls())
+		}
+		if !chase.Satisfies(sat, set) {
+			t.Errorf("%s: chased+renamed database does not satisfy Σ", class)
+		}
+	}
+}

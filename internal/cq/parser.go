@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"semacyclic/internal/instance"
+	"semacyclic/internal/scan"
 	"semacyclic/internal/term"
 )
 
@@ -17,6 +19,9 @@ import (
 // strings and bare numbers are constants. The head argument list and
 // the trailing period are optional (a bare head means a Boolean query).
 func Parse(input string) (*CQ, error) {
+	if err := scan.CheckUTF8(input); err != nil {
+		return nil, fmt.Errorf("cq: %w", err)
+	}
 	p := &parser{src: input}
 	q, err := p.parseRule()
 	if err != nil {
@@ -74,10 +79,10 @@ func (p *parser) peek() byte {
 	return p.src[p.pos]
 }
 
+// skipSpace and ident are rune-aware (via internal/scan): byte-wise
+// unicode checks used to split multi-byte UTF-8 identifiers mid-rune.
 func (p *parser) skipSpace() {
-	for !p.eof() && unicode.IsSpace(rune(p.src[p.pos])) {
-		p.pos++
-	}
+	p.pos = scan.SkipSpace(p.src, p.pos)
 }
 
 func (p *parser) expect(tok string) error {
@@ -89,24 +94,23 @@ func (p *parser) expect(tok string) error {
 	return nil
 }
 
-func isIdentStart(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c))
-}
-
-func isIdentRune(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
-}
-
 func (p *parser) ident() (string, error) {
 	p.skipSpace()
-	start := p.pos
-	if p.eof() || !isIdentStart(p.peek()) {
+	id, end, ok := scan.Ident(p.src, p.pos)
+	if !ok {
 		return "", p.errf("expected identifier")
 	}
-	for !p.eof() && isIdentRune(p.peek()) {
-		p.pos++
+	p.pos = end
+	return id, nil
+}
+
+// peekRune decodes the rune at the cursor (0 at EOF).
+func (p *parser) peekRune() rune {
+	if p.eof() {
+		return 0
 	}
-	return p.src[start:p.pos], nil
+	r, _ := utf8.DecodeRuneInString(p.src[p.pos:])
+	return r
 }
 
 // parseTerm reads one argument: a quoted or numeric constant, or a
@@ -126,12 +130,10 @@ func (p *parser) parseTerm() (term.Term, error) {
 		name := p.src[start:p.pos]
 		p.pos++
 		return term.Const(name), nil
-	case !p.eof() && unicode.IsDigit(rune(p.peek())):
-		start := p.pos
-		for !p.eof() && unicode.IsDigit(rune(p.peek())) {
-			p.pos++
-		}
-		return term.Const(p.src[start:p.pos]), nil
+	case unicode.IsDigit(p.peekRune()):
+		lit, end, _ := scan.Digits(p.src, p.pos)
+		p.pos = end
+		return term.Const(lit), nil
 	default:
 		name, err := p.ident()
 		if err != nil {

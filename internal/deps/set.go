@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"semacyclic/internal/instance"
+	"semacyclic/internal/scan"
 	"semacyclic/internal/schema"
 	"semacyclic/internal/term"
 )
@@ -152,6 +154,9 @@ func MustParse(input string) *Set {
 }
 
 func parseLine(out *Set, line string) error {
+	if err := scan.CheckUTF8(line); err != nil {
+		return fmt.Errorf("deps: %w", err)
+	}
 	p := &depParser{src: line}
 	body, err := p.atomList()
 	if err != nil {
@@ -207,10 +212,10 @@ func (p *depParser) peek() byte {
 	return p.src[p.pos]
 }
 
+// skipSpace and ident are rune-aware (via internal/scan): byte-wise
+// unicode checks used to split multi-byte UTF-8 identifiers mid-rune.
 func (p *depParser) skipSpace() {
-	for !p.eof() && unicode.IsSpace(rune(p.src[p.pos])) {
-		p.pos++
-	}
+	p.pos = scan.SkipSpace(p.src, p.pos)
 }
 
 func (p *depParser) expect(tok string) error {
@@ -224,14 +229,21 @@ func (p *depParser) expect(tok string) error {
 
 func (p *depParser) ident() (string, error) {
 	p.skipSpace()
-	start := p.pos
-	if p.eof() || !(p.peek() == '_' || unicode.IsLetter(rune(p.peek()))) {
+	id, end, ok := scan.Ident(p.src, p.pos)
+	if !ok {
 		return "", p.errf("expected identifier")
 	}
-	for !p.eof() && (p.peek() == '_' || unicode.IsLetter(rune(p.peek())) || unicode.IsDigit(rune(p.peek()))) {
-		p.pos++
+	p.pos = end
+	return id, nil
+}
+
+// peekRune decodes the rune at the cursor (0 at EOF).
+func (p *depParser) peekRune() rune {
+	if p.eof() {
+		return 0
 	}
-	return p.src[start:p.pos], nil
+	r, _ := utf8.DecodeRuneInString(p.src[p.pos:])
+	return r
 }
 
 func (p *depParser) parseTerm() (term.Term, error) {
@@ -249,12 +261,10 @@ func (p *depParser) parseTerm() (term.Term, error) {
 		name := p.src[start:p.pos]
 		p.pos++
 		return term.Const(name), nil
-	case !p.eof() && unicode.IsDigit(rune(p.peek())):
-		start := p.pos
-		for !p.eof() && unicode.IsDigit(rune(p.peek())) {
-			p.pos++
-		}
-		return term.Const(p.src[start:p.pos]), nil
+	case unicode.IsDigit(p.peekRune()):
+		lit, end, _ := scan.Digits(p.src, p.pos)
+		p.pos = end
+		return term.Const(lit), nil
 	default:
 		name, err := p.ident()
 		if err != nil {

@@ -82,6 +82,18 @@ func CoversOpt(pattern []instance.Atom, ptuple []term.Term, target *instance.Ins
 	// pin maps pinned pattern elements to their required images.
 	pin := make(map[term.Term]term.Term, len(ptuple))
 	for i, p := range ptuple {
+		if !flexibleElem(p) {
+			// A rigid constant is its own only image (imageOf enforces
+			// identity on rigid pattern arguments, bypassing pins), so a
+			// pin sending it anywhere else is a spoiler win outright.
+			// Arises when an egd chase equates a head coordinate with a
+			// query constant: the pinned tuple then carries that
+			// constant, and t̄ must repeat it exactly.
+			if p != ttuple[i] {
+				return false, nil
+			}
+			continue
+		}
 		if got, ok := pin[p]; ok {
 			if got != ttuple[i] {
 				return false, nil // t̄ repeats an element that t̄' does not

@@ -75,6 +75,22 @@ func TestGameRespectsRepeatedTupleElements(t *testing.T) {
 	}
 }
 
+func TestGameRigidConstantPin(t *testing.T) {
+	// A rigid constant in the pinned tuple can only be its own image:
+	// this arises when an egd chase equates a head coordinate with a
+	// query constant and the caller pins the merged (constant) term.
+	// Found by FuzzMethodAgreement (seed egd-pinned-head-coordinate).
+	db := instance.MustFromAtoms(edge("a", "a"), edge("b", "a"))
+	pattern := []instance.Atom{edge("a", "a")}
+	pinned := []term.Term{term.Const("a")}
+	if !Covers(pattern, pinned, db, []term.Term{term.Const("a")}) {
+		t.Error("identity pin on a rigid constant rejected")
+	}
+	if Covers(pattern, pinned, db, []term.Term{term.Const("b")}) {
+		t.Error("pin mapped a rigid constant to a different element")
+	}
+}
+
 func TestGameArityMismatch(t *testing.T) {
 	db := instance.MustFromAtoms(edge("a", "b"))
 	q := cq.MustParse("q(x) :- E(x,y).")

@@ -1,0 +1,273 @@
+package gen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// This file feeds the torture corpus (testdata/corpus) and the
+// FuzzMethodAgreement harness: coherent random (q, Σ, D) workloads per
+// dependency class, a chase-based builder of Σ-satisfying databases, a
+// greedy shrinker for failing triples, and JSON emission in the corpus
+// eval-case format so a minimized failure can be frozen verbatim.
+
+// WorkloadClasses enumerates the dependency classes RandomWorkload
+// generates, in the order the fuzz harness indexes them.
+var WorkloadClasses = []string{"none", "inclusion", "guarded", "sticky", "nonrecursive", "keys"}
+
+// RandomWorkload returns a coherent random triple (query, Σ, database)
+// for the named class: the dependency set comes from the matching
+// Random* generator, and the query and database range over that
+// generator's predicate family, so the chase and the evaluation
+// methods actually interact instead of passing each other by. Queries
+// are mostly tree-shaped with an occasional cyclic one, carry up to
+// two free variables, and sometimes pin a constant. Unknown class
+// names fall back to "none" (no dependencies).
+func RandomWorkload(r *rand.Rand, class string, nDeps, qAtoms, dbAtoms, domain int) (*cq.CQ, *deps.Set, *instance.Instance) {
+	if nDeps < 1 {
+		nDeps = 1
+	}
+	if dbAtoms < 1 {
+		dbAtoms = 1
+	}
+	var (
+		set     *deps.Set
+		qPreds  []string // binary predicates the query draws from
+		dbExtra func(db *instance.Instance)
+		keyed   bool // first argument unique per predicate (egd-safe)
+	)
+	cst := func() term.Term { return term.Const(fmt.Sprintf("c%d", r.Intn(max(domain, 1)))) }
+	switch class {
+	case "inclusion":
+		set = RandomInclusionDeps(r, nDeps, 2)
+		qPreds = []string{"E0", "E1"}
+	case "guarded":
+		set = RandomGuarded(r, nDeps, 2)
+		qPreds = []string{"E0", "E1"}
+		dbExtra = func(db *instance.Instance) {
+			for i := 0; i < dbAtoms/2+1; i++ {
+				db.Add(instance.NewAtom(fmt.Sprintf("G%d", r.Intn(2)), cst(), cst(), cst()))
+			}
+		}
+	case "sticky":
+		set = RandomSticky(r, nDeps, 2)
+		qPreds = []string{"S0", "S1"}
+		dbExtra = func(db *instance.Instance) {
+			for i := 0; i < dbAtoms/3+1; i++ {
+				db.Add(instance.NewAtom(fmt.Sprintf("US%d", r.Intn(2)), cst()))
+			}
+		}
+	case "nonrecursive":
+		set = RandomNonRecursive(r, nDeps)
+		qPreds = []string{"L0", "L1"}
+	case "keys":
+		set = RandomKeys2(r, nDeps, 2)
+		qPreds = []string{"E0", "E1"}
+		keyed = true // unique key positions keep the egd chase clash-free
+	default:
+		set = &deps.Set{}
+		qPreds = []string{"E0"}
+	}
+	q := randomEvalCQ(r, qAtoms, qPreds, domain)
+	db := instance.New()
+	for i := 0; i < dbAtoms; i++ {
+		first := cst()
+		if keyed {
+			first = term.Const(fmt.Sprintf("c%d", i))
+		}
+		db.Add(instance.NewAtom(qPreds[r.Intn(len(qPreds))], first, cst()))
+	}
+	if dbExtra != nil {
+		dbExtra(db)
+	}
+	return q, set, db
+}
+
+// randomEvalCQ builds a query for differential evaluation: mostly
+// tree-shaped (so the acyclicity layers have something to find) with
+// an occasional arbitrary shape, up to two free variables, and with
+// one variable pinned to a constant about a third of the time.
+func randomEvalCQ(r *rand.Rand, qAtoms int, preds []string, domain int) *cq.CQ {
+	var base *cq.CQ
+	if r.Intn(4) > 0 {
+		base = RandomAcyclicCQ(r, qAtoms, preds)
+	} else {
+		base = RandomCQ(r, qAtoms, qAtoms+1, preds)
+	}
+	atoms := make([]instance.Atom, len(base.Atoms))
+	for i, a := range base.Atoms {
+		atoms[i] = a.Clone()
+	}
+	vars := atomVars(atoms)
+	if r.Intn(3) == 0 && len(vars) > 1 {
+		pin := vars[r.Intn(len(vars))]
+		c := term.Const(fmt.Sprintf("c%d", r.Intn(max(domain, 1))))
+		for i := range atoms {
+			for j := range atoms[i].Args {
+				if atoms[i].Args[j] == pin {
+					atoms[i].Args[j] = c
+				}
+			}
+		}
+		vars = atomVars(atoms)
+	}
+	var free []term.Term
+	if n := r.Intn(3); n > 0 && len(vars) > 0 { // 0 free (Boolean) a third of the time
+		for i := 0; i < n && i < len(vars); i++ {
+			free = append(free, vars[i])
+		}
+	}
+	q, err := cq.New(free, atoms)
+	if err != nil {
+		// Pinning emptied an atom family in a way New rejects; fall
+		// back to the Boolean base query, which is always valid.
+		return base
+	}
+	return q
+}
+
+// atomVars returns the distinct variables of the atoms in first-seen
+// order.
+func atomVars(atoms []instance.Atom) []term.Term {
+	seen := make(map[term.Term]bool)
+	var out []term.Term
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if t.IsVar() && !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// Minimize greedily shrinks a failing (q, Σ, D) triple: it repeatedly
+// tries dropping one database atom, one dependency, or one query atom,
+// keeping any removal under which fails still reports true, until a
+// fixpoint. The database is kept non-empty and the query valid (cq.New
+// must accept it), so the result can always be emitted as a corpus
+// case. fails must be a pure predicate of its arguments.
+func Minimize(q *cq.CQ, set *deps.Set, db *instance.Instance,
+	fails func(*cq.CQ, *deps.Set, *instance.Instance) bool) (*cq.CQ, *deps.Set, *instance.Instance) {
+	for progress := true; progress; {
+		progress = false
+		for _, a := range db.Atoms() {
+			if db.Len() == 1 {
+				break
+			}
+			trial := db.Clone()
+			trial.Remove(a)
+			if fails(q, set, trial) {
+				db = trial
+				progress = true
+			}
+		}
+		for i := 0; i < len(set.TGDs); i++ {
+			trial := &deps.Set{TGDs: dropIndexTGD(set.TGDs, i), EGDs: set.EGDs}
+			if fails(q, trial, db) {
+				set = trial
+				progress = true
+				i--
+			}
+		}
+		for i := 0; i < len(set.EGDs); i++ {
+			trial := &deps.Set{TGDs: set.TGDs, EGDs: dropIndexEGD(set.EGDs, i)}
+			if fails(q, trial, db) {
+				set = trial
+				progress = true
+				i--
+			}
+		}
+		for i := 0; i < len(q.Atoms) && len(q.Atoms) > 1; i++ {
+			atoms := append(append([]instance.Atom(nil), q.Atoms[:i]...), q.Atoms[i+1:]...)
+			remaining := make(map[term.Term]bool)
+			for _, t := range atomVars(atoms) {
+				remaining[t] = true
+			}
+			var free []term.Term
+			for _, x := range q.Free {
+				if remaining[x] {
+					free = append(free, x)
+				}
+			}
+			trial, err := cq.New(free, atoms)
+			if err != nil {
+				continue
+			}
+			if fails(trial, set, db) {
+				q = trial
+				progress = true
+				i--
+			}
+		}
+	}
+	return q, set, db
+}
+
+func dropIndexTGD(list []*deps.TGD, i int) []*deps.TGD {
+	out := append([]*deps.TGD(nil), list[:i]...)
+	return append(out, list[i+1:]...)
+}
+
+func dropIndexEGD(list []*deps.EGD, i int) []*deps.EGD {
+	out := append([]*deps.EGD(nil), list[:i]...)
+	return append(out, list[i+1:]...)
+}
+
+// AnswerStrings renders canonical answers as the string matrix the
+// corpus JSON format stores (constant names, canonical order
+// preserved).
+func AnswerStrings(ans [][]term.Term) [][]string {
+	out := make([][]string, len(ans))
+	for i, tup := range ans {
+		row := make([]string, len(tup))
+		for j, t := range tup {
+			row[j] = t.Name
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// EmitEvalCase renders a (q, Σ, D) triple with its expected verdict
+// and answers as a corpus eval-tier JSON case (see internal/corpus),
+// ready to be frozen under testdata/corpus/eval/. Answers must already
+// be canonical; a nil matrix becomes the empty one, since eval cases
+// require the field.
+func EmitEvalCase(q *cq.CQ, set *deps.Set, db *instance.Instance, verdict string, answers [][]term.Term, note string) (string, error) {
+	dump, err := db.Dump()
+	if err != nil {
+		return "", fmt.Errorf("gen: emitting eval case: %w", err)
+	}
+	ansStr := AnswerStrings(answers)
+	if ansStr == nil {
+		ansStr = [][]string{}
+	}
+	c := struct {
+		Query    string     `json:"query"`
+		Deps     string     `json:"deps,omitempty"`
+		Database string     `json:"database"`
+		Verdict  string     `json:"verdict"`
+		Answers  [][]string `json:"answers"`
+		Note     string     `json:"note,omitempty"`
+	}{
+		Query:    q.String(),
+		Deps:     set.String(),
+		Database: dump,
+		Verdict:  verdict,
+		Answers:  ansStr,
+		Note:     note,
+	}
+	buf, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("gen: emitting eval case: %w", err)
+	}
+	return string(buf) + "\n", nil
+}

@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+func TestRandomWorkloadCoherent(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, class := range WorkloadClasses {
+		for i := 0; i < 5; i++ {
+			q, set, db := RandomWorkload(r, class, 3, 3, 10, 4)
+			if err := q.Validate(); err != nil {
+				t.Fatalf("%s: invalid query: %v", class, err)
+			}
+			if err := set.Validate(); err != nil {
+				t.Fatalf("%s: invalid deps: %v", class, err)
+			}
+			if db.Len() == 0 {
+				t.Fatalf("%s: empty database", class)
+			}
+			// The query must range over predicates the database can
+			// populate — otherwise differential runs are vacuous.
+			preds, _ := db.Predicates()
+			have := strings.Join(preds, " ")
+			for _, a := range q.Atoms {
+				if !strings.Contains(have, a.Pred) {
+					t.Fatalf("%s: query predicate %s absent from db family %v", class, a.Pred, preds)
+				}
+			}
+		}
+	}
+}
+
+func TestMinimizeShrinksToCulprit(t *testing.T) {
+	q := cq.MustParse("q() :- E0(x,y)")
+	set := deps.MustParse("E0(x,y) -> E1(y,z).")
+	db, err := instance.Parse("E0(a,b). E0(b,c). E1(c,d). E1(d,e).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failure predicate: "db still contains E0(a,b)" — the minimizer
+	// must strip everything else.
+	culprit := instance.NewAtom("E0", term.Const("a"), term.Const("b"))
+	fails := func(_ *cq.CQ, _ *deps.Set, d *instance.Instance) bool {
+		return d.Has(culprit)
+	}
+	mq, mset, mdb := Minimize(q, set, db, fails)
+	if mdb.Len() != 1 {
+		t.Errorf("database not minimal: %s", mdb)
+	}
+	if mset.Len() != 0 {
+		t.Errorf("deps not minimal: %s", mset)
+	}
+	if len(mq.Atoms) != 1 {
+		t.Errorf("query not minimal: %s", mq)
+	}
+	if !fails(mq, mset, mdb) {
+		t.Error("minimized triple no longer fails")
+	}
+}
+
+func TestEmitEvalCaseRoundTrips(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	q, set, db := RandomWorkload(r, "inclusion", 2, 3, 6, 3)
+	out, err := EmitEvalCase(q, set, db, "yes", nil, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"query"`, `"deps"`, `"database"`, `"verdict": "yes"`, `"answers": []`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("emitted case missing %s:\n%s", want, out)
+		}
+	}
+}

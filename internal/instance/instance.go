@@ -5,7 +5,10 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"unicode"
+	"unicode/utf8"
 
+	"semacyclic/internal/scan"
 	"semacyclic/internal/schema"
 	"semacyclic/internal/term"
 )
@@ -272,13 +275,19 @@ func (ins *Instance) Equal(other *Instance) bool {
 }
 
 // Dump renders the instance as parseable ground-atom statements, one
-// per line ("R(a,b)."), in canonical order — the inverse of the
-// ground-atom parser. Instances holding nulls, or constants containing
-// the syntax delimiters the parser splits on, cannot be dumped
-// losslessly and are rejected.
+// per line ("R(a,b)."), in canonical order — the exact inverse of the
+// ground-atom parser: Parse(Dump(I)) equals I for every dumpable
+// instance. Constants containing syntax delimiters, quotes, spaces or
+// newlines are emitted quoted with \' and \\ escapes; the empty
+// constant dumps as ”. Only instances holding labelled nulls,
+// invalid-UTF-8 constant names, or predicates that are not identifiers
+// (which Parse could never read back) are rejected.
 func (ins *Instance) Dump() (string, error) {
 	var b strings.Builder
 	for _, a := range ins.Atoms() {
+		if !scan.IsIdent(a.Pred) {
+			return "", fmt.Errorf("instance: predicate %q is not an identifier", a.Pred)
+		}
 		b.WriteString(a.Pred)
 		b.WriteByte('(')
 		for i, t := range a.Args {
@@ -288,15 +297,13 @@ func (ins *Instance) Dump() (string, error) {
 			if t.IsNull() {
 				return "", fmt.Errorf("instance: cannot dump null %s", t)
 			}
-			if !dumpable(t.Name) {
-				return "", fmt.Errorf("instance: constant %q contains syntax delimiters", t.Name)
+			if !utf8.ValidString(t.Name) {
+				return "", fmt.Errorf("instance: constant %q is not valid UTF-8", t.Name)
 			}
-			if needsQuoting(t.Name) {
-				b.WriteByte('\'')
+			if bareSafe(t.Name) {
 				b.WriteString(t.Name)
-				b.WriteByte('\'')
 			} else {
-				b.WriteString(t.Name)
+				writeQuoted(&b, t.Name)
 			}
 		}
 		b.WriteString(").\n")
@@ -304,24 +311,33 @@ func (ins *Instance) Dump() (string, error) {
 	return b.String(), nil
 }
 
-// dumpable rejects constant names the ground-atom syntax cannot carry.
-func dumpable(name string) bool {
+// bareSafe reports whether the constant name can be emitted unquoted:
+// nonempty, no whitespace, and none of the delimiter runes the parser
+// stops a bare token at.
+func bareSafe(name string) bool {
 	if name == "" {
 		return false
 	}
-	for i := 0; i < len(name); i++ {
-		switch name[i] {
-		case '(', ')', ',', '.', '\'', '\n':
+	for _, r := range name {
+		if unicode.IsSpace(r) || isConstDelim(r) {
 			return false
 		}
 	}
 	return true
 }
 
-// needsQuoting reports whether the (dumpable) name must be quoted to
-// survive whitespace trimming on re-parse.
-func needsQuoting(name string) bool {
-	return name[0] == ' ' || name[len(name)-1] == ' ' || name[0] == '\t' || name[len(name)-1] == '\t'
+// writeQuoted emits 'name' with backslash escapes for quotes and
+// backslashes — the exact escapes parseConstant undoes.
+func writeQuoted(b *strings.Builder, name string) {
+	b.WriteByte('\'')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '\'' || c == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(c)
+	}
+	b.WriteByte('\'')
 }
 
 // String renders the instance as a sorted set of atoms.

@@ -240,16 +240,33 @@ func TestDump(t *testing.T) {
 	if !strings.Contains(out, "R(a, b).") || !strings.Contains(out, "S(' padded ').") {
 		t.Errorf("Dump = %q", out)
 	}
-	// Nulls and delimiter-bearing constants are rejected.
+	// Nulls, invalid UTF-8 and non-identifier predicates are rejected;
+	// everything else — delimiters, quotes, the empty constant — is
+	// representable via quoting and must round-trip through Parse.
 	withNull := MustFromAtoms(NewAtom("R", term.FreshNull(), term.Const("a")))
 	if _, err := withNull.Dump(); err == nil {
 		t.Error("null dumped")
 	}
-	bad := MustFromAtoms(NewAtom("R", term.Const("a,b")))
-	if _, err := bad.Dump(); err == nil {
-		t.Error("delimiter constant dumped")
+	if _, err := MustFromAtoms(NewAtom("R", term.Const("a\xffb"))).Dump(); err == nil {
+		t.Error("invalid-UTF-8 constant dumped")
 	}
-	if _, err := MustFromAtoms(NewAtom("R", term.Const(""))).Dump(); err == nil {
-		t.Error("empty constant dumped")
+	if _, err := MustFromAtoms(NewAtom("R S", term.Const("a"))).Dump(); err == nil {
+		t.Error("non-identifier predicate dumped")
+	}
+	nasty := MustFromAtoms(
+		NewAtom("R", term.Const("a,b"), term.Const("v1.2")),
+		NewAtom("R", term.Const(""), term.Const("it's")),
+		NewAtom("R", term.Const(`back\slash`), term.Const("new\nline")),
+	)
+	dump, err := nasty.Dump()
+	if err != nil {
+		t.Fatalf("nasty constants not dumpable: %v", err)
+	}
+	back, err := Parse(dump)
+	if err != nil {
+		t.Fatalf("Parse(Dump) failed: %v\ndump:\n%s", err, dump)
+	}
+	if !back.Equal(nasty) {
+		t.Errorf("Parse(Dump) != original:\n%s\nvs\n%s", back, nasty)
 	}
 }

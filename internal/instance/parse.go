@@ -4,40 +4,82 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 
+	"semacyclic/internal/scan"
 	"semacyclic/internal/term"
 )
 
 // Parse reads ground atoms like "R(a,b). S(c)." into an instance;
-// arguments are constants (quotes optional). It is the inverse of
-// Dump and the parser behind the facade's ParseDatabase and the
-// semacycd instance registry.
+// arguments are constants. It is the exact inverse of Dump and the
+// parser behind the facade's ParseDatabase and the semacycd instance
+// registry.
+//
+// Grammar (whitespace, including newlines, is free between tokens):
+//
+//	database  = atom+
+//	atom      = ident "(" [ constant { "," constant } ] ")" "."
+//	constant  = bare | quoted
+//	bare      = one or more runes, none of ( ) , . ' \ or whitespace
+//	quoted    = "'" { any rune except ' and \ | "\\'" | "\\\\" } "'"
+//
+// Quoting lets a constant carry any character — periods, commas,
+// parentheses, quotes (escaped \'), backslashes (escaped \\), spaces,
+// even newlines — and ” is the empty constant. Predicate names must
+// be identifiers, matching what the cq/deps parsers can reference.
+// Input must be valid UTF-8. The scanner is quote-aware end to end:
+// the historical implementation split the input on every '.', which
+// broke any constant containing a period (R('v1.2').) and silently
+// mis-parsed quoted commas — the first parse-torture corpus cases
+// freeze those inputs.
 func Parse(input string) (*Instance, error) {
+	if err := scan.CheckUTF8(input); err != nil {
+		return nil, fmt.Errorf("instance: %w", err)
+	}
 	db := New()
-	for _, stmt := range strings.Split(input, ".") {
-		stmt = strings.TrimSpace(stmt)
-		if stmt == "" {
-			continue
+	pos := 0
+	for {
+		pos = scan.SkipSpace(input, pos)
+		if pos >= len(input) {
+			break
 		}
-		open := strings.IndexByte(stmt, '(')
-		if open < 0 || !strings.HasSuffix(stmt, ")") {
-			return nil, fmt.Errorf("instance: bad atom %q", stmt)
+		pred, end, ok := scan.Ident(input, pos)
+		if !ok {
+			return nil, fmt.Errorf("instance: offset %d: expected predicate identifier", pos)
 		}
-		pred := strings.TrimSpace(stmt[:open])
-		if pred == "" {
-			return nil, fmt.Errorf("instance: bad atom %q", stmt)
+		pos = scan.SkipSpace(input, end)
+		if pos >= len(input) || input[pos] != '(' {
+			return nil, fmt.Errorf("instance: offset %d: expected '(' after predicate %s", pos, pred)
 		}
-		argSrc := stmt[open+1 : len(stmt)-1]
+		pos = scan.SkipSpace(input, pos+1)
 		var args []term.Term
-		if strings.TrimSpace(argSrc) != "" {
-			for _, raw := range strings.Split(argSrc, ",") {
-				name := strings.Trim(strings.TrimSpace(raw), "'")
-				if name == "" {
-					return nil, fmt.Errorf("instance: empty argument in %q", stmt)
+		if pos < len(input) && input[pos] == ')' {
+			pos++
+		} else {
+			for {
+				name, next, err := parseConstant(input, pos)
+				if err != nil {
+					return nil, err
 				}
 				args = append(args, term.Const(name))
+				pos = scan.SkipSpace(input, next)
+				if pos < len(input) && input[pos] == ',' {
+					pos = scan.SkipSpace(input, pos+1)
+					continue
+				}
+				if pos < len(input) && input[pos] == ')' {
+					pos++
+					break
+				}
+				return nil, fmt.Errorf("instance: offset %d: expected ',' or ')' in argument list of %s", pos, pred)
 			}
 		}
+		pos = scan.SkipSpace(input, pos)
+		if pos >= len(input) || input[pos] != '.' {
+			return nil, fmt.Errorf("instance: offset %d: expected '.' terminating atom %s(...)", pos, pred)
+		}
+		pos++
 		if err := db.Add(NewAtom(pred, args...)); err != nil {
 			return nil, err
 		}
@@ -46,6 +88,54 @@ func Parse(input string) (*Instance, error) {
 		return nil, fmt.Errorf("instance: empty database")
 	}
 	return db, nil
+}
+
+// parseConstant reads one argument starting exactly at pos: a quoted
+// constant with \' and \\ escapes, or a bare run of delimiter-free
+// runes.
+func parseConstant(input string, pos int) (name string, end int, err error) {
+	if pos < len(input) && input[pos] == '\'' {
+		var b strings.Builder
+		i := pos + 1
+		for i < len(input) {
+			switch input[i] {
+			case '\'':
+				return b.String(), i + 1, nil
+			case '\\':
+				if i+1 >= len(input) || (input[i+1] != '\\' && input[i+1] != '\'') {
+					return "", pos, fmt.Errorf(`instance: offset %d: bad escape in quoted constant (only \\ and \' are defined)`, i)
+				}
+				b.WriteByte(input[i+1])
+				i += 2
+			default:
+				b.WriteByte(input[i])
+				i++
+			}
+		}
+		return "", pos, fmt.Errorf("instance: offset %d: unterminated quoted constant", pos)
+	}
+	start := pos
+	for pos < len(input) {
+		r, size := utf8.DecodeRuneInString(input[pos:])
+		if isConstDelim(r) || unicode.IsSpace(r) {
+			break
+		}
+		pos += size
+	}
+	if pos == start {
+		return "", start, fmt.Errorf("instance: offset %d: empty argument", start)
+	}
+	return input[start:pos], pos, nil
+}
+
+// isConstDelim reports whether r cannot appear in a bare constant; a
+// name containing one must be quoted (Dump does so automatically).
+func isConstDelim(r rune) bool {
+	switch r {
+	case '(', ')', ',', '.', '\'', '\\':
+		return true
+	}
+	return false
 }
 
 // Predicates returns the instance's predicate names in sorted order

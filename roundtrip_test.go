@@ -1,0 +1,71 @@
+package semacyclic
+
+import (
+	"math/rand"
+	"testing"
+
+	"semacyclic/internal/corpus"
+	"semacyclic/internal/gen"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// requireRoundTrip asserts Parse(Dump(I)) == I and Dump stability.
+func requireRoundTrip(t *testing.T, db *instance.Instance, label string) {
+	t.Helper()
+	dump, err := db.Dump()
+	if err != nil {
+		t.Fatalf("%s: Dump: %v", label, err)
+	}
+	back, err := instance.Parse(dump)
+	if err != nil {
+		t.Fatalf("%s: Parse(Dump): %v\n%s", label, err, dump)
+	}
+	if !back.Equal(db) {
+		t.Fatalf("%s: Parse(Dump(I)) != I:\n%s\nvs\n%s", label, back, db)
+	}
+	dump2, err := back.Dump()
+	if err != nil || dump2 != dump {
+		t.Fatalf("%s: Dump not stable: %v", label, err)
+	}
+}
+
+// TestInstanceRoundTripOnWorkloads: Parse(Dump(I)) == I on generated
+// graph databases and on every workload class's databases, chased and
+// raw.
+func TestInstanceRoundTripOnWorkloads(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 10; i++ {
+		requireRoundTrip(t, gen.RandomGraphDB(r, 40, 8), "graph db")
+	}
+	for _, class := range gen.WorkloadClasses {
+		_, set, raw := gen.RandomWorkload(r, class, 2, 3, 10, 4)
+		requireRoundTrip(t, raw, class+" raw")
+		sat, err := corpus.SatisfyingDB(raw, set, 3000)
+		if err != nil {
+			continue // egd clash on a random database is legitimate
+		}
+		requireRoundTrip(t, sat, class+" chased")
+	}
+}
+
+// TestInstanceRoundTripNastyConstants: instances built from an
+// alphabet of delimiter-heavy constants survive the round trip.
+func TestInstanceRoundTripNastyConstants(t *testing.T) {
+	nasty := []string{
+		"a", "v1.2", "it's", `back\slash`, "", " ", "a,b", "(c)", "'",
+		`\`, "new\nline", "tab\t", "日本", "é", "a.b.c.", "--", "''",
+	}
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 50; i++ {
+		db := instance.New()
+		for j := 0; j < 1+r.Intn(6); j++ {
+			if err := db.Add(instance.NewAtom("R",
+				term.Const(nasty[r.Intn(len(nasty))]),
+				term.Const(nasty[r.Intn(len(nasty))]))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		requireRoundTrip(t, db, "nasty")
+	}
+}

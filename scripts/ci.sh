@@ -51,6 +51,21 @@ echo "== cancellation & server gate (race) =="
 go test -race -count=1 ./internal/server/
 go test -race -count=1 -run 'Cancel' ./internal/chase/ ./internal/rewrite/ ./internal/core/
 
+echo "== torture corpus (race, -j 1/4/8) =="
+# The data-driven corpus under testdata/corpus: parser regressions,
+# differential method agreement on frozen verdicts/answers, stable
+# error messages, and the decision layer-monotonicity contract. Run
+# with -count=1 so the gate never trusts a cached result.
+go test -race -count=1 -run 'TestCorpus' .
+
+echo "== fuzz smoke (10s per target, seed corpus + short exploration) =="
+# Native fuzz targets (no race: fuzzing under the race detector is an
+# order of magnitude slower and the corpus gate above already runs the
+# differential checks race-enabled). Longer runs: -fuzztime 60s.
+for target in FuzzParseCQ FuzzParseDeps FuzzInstanceRoundTrip FuzzMethodAgreement; do
+    go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime 10s .
+done
+
 echo "== API smoke (semacycd end to end) =="
 scripts/api_smoke.sh
 
