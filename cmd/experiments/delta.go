@@ -1,0 +1,361 @@
+// Incremental-evaluation trajectory: `experiments -delta-out
+// BENCH_7.json` measures differential plan maintenance (ExecuteDelta
+// over retained semijoin-reducer state) against full re-evaluation on
+// small-delta workloads and persists the JSON trajectory.
+//
+// Each arm replays the same pre-generated ApplyDelta batch sequence
+// against two structurally identical instances: the "full" side
+// re-executes the compiled plan from scratch after every batch, the
+// "delta" side repairs its retained reducer state from the journal.
+// Applying the batch itself (index and view maintenance) is identical
+// work on both sides and is excluded from the timers — the measured
+// quantity is re-evaluation after the patch lands. Batches are small
+// by construction (≤1% of the instance), which is the regime the
+// incremental path exists for. Per step the two sides
+// must produce identical canonical answers, and at the end the delta
+// side's instance is rebuilt from scratch and re-evaluated: answers
+// and the deterministic stats fingerprint of the full runs must match,
+// proving the maintained indexes/views never drifted from the
+// batch-build path.
+//
+// The tool fails (exit 1) if the geomean speedup of the delta arms is
+// below 5x, any step's answers diverge, or the end-state rebuild
+// check fails.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+
+	"semacyclic/internal/cq"
+	"semacyclic/internal/gen"
+	"semacyclic/internal/hypergraph"
+	"semacyclic/internal/instance"
+	"semacyclic/internal/obs"
+	"semacyclic/internal/telemetry"
+	"semacyclic/internal/term"
+	"semacyclic/internal/yannakakis"
+)
+
+// deltaArm is one full-vs-incremental comparison.
+type deltaArm struct {
+	Name string `json:"name"`
+	// Atoms is the instance size at the start of the replay; DeltaAtoms
+	// the per-batch atom budget (inserts + deletes requested).
+	Atoms      int `json:"atoms"`
+	DeltaAtoms int `json:"delta_atoms"`
+	Steps      int `json:"steps"`
+	// FullNsOp / DeltaNsOp are the median per-step re-evaluation wall
+	// times of each side. Batch application (ApplyDelta) is common work
+	// both sides pay identically and is excluded from the timers.
+	FullNsOp  int64   `json:"full_ns_op"`
+	DeltaNsOp int64   `json:"delta_ns_op"`
+	Speedup   float64 `json:"speedup"`
+	// TreesReused / TreesRepaired / TreesRecomputed total the delta
+	// side's per-tree decisions across the replay.
+	TreesReused     int64 `json:"trees_reused"`
+	TreesRepaired   int64 `json:"trees_repaired"`
+	TreesRecomputed int64 `json:"trees_recomputed"`
+	// Agree: every step's answers matched; RebuildMatch: the end-state
+	// rebuild reproduced answers and fingerprint.
+	Agree        bool `json:"agree"`
+	RebuildMatch bool `json:"rebuild_match"`
+}
+
+type deltaReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	Arms []deltaArm `json:"arms"`
+	// GeomeanSpeedup is over the arms; the acceptance claim is ≥5x.
+	GeomeanSpeedup float64 `json:"geomean_speedup"`
+}
+
+// deltaWorkload is one arm's configuration. build constructs the
+// instance deterministically from the workload seed (so the full and
+// delta replay sides start structurally identical), and batch
+// generates the step-i delta against the current generator-side state.
+type deltaWorkload struct {
+	name  string
+	query string
+	steps int
+	seed  int64
+	// deltaAtoms is the per-batch atom budget, for the report.
+	deltaAtoms int
+	build      func(r *rand.Rand) *instance.Instance
+	batch      func(r *rand.Rand, db *instance.Instance) (ins, del []instance.Atom)
+}
+
+// edgeDB builds a random binary relation pred of the given size over
+// c<domain> constants.
+func edgeDB(r *rand.Rand, db *instance.Instance, pred string, size, domain int) {
+	for i := 0; i < size; i++ {
+		db.Add(instance.NewAtom(pred,
+			term.Const(fmt.Sprintf("c%d", r.Intn(domain))),
+			term.Const(fmt.Sprintf("c%d", r.Intn(domain)))))
+	}
+	db.Schema().Add(pred, 2)
+}
+
+// anchorDB adds n unary pred facts over the same constant pool — the
+// selective anchors that keep answer sets small while the bulk
+// relations stay large.
+func anchorDB(r *rand.Rand, db *instance.Instance, pred string, n, domain int) {
+	for i := 0; i < n; i++ {
+		db.Add(instance.NewAtom(pred, term.Const(fmt.Sprintf("c%d", r.Intn(domain)))))
+	}
+	db.Schema().Add(pred, 1)
+}
+
+// edgeBatch generates nIns random inserts and nDel deletes-of-present
+// atoms against pred only, leaving every other predicate untouched.
+func edgeBatch(r *rand.Rand, db *instance.Instance, pred string, nIns, nDel, domain int) (ins, del []instance.Atom) {
+	for i := 0; i < nIns; i++ {
+		ins = append(ins, instance.NewAtom(pred,
+			term.Const(fmt.Sprintf("c%d", r.Intn(domain))),
+			term.Const(fmt.Sprintf("c%d", r.Intn(domain)))))
+	}
+	if nDel > 0 {
+		atoms := db.Atoms()
+		for i := 0; i < nDel && len(atoms) > 0; i++ {
+			a := atoms[r.Intn(len(atoms))]
+			if a.Pred == pred {
+				del = append(del, a)
+			}
+		}
+	}
+	return ins, del
+}
+
+// renderSorted renders answers canonically for cross-side comparison.
+func renderSorted(ans [][]string) []string {
+	out := make([]string, len(ans))
+	for i, tup := range ans {
+		out[i] = fmt.Sprint(tup)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// median returns the median of the samples (destructively sorts).
+func median(ns []int64) int64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns[len(ns)/2]
+}
+
+// runDeltaArm replays the workload's batch sequence on both sides.
+func runDeltaArm(w deltaWorkload) deltaArm {
+	q := cq.MustParse(w.query)
+	forest, ok := hypergraph.GYO(q.Atoms)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: delta %s: query is not acyclic\n", w.name)
+		os.Exit(1)
+	}
+	c, err := yannakakis.Compile(q, forest)
+	must(err)
+
+	// Pre-generate the batch sequence against a throwaway copy so both
+	// replay sides see exactly the same deltas.
+	type batch struct{ ins, del []instance.Atom }
+	genDB := w.build(rand.New(rand.NewSource(w.seed)))
+	r := rand.New(rand.NewSource(w.seed + 1))
+	batches := make([]batch, w.steps)
+	for i := range batches {
+		ins, del := w.batch(r, genDB)
+		if res, err := genDB.ApplyDelta(ins, del); err != nil {
+			must(err)
+		} else {
+			_ = res.Epoch // generator side: no retained state to thread to
+		}
+		batches[i] = batch{ins, del}
+	}
+
+	dbFull := w.build(rand.New(rand.NewSource(w.seed)))
+	dbDelta := w.build(rand.New(rand.NewSource(w.seed)))
+	arm := deltaArm{
+		Name:       w.name,
+		Atoms:      dbFull.Len(),
+		DeltaAtoms: w.deltaAtoms,
+		Steps:      w.steps,
+		Agree:      true,
+	}
+
+	// Warm the delta side's reducer state (and the full side's interned
+	// view) before timing.
+	var prev *yannakakis.ReducerState
+	_, prev, err = c.ExecuteState(dbDelta, yannakakis.Options{})
+	must(err)
+	lastEpoch := dbDelta.Epoch()
+	_, err = c.Execute(dbFull, yannakakis.Options{})
+	must(err)
+
+	fullNS := make([]int64, 0, w.steps)
+	deltaNS := make([]int64, 0, w.steps)
+	for _, b := range batches {
+		// Apply the batch to both sides untimed: the patch (and its
+		// eager index/view maintenance) is identical common work; the
+		// comparison is between the two re-evaluation strategies.
+		resF, err := dbFull.ApplyDelta(b.ins, b.del)
+		must(err)
+		_ = resF.Epoch // the full side re-evaluates unconditionally
+		resD, err := dbDelta.ApplyDelta(b.ins, b.del)
+		must(err)
+		deltas, ok := dbDelta.DeltaSince(lastEpoch)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: delta %s: journal gap at epoch %d\n", w.name, resD.Epoch)
+			os.Exit(1)
+		}
+
+		swF := telemetry.StartTimer()
+		fullAns, err := c.Execute(dbFull, yannakakis.Options{})
+		must(err)
+		fullNS = append(fullNS, int64(swF.ElapsedNS()))
+
+		var st obs.EvalStats
+		swD := telemetry.StartTimer()
+		deltaAns, next, err := c.ExecuteDelta(prev, dbDelta, deltas, yannakakis.Options{Stats: &st})
+		must(err)
+		deltaNS = append(deltaNS, int64(swD.ElapsedNS()))
+		prev, lastEpoch = next, resD.Epoch
+		arm.TreesReused += st.TreesReused
+		arm.TreesRepaired += st.TreesRepaired
+		arm.TreesRecomputed += st.TreesRecomputed
+
+		if !equalStrings(renderSorted(gen.AnswerStrings(fullAns)), renderSorted(gen.AnswerStrings(deltaAns))) {
+			arm.Agree = false
+		}
+	}
+
+	// End-state rebuild check: a from-scratch instance over the delta
+	// side's final atom set must reproduce the full side's answers and
+	// deterministic fingerprint.
+	rebuilt, err := instance.FromAtoms(dbDelta.Atoms()...)
+	must(err)
+	var stR, stF obs.EvalStats
+	rebuiltAns, err := c.Execute(rebuilt, yannakakis.Options{Stats: &stR})
+	must(err)
+	finalAns, err := c.Execute(dbFull, yannakakis.Options{Stats: &stF})
+	must(err)
+	arm.RebuildMatch = equalStrings(renderSorted(gen.AnswerStrings(rebuiltAns)), renderSorted(gen.AnswerStrings(finalAns))) &&
+		stR.Fingerprint() == stF.Fingerprint()
+
+	arm.FullNsOp = median(fullNS)
+	arm.DeltaNsOp = median(deltaNS)
+	if arm.DeltaNsOp > 0 {
+		arm.Speedup = float64(arm.FullNsOp) / float64(arm.DeltaNsOp)
+	}
+	return arm
+}
+
+// runDeltaOut measures the incremental-evaluation trajectory and
+// writes BENCH_7.
+func runDeltaOut(path string) int {
+	const domain = 40_000
+	workloads := []deltaWorkload{
+		// Boolean path-3 over a large sparse graph, insert-only batches
+		// at 0.1%: the pure semi-naive repair fast path. Full
+		// re-evaluation re-loads and re-joins 100k edges per step; the
+		// repair touches only rows reachable from the 100 new atoms.
+		{
+			name: "bool-path3-insert-only-0.1pct", query: "q() :- E(x,y), E(y,z), E(z,w).",
+			steps: 20, seed: 71, deltaAtoms: 100,
+			build: func(r *rand.Rand) *instance.Instance {
+				db := instance.New()
+				edgeDB(r, db, "E", 100_000, domain)
+				return db
+			},
+			batch: func(r *rand.Rand, db *instance.Instance) ([]instance.Atom, []instance.Atom) {
+				return edgeBatch(r, db, "E", 100, 0, domain)
+			},
+		},
+		// Anchored free-variable path-2: a 60-fact anchor keeps the
+		// answer set (and so the shared materialization cost) small
+		// while the bulk relation stays at 100k atoms. Insert-only.
+		{
+			name: "anchored-path2-insert-only-0.1pct", query: "q(x,z) :- C(x), E(x,y), E(y,z).",
+			steps: 20, seed: 72, deltaAtoms: 100,
+			build: func(r *rand.Rand) *instance.Instance {
+				db := instance.New()
+				edgeDB(r, db, "E", 100_000, domain)
+				anchorDB(r, db, "C", 60, domain)
+				return db
+			},
+			batch: func(r *rand.Rand, db *instance.Instance) ([]instance.Atom, []instance.Atom) {
+				return edgeBatch(r, db, "E", 100, 0, domain)
+			},
+		},
+		// Two independent join trees; churn (inserts AND deletes, ~1%)
+		// concentrated on the F component. Deletes force that tree's
+		// recomputation, but the E tree's projection carries over — the
+		// reuse arm of the per-tree decision split.
+		{
+			name: "two-tree-churn-1pct", query: "q(x,u) :- C(x), E(x,y), D(u), F(u,v).",
+			steps: 20, seed: 73, deltaAtoms: 500,
+			build: func(r *rand.Rand) *instance.Instance {
+				db := instance.New()
+				edgeDB(r, db, "E", 50_000, domain)
+				edgeDB(r, db, "F", 50_000, domain)
+				anchorDB(r, db, "C", 40, domain)
+				anchorDB(r, db, "D", 40, domain)
+				return db
+			},
+			batch: func(r *rand.Rand, db *instance.Instance) ([]instance.Atom, []instance.Atom) {
+				return edgeBatch(r, db, "F", 250, 250, domain)
+			},
+		},
+	}
+	rep := deltaReport{
+		GeneratedBy: "experiments -delta-out",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	logs := 0.0
+	ok := true
+	for _, w := range workloads {
+		arm := runDeltaArm(w)
+		rep.Arms = append(rep.Arms, arm)
+		logs += math.Log(arm.Speedup)
+		if !arm.Agree || !arm.RebuildMatch {
+			ok = false
+		}
+		fmt.Printf("  %-28s %9d atoms  Δ%-4d  full %12d ns  delta %12d ns  %6.1fx  agree=%v rebuild=%v\n",
+			arm.Name, arm.Atoms, arm.DeltaAtoms, arm.FullNsOp, arm.DeltaNsOp, arm.Speedup, arm.Agree, arm.RebuildMatch)
+	}
+	rep.GeomeanSpeedup = math.Exp(logs / float64(len(rep.Arms)))
+	fmt.Printf("  geomean speedup: %.1fx (acceptance: ≥5x on ≤1%% deltas)\n", rep.GeomeanSpeedup)
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	must(err)
+	must(os.WriteFile(path, append(buf, '\n'), 0o644))
+	fmt.Printf("  wrote %s\n", path)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "experiments: delta: differential or rebuild check failed")
+		return 1
+	}
+	if rep.GeomeanSpeedup < 5 {
+		fmt.Fprintf(os.Stderr, "experiments: delta: geomean speedup %.2fx below the 5x acceptance bound\n", rep.GeomeanSpeedup)
+		return 1
+	}
+	return 0
+}

@@ -71,6 +71,7 @@ func main() {
 	evalOut := flag.String("eval-out", "", "measure the evaluation trajectory (indexed vs scan Yannakakis, plan cache, game crossover) and write the JSON to this file")
 	internOut := flag.String("intern-out", "", "measure the interned hot path against the string-path oracle and write the JSON trajectory to this file")
 	metricsOut := flag.String("metrics-out", "", "measure per-class decision latency quantiles via telemetry histograms plus the tracing overhead and write the JSON trajectory to this file")
+	deltaOut := flag.String("delta-out", "", "measure incremental re-evaluation (ExecuteDelta over retained reducer state) against full re-evaluation on small-delta workloads and write the JSON trajectory to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar (the semacyclic.* counters) on this address, e.g. :6060")
 	flag.Parse()
 	if *pprofAddr != "" {
@@ -96,6 +97,9 @@ func main() {
 	}
 	if *metricsOut != "" {
 		os.Exit(runMetricsOut(*metricsOut))
+	}
+	if *deltaOut != "" {
+		os.Exit(runDeltaOut(*deltaOut))
 	}
 	want := map[string]bool{}
 	for _, a := range flag.Args() {

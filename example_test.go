@@ -187,6 +187,78 @@ func ExampleEvaluate() {
 	// a d
 }
 
+// ApplyDelta mutates an instance atomically under set semantics: the
+// whole batch is validated first, duplicates and no-ops collapse, and
+// the epoch advances by exactly one however large the batch is —
+// incremental evaluators holding reducer state catch up from the
+// journal instead of recomputing.
+func ExampleInstance_ApplyDelta() {
+	db, err := semacyclic.ParseDatabase("E(a,b). E(b,c). E(c,d).")
+	if err != nil {
+		panic(err)
+	}
+	before := db.Epoch()
+
+	// E(a,b) is already present (no-op insert); deleting E(x,y) twice
+	// in the batch collapses to one effective delete.
+	ins, err := semacyclic.ParseAtoms("E(d,e). E(a,b).")
+	if err != nil {
+		panic(err)
+	}
+	del, err := semacyclic.ParseAtoms("E(b,c). E(b,c).")
+	if err != nil {
+		panic(err)
+	}
+	res, err := db.ApplyDelta(ins, del)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("inserted:", res.Inserted, "deleted:", res.Deleted)
+	fmt.Println("atoms:", db.Len(), "epoch advanced by:", res.Epoch-before)
+	// Output:
+	// inserted: 1 deleted: 1
+	// atoms: 3 epoch advanced by: 1
+}
+
+// NewOverlay answers a what-if question — "what would q return if
+// this delta were applied?" — without copying or mutating the base
+// instance. The overlay shares the base's interned view for untouched
+// relations, so its cost is proportional to the delta.
+func ExampleInstance_NewOverlay() {
+	db, err := semacyclic.ParseDatabase("E(a,b). E(b,c).")
+	if err != nil {
+		panic(err)
+	}
+	q := semacyclic.MustParseQuery("q(x,z) :- E(x,y), E(y,z).")
+	plan, err := semacyclic.CompilePlan(q, &semacyclic.Dependencies{},
+		semacyclic.Options{}, semacyclic.MethodYannakakis)
+	if err != nil {
+		panic(err)
+	}
+
+	ins, err := semacyclic.ParseAtoms("E(c,d).")
+	if err != nil {
+		panic(err)
+	}
+	ov, err := db.NewOverlay(ins, nil)
+	if err != nil {
+		panic(err)
+	}
+	what, _, err := plan.ExecuteOverlay(ov, semacyclic.EvalOptions{})
+	if err != nil {
+		panic(err)
+	}
+	base, _, err := plan.Execute(db, semacyclic.EvalOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("hypothetical answers:", len(what))
+	fmt.Println("base answers:        ", len(base), " base atoms:", db.Len())
+	// Output:
+	// hypothetical answers: 2
+	// base answers:         1  base atoms: 2
+}
+
 func ExampleExplain() {
 	q := semacyclic.MustParseQuery(
 		"q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y).")

@@ -68,6 +68,18 @@ type Case struct {
 	Verdict  string     `json:"verdict,omitempty"`
 	Answers  [][]string `json:"answers,omitempty"`
 
+	// Eval tier, optional delta arm: DeltaInsert / DeltaDelete hold
+	// ground atoms (instance syntax) applied to the parsed database as
+	// one ApplyDelta batch after the base cross-check, and DeltaAnswers
+	// is the frozen post-batch answer matrix. The runner checks the
+	// patched instance AND a from-scratch rebuild of its atom set agree
+	// on DeltaAnswers, freezing the delta-maintenance path against the
+	// batch-build path. The verdict is a property of (query, Σ) alone
+	// and is not re-checked.
+	DeltaInsert  string     `json:"delta_insert,omitempty"`
+	DeltaDelete  string     `json:"delta_delete,omitempty"`
+	DeltaAnswers [][]string `json:"delta_answers,omitempty"`
+
 	// Error tier: Stage names the step that must fail ("query",
 	// "deps", "database" — parse failures of the respective field — or
 	// "compile", where CompilePlan for Method must refuse); WantError
@@ -138,6 +150,9 @@ func (c *Case) validate() error {
 	}
 	switch c.Tier {
 	case "parse":
+		if c.DeltaInsert != "" || c.DeltaDelete != "" || c.DeltaAnswers != nil {
+			return bad("delta fields are eval-tier only")
+		}
 		switch c.Parser {
 		case "cq", "deps", "instance":
 		default:
@@ -170,7 +185,17 @@ func (c *Case) validate() error {
 		if c.Answers == nil {
 			return bad("answers is required (use [] for empty, [[]] for Boolean true)")
 		}
+		hasDelta := c.DeltaInsert != "" || c.DeltaDelete != ""
+		if hasDelta && c.DeltaAnswers == nil {
+			return bad("delta cases must freeze delta_answers (use [] for empty, [[]] for Boolean true)")
+		}
+		if !hasDelta && c.DeltaAnswers != nil {
+			return bad("delta_answers requires delta_insert and/or delta_delete")
+		}
 	case "error":
+		if c.DeltaInsert != "" || c.DeltaDelete != "" || c.DeltaAnswers != nil {
+			return bad("delta fields are eval-tier only")
+		}
 		switch c.Stage {
 		case "query", "deps", "database", "compile":
 		default:

@@ -137,17 +137,68 @@ func runEval(c *Case, parallelism int) error {
 	if got := rep.Verdict.String(); got != c.Verdict {
 		return fmt.Errorf("corpus: %s: verdict = %s, want %s", c.Name, got, c.Verdict)
 	}
-	got := gen.AnswerStrings(rep.Answers)
-	if len(got) != len(c.Answers) {
-		return fmt.Errorf("corpus: %s: %d answers, want %d", c.Name, len(got), len(c.Answers))
+	if err := compareAnswers(c.Name, "", gen.AnswerStrings(rep.Answers), c.Answers); err != nil {
+		return err
+	}
+	if c.DeltaInsert == "" && c.DeltaDelete == "" {
+		return nil
+	}
+	return runEvalDelta(c, q, set, db, parallelism)
+}
+
+// runEvalDelta applies the case's delta batch to the already-checked
+// database and freezes the post-batch answers twice: on the patched
+// instance (the delta-maintenance path) and on a from-scratch rebuild
+// of the same atom set (the batch-build path). Any divergence between
+// the two is an index/view maintenance bug, not a data change.
+func runEvalDelta(c *Case, q *cq.CQ, set *deps.Set, db *instance.Instance, parallelism int) error {
+	ins, err := instance.ParseAtoms(c.DeltaInsert)
+	if err != nil {
+		return fmt.Errorf("corpus: %s: delta_insert: %w", c.Name, err)
+	}
+	del, err := instance.ParseAtoms(c.DeltaDelete)
+	if err != nil {
+		return fmt.Errorf("corpus: %s: delta_delete: %w", c.Name, err)
+	}
+	res, err := db.ApplyDelta(ins, del)
+	if err != nil {
+		return fmt.Errorf("corpus: %s: ApplyDelta: %w", c.Name, err)
+	}
+	if res.Epoch != db.Epoch() {
+		return fmt.Errorf("corpus: %s: DeltaResult epoch %d != instance epoch %d", c.Name, res.Epoch, db.Epoch())
+	}
+	rebuilt, err := instance.FromAtoms(db.Atoms()...)
+	if err != nil {
+		return fmt.Errorf("corpus: %s: rebuilding patched atom set: %w", c.Name, err)
+	}
+	for _, arm := range []struct {
+		label string
+		db    *instance.Instance
+	}{{"patched", db}, {"rebuilt", rebuilt}} {
+		rep, err := core.CrossCheck(q, set, arm.db, core.Options{Parallelism: parallelism})
+		if err != nil {
+			return fmt.Errorf("corpus: %s: %s: %w", c.Name, arm.label, err)
+		}
+		if err := compareAnswers(c.Name, arm.label+" delta ", gen.AnswerStrings(rep.Answers), c.DeltaAnswers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compareAnswers checks one canonical answer matrix against its frozen
+// expectation.
+func compareAnswers(name, label string, got, want [][]string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("corpus: %s: %d %sanswers, want %d", name, len(got), label, len(want))
 	}
 	for i := range got {
-		if len(got[i]) != len(c.Answers[i]) {
-			return fmt.Errorf("corpus: %s: answer %d arity %d, want %d", c.Name, i, len(got[i]), len(c.Answers[i]))
+		if len(got[i]) != len(want[i]) {
+			return fmt.Errorf("corpus: %s: %sanswer %d arity %d, want %d", name, label, i, len(got[i]), len(want[i]))
 		}
 		for j := range got[i] {
-			if got[i][j] != c.Answers[i][j] {
-				return fmt.Errorf("corpus: %s: answer %d = %v, want %v", c.Name, i, got[i], c.Answers[i])
+			if got[i][j] != want[i][j] {
+				return fmt.Errorf("corpus: %s: %sanswer %d = %v, want %v", name, label, i, got[i], want[i])
 			}
 		}
 	}

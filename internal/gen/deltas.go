@@ -1,0 +1,44 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"semacyclic/internal/instance"
+	"semacyclic/internal/term"
+)
+
+// RandomDelta derives a random mutation batch from an instance: up to
+// nDel deletes drawn from the atoms present, and nIns inserts over the
+// instance's own predicates (schema arities respected), mixing
+// constants already in the domain with fresh ones so a batch both
+// densifies existing joins and extends the active domain.
+// Deterministic for a given rand source and instance; the instance is
+// not modified.
+func RandomDelta(r *rand.Rand, db *instance.Instance, nIns, nDel int) (inserts, deletes []instance.Atom) {
+	atoms := db.Atoms()
+	for i := 0; i < nDel && len(atoms) > 0; i++ {
+		deletes = append(deletes, atoms[r.Intn(len(atoms))])
+	}
+
+	preds := db.Schema().Predicates()
+	if len(preds) == 0 {
+		return inserts, deletes
+	}
+	domain := db.Terms()
+	pick := func() term.Term {
+		if len(domain) == 0 || r.Intn(4) == 0 {
+			return term.Const(fmt.Sprintf("d%d", r.Intn(1+nIns*2)))
+		}
+		return domain[r.Intn(len(domain))]
+	}
+	for i := 0; i < nIns; i++ {
+		p := preds[r.Intn(len(preds))]
+		args := make([]term.Term, p.Arity)
+		for j := range args {
+			args[j] = pick()
+		}
+		inserts = append(inserts, instance.NewAtom(p.Name, args...))
+	}
+	return inserts, deletes
+}

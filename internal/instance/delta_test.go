@@ -1,0 +1,225 @@
+package instance
+
+import (
+	"errors"
+	"testing"
+
+	"semacyclic/internal/term"
+)
+
+// mustAtoms parses a ground-atom batch or fails the test.
+func mustAtoms(t *testing.T, input string) []Atom {
+	t.Helper()
+	atoms, err := ParseAtoms(input)
+	if err != nil {
+		t.Fatalf("ParseAtoms(%q): %v", input, err)
+	}
+	return atoms
+}
+
+// mustDB parses a database or fails the test.
+func mustDB(t *testing.T, input string) *Instance {
+	t.Helper()
+	db, err := Parse(input)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", input, err)
+	}
+	return db
+}
+
+func TestApplyDeltaNetSemantics(t *testing.T) {
+	db := mustDB(t, "E(a,b). E(b,c).")
+	before := db.Epoch()
+
+	// Duplicate inserts collapse; inserting a present atom and deleting
+	// an absent one are no-ops; a repeated delete counts once.
+	res, err := db.ApplyDelta(
+		mustAtoms(t, "E(c,d). E(c,d). E(a,b)."),
+		mustAtoms(t, "E(b,c). E(b,c). E(zz,zz)."))
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if res.Inserted != 1 || res.Deleted != 1 {
+		t.Errorf("net counts = +%d −%d, want +1 −1", res.Inserted, res.Deleted)
+	}
+	if res.Epoch != before+1 || db.Epoch() != before+1 {
+		t.Errorf("epoch = %d (instance %d), want %d: one batch is one epoch",
+			res.Epoch, db.Epoch(), before+1)
+	}
+	want := mustDB(t, "E(a,b). E(c,d).")
+	if !db.Equal(want) {
+		t.Errorf("patched instance = %v, want %v", db.Atoms(), want.Atoms())
+	}
+
+	// An atom deleted and inserted in the same batch nets out: when it
+	// was already present nothing changes, not even the counts.
+	res, err = db.ApplyDelta(mustAtoms(t, "E(a,b)."), mustAtoms(t, "E(a,b)."))
+	if err != nil {
+		t.Fatalf("ApplyDelta (cancelling pair): %v", err)
+	}
+	if res.Inserted != 0 || res.Deleted != 0 {
+		t.Errorf("cancelling pair: net counts = +%d −%d, want +0 −0", res.Inserted, res.Deleted)
+	}
+	if !db.Equal(want) {
+		t.Errorf("cancelling pair changed the instance: %v", db.Atoms())
+	}
+}
+
+func TestApplyDeltaAtomicValidation(t *testing.T) {
+	db := mustDB(t, "E(a,b).")
+	before, length := db.Epoch(), db.Len()
+
+	cases := []struct {
+		name     string
+		ins, del string
+	}{
+		{"schema clash", "E(a).", ""},
+		{"within-batch clash", "F(a). F(a,b).", ""},
+		{"clash on the delete side", "", "E(a,b,c)."},
+	}
+	for _, tc := range cases {
+		_, err := db.ApplyDelta(mustAtoms(t, tc.ins), mustAtoms(t, tc.del))
+		if !errors.Is(err, ErrArityClash) {
+			t.Errorf("%s: err = %v, want ErrArityClash", tc.name, err)
+		}
+	}
+	if _, err := db.ApplyDelta([]Atom{NewAtom("E", term.Var("x"), term.Const("b"))}, nil); err == nil {
+		t.Error("variable atom accepted")
+	}
+	if db.Epoch() != before || db.Len() != length {
+		t.Errorf("rejected batches mutated the instance: epoch %d→%d, len %d→%d",
+			before, db.Epoch(), length, db.Len())
+	}
+}
+
+func TestDeltaSinceBridgesEpochs(t *testing.T) {
+	db := mustDB(t, "E(a,b).")
+	e0 := db.Epoch()
+	if _, err := db.ApplyDelta(mustAtoms(t, "E(b,c)."), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ApplyDelta(mustAtoms(t, "E(c,d)."), mustAtoms(t, "E(a,b).")); err != nil {
+		t.Fatal(err)
+	}
+
+	deltas, ok := db.DeltaSince(e0)
+	if !ok || len(deltas) != 2 {
+		t.Fatalf("DeltaSince(%d) = %d batches, ok=%v; want 2 batches", e0, len(deltas), ok)
+	}
+	// Replaying the journal onto a snapshot must land exactly on the
+	// current atom set.
+	snap := mustDB(t, "E(a,b).")
+	for _, d := range deltas {
+		if _, err := snap.ApplyDelta(d.Inserts, d.Deletes); err != nil {
+			t.Fatalf("replaying journal: %v", err)
+		}
+	}
+	if !snap.Equal(db) {
+		t.Errorf("journal replay diverged: %v vs %v", snap.Atoms(), db.Atoms())
+	}
+
+	if _, ok := db.DeltaSince(db.Epoch()); !ok {
+		t.Error("DeltaSince(current) should be ok with an empty bridge")
+	}
+	if _, ok := db.DeltaSince(db.Epoch() + 1); ok {
+		t.Error("DeltaSince(future epoch) should not bridge")
+	}
+
+	// A bare single-atom mutation truncates the journal: retained
+	// states from before it must fall back to full recomputation.
+	if err := db.Add(NewAtom("E", term.Const("x"), term.Const("y"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.DeltaSince(e0); ok {
+		t.Error("DeltaSince should refuse to bridge across a bare Add")
+	}
+}
+
+func TestApplyDeltaMaintainsInternedView(t *testing.T) {
+	db := mustDB(t, "E(a,b). E(b,c). P(a).")
+	v0 := db.Interned()
+	if db.InternedCached() != v0 {
+		t.Fatal("view not cached after Interned()")
+	}
+
+	if _, err := db.ApplyDelta(mustAtoms(t, "E(c,d). P(d)."), mustAtoms(t, "E(a,b).")); err != nil {
+		t.Fatal(err)
+	}
+	v1 := db.InternedCached()
+	if v1 == nil {
+		t.Fatal("ApplyDelta invalidated the cached view; want incremental repair")
+	}
+	if v1 == v0 {
+		t.Fatal("ApplyDelta left the stale view in place")
+	}
+
+	// The repaired view must be indistinguishable from one built from
+	// scratch over the patched atom set.
+	rebuilt, err := FromAtoms(db.Atoms()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr := rebuilt.Interned()
+	for _, pred := range []string{"E", "P"} {
+		pc, rc := v1.Relation(pred), vr.Relation(pred)
+		if (pc == nil) != (rc == nil) {
+			t.Fatalf("pred %s: patched present=%v rebuilt present=%v", pred, pc != nil, rc != nil)
+		}
+		if pc.Rows() != rc.Rows() {
+			t.Errorf("pred %s: patched %d rows, rebuilt %d", pred, pc.Rows(), rc.Rows())
+		}
+	}
+
+	// Bare mutations take the slow path: the view is dropped, not
+	// patched.
+	if !db.Remove(NewAtom("P", term.Const("a"))) {
+		t.Fatal("Remove(P(a)) found nothing to remove")
+	}
+	if db.InternedCached() != nil {
+		t.Error("bare Remove should invalidate the cached view")
+	}
+}
+
+func TestOverlayWhatIf(t *testing.T) {
+	db := mustDB(t, "E(a,b). E(b,c).")
+	baseEpoch, baseLen := db.Epoch(), db.Len()
+
+	ov, err := db.NewOverlay(mustAtoms(t, "E(c,d). E(a,b)."), mustAtoms(t, "E(b,c)."))
+	if err != nil {
+		t.Fatalf("NewOverlay: %v", err)
+	}
+	if ov.Len() != 2 {
+		t.Errorf("overlay Len = %d, want 2 (one effective insert, one delete)", ov.Len())
+	}
+	if db.Epoch() != baseEpoch || db.Len() != baseLen {
+		t.Errorf("NewOverlay mutated the base: epoch %d→%d, len %d→%d",
+			baseEpoch, db.Epoch(), baseLen, db.Len())
+	}
+
+	// Materialize must agree with applying the same delta for real.
+	mat, err := ov.Materialize()
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	applied := mustDB(t, "E(a,b). E(b,c).")
+	if _, err := applied.ApplyDelta(mustAtoms(t, "E(c,d). E(a,b)."), mustAtoms(t, "E(b,c).")); err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(applied) {
+		t.Errorf("Materialize = %v, ApplyDelta = %v", mat.Atoms(), applied.Atoms())
+	}
+
+	if ov.Stale() {
+		t.Error("overlay stale before any base mutation")
+	}
+	if _, err := db.ApplyDelta(mustAtoms(t, "E(x,y)."), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !ov.Stale() {
+		t.Error("overlay not stale after the base moved epochs")
+	}
+
+	if _, err := db.NewOverlay(mustAtoms(t, "E(only_one)."), nil); !errors.Is(err, ErrArityClash) {
+		t.Errorf("overlay arity clash: err = %v, want ErrArityClash", err)
+	}
+}

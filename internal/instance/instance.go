@@ -35,8 +35,18 @@ type Instance struct {
 	sch    *schema.Schema // lazily grown signature of the instance
 
 	// interned caches the columnar integer-coded view (see interned.go);
-	// dropped on every mutation, rebuilt lazily by Interned.
+	// dropped on every bare mutation, rebuilt lazily by Interned.
+	// ApplyDelta instead repairs a cached view in place of dropping it.
 	interned atomic.Pointer[InternedView]
+
+	// epoch counts mutations: every Add/Remove that changes the atom
+	// set bumps it by one, every ApplyDelta batch by one. journal keeps
+	// the recent ApplyDelta batches (see delta.go) so incremental
+	// evaluators can catch up from an older epoch; bare mutations
+	// truncate it, forcing those evaluators to recompute.
+	epoch        uint64
+	journal      []journalEntry
+	journalAtoms int
 }
 
 // New returns an empty instance.
@@ -91,15 +101,22 @@ func (ins *Instance) AddReport(a Atom) (added bool, err error) {
 	if _, ok := ins.atoms[k]; ok {
 		return false, nil
 	}
-	a = a.Clone()
+	ins.addIndexed(k, a.Clone())
+	ins.noteBareMutation()
+	return true, nil
+}
+
+// addIndexed inserts the already-validated, already-cloned atom into
+// the atom map and both indexes. It does not touch the epoch, journal
+// or interned view — callers decide between bare-mutation and delta
+// bookkeeping.
+func (ins *Instance) addIndexed(k string, a Atom) {
 	ins.atoms[k] = a
 	ins.byPred[a.Pred] = append(ins.byPred[a.Pred], a)
 	for i, t := range a.Args {
 		pk := posKey{a.Pred, i, t}
 		ins.byPos[pk] = append(ins.byPos[pk], a)
 	}
-	ins.invalidateInterned()
-	return true, nil
 }
 
 // Remove deletes the atom if present, reporting whether it was there.
@@ -109,6 +126,14 @@ func (ins *Instance) Remove(a Atom) bool {
 	if !ok {
 		return false
 	}
+	ins.removeIndexed(k, stored)
+	ins.noteBareMutation()
+	return true
+}
+
+// removeIndexed is the index-maintenance half of Remove; the same
+// epoch/journal/view caveat as addIndexed applies.
+func (ins *Instance) removeIndexed(k string, stored Atom) {
 	delete(ins.atoms, k)
 	ins.byPred[stored.Pred] = dropAtom(ins.byPred[stored.Pred], stored)
 	for i, t := range stored.Args {
@@ -118,8 +143,16 @@ func (ins *Instance) Remove(a Atom) bool {
 			delete(ins.byPos, pk)
 		}
 	}
+}
+
+// noteBareMutation records a single-atom Add/Remove: the epoch moves,
+// the delta journal is truncated (there is no batch to journal), and
+// the cached interned view is dropped for a lazy full rebuild.
+func (ins *Instance) noteBareMutation() {
+	ins.epoch++
+	ins.journal = nil
+	ins.journalAtoms = 0
 	ins.invalidateInterned()
-	return true
 }
 
 // dropAtom removes a from the list by structural equality, avoiding the

@@ -34,10 +34,27 @@ import (
 // mis-parsed quoted commas — the first parse-torture corpus cases
 // freeze those inputs.
 func Parse(input string) (*Instance, error) {
+	atoms, err := ParseAtoms(input)
+	if err != nil {
+		return nil, err
+	}
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("instance: empty database")
+	}
+	return FromAtoms(atoms...)
+}
+
+// ParseAtoms reads ground atoms in Parse's grammar into a list,
+// preserving text order (and duplicates) and performing no arity or
+// schema validation — the delta-parsing primitive behind PATCH
+// /instances, where arity checking belongs to ApplyDelta so clashes
+// surface as ErrArityClash rather than parse errors. Empty input
+// yields an empty list.
+func ParseAtoms(input string) ([]Atom, error) {
 	if err := scan.CheckUTF8(input); err != nil {
 		return nil, fmt.Errorf("instance: %w", err)
 	}
-	db := New()
+	var atoms []Atom
 	pos := 0
 	for {
 		pos = scan.SkipSpace(input, pos)
@@ -80,14 +97,9 @@ func Parse(input string) (*Instance, error) {
 			return nil, fmt.Errorf("instance: offset %d: expected '.' terminating atom %s(...)", pos, pred)
 		}
 		pos++
-		if err := db.Add(NewAtom(pred, args...)); err != nil {
-			return nil, err
-		}
+		atoms = append(atoms, NewAtom(pred, args...))
 	}
-	if db.Len() == 0 {
-		return nil, fmt.Errorf("instance: empty database")
-	}
-	return db, nil
+	return atoms, nil
 }
 
 // parseConstant reads one argument starting exactly at pos: a quoted

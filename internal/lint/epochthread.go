@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// EpochThread polices the delta-maintenance contract of
+// instance.Instance.ApplyDelta: the returned DeltaResult carries the
+// post-batch epoch, and every non-test caller must bind it — the epoch
+// is how downstream consumers (the reducer-state cache, the PATCH
+// response, DeltaSince) correlate retained state with instance
+// versions. A call that discards the result (expression statement,
+// blank first assignee, go/defer statement) silently breaks that
+// thread: the mutation happens, but nothing can tell which state
+// snapshot it invalidated. Sites that genuinely do not need the epoch
+// annotate with //semalint:allow epochthread(reason).
+var EpochThread = &Analyzer{
+	Name: "epochthread",
+	Doc: "require non-test callers of instance.ApplyDelta to bind the returned " +
+		"DeltaResult (the epoch thread), so retained incremental state can always " +
+		"be correlated with the instance version that invalidated it",
+	Run: runEpochThread,
+}
+
+func runEpochThread(p *Pass) {
+	// The instance package itself is the mechanism under contract, not
+	// a consumer of it.
+	if path.Base(p.Pkg.Path) == "instance" {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		if strings.HasSuffix(p.Pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok && isApplyDeltaCall(p, call) {
+					p.Reportf(call.Pos(),
+						"ApplyDelta result discarded: bind the DeltaResult and thread its "+
+							"epoch (or annotate //semalint:allow epochthread(reason))")
+				}
+			case *ast.GoStmt:
+				if isApplyDeltaCall(p, stmt.Call) {
+					p.Reportf(stmt.Call.Pos(),
+						"ApplyDelta in a go statement discards the DeltaResult: thread the "+
+							"epoch from a binding call site instead")
+				}
+			case *ast.DeferStmt:
+				if isApplyDeltaCall(p, stmt.Call) {
+					p.Reportf(stmt.Call.Pos(),
+						"ApplyDelta in a defer statement discards the DeltaResult: thread "+
+							"the epoch from a binding call site instead")
+				}
+			case *ast.AssignStmt:
+				if len(stmt.Rhs) != 1 {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok || !isApplyDeltaCall(p, call) {
+					return true
+				}
+				if id, ok := stmt.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					p.Reportf(call.Pos(),
+						"ApplyDelta DeltaResult assigned to blank: bind it and thread its "+
+							"epoch (or annotate //semalint:allow epochthread(reason))")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isApplyDeltaCall reports whether the call is
+// (*instance.Instance).ApplyDelta.
+func isApplyDeltaCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ApplyDelta" {
+		return false
+	}
+	tv, ok := p.Pkg.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	typ := tv.Type
+	if ptr, ok := typ.Underlying().(*types.Pointer); ok {
+		typ = ptr.Elem()
+	}
+	named, ok := typ.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Name() == "Instance" && path.Base(obj.Pkg().Path()) == "instance"
+}

@@ -112,7 +112,7 @@ func isTelemetryPkg(p *Package) bool {
 
 // All returns the full semalint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{DetMap, CancelPoll, NoWallTime, ErrWrap, StatsClass, InternLeak}
+	return []*Analyzer{DetMap, CancelPoll, NoWallTime, ErrWrap, StatsClass, InternLeak, EpochThread}
 }
 
 // pragma is one parsed //semalint:allow comment.

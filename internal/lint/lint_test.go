@@ -115,6 +115,9 @@ func TestStatsClassFixture(t *testing.T) { runFixture(t, lint.StatsClass, "stats
 func TestInternLeakFixture(t *testing.T) {
 	runFixture(t, lint.InternLeak, "internleak/core")
 }
+func TestEpochThreadFixture(t *testing.T) {
+	runFixture(t, lint.EpochThread, "epochthread/srv")
+}
 
 // TestPragmaHygiene checks that malformed pragmas are findings and do
 // not suppress the analyzer they misname.
@@ -155,7 +158,7 @@ func TestSuiteNames(t *testing.T) {
 	for _, a := range lint.All() {
 		got = append(got, a.Name)
 	}
-	want := []string{"detmap", "cancelpoll", "nowalltime", "errwrap", "statsclass", "internleak"}
+	want := []string{"detmap", "cancelpoll", "nowalltime", "errwrap", "statsclass", "internleak", "epochthread"}
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Fatalf("analyzer suite = %v, want %v", got, want)
 	}

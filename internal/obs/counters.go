@@ -77,6 +77,23 @@ var (
 	ServerInstances     = reg("server.instances_loaded")
 	EvalRowsScanned     = reg("semacyclic.eval.rows_scanned")
 	EvalIndexHits       = reg("semacyclic.eval.index_hits")
+
+	// The incremental-evaluation counters: PATCH /instances batches
+	// applied and their effective atom deltas, overlay (what-if)
+	// evaluations served, instance epochs advanced by patches, and the
+	// per-evaluation reducer decisions — how the retained
+	// semijoin-reducer state was used (cold first run, reused verbatim,
+	// repaired from the delta, fully recomputed, or a per-tree mix).
+	ServerPatches           = reg("server.patches")
+	ServerDeltaInserts      = reg("server.delta_inserts")
+	ServerDeltaDeletes      = reg("server.delta_deletes")
+	ServerOverlayEvals      = reg("server.overlay_evaluations")
+	ServerEpochChurn        = reg("server.epoch_churn")
+	ServerReducerCold       = reg("server.reducer_cold")
+	ServerReducerReused     = reg("server.reducer_reused")
+	ServerReducerRepaired   = reg("server.reducer_repaired")
+	ServerReducerRecomputed = reg("server.reducer_recomputed")
+	ServerReducerMixed      = reg("server.reducer_mixed")
 )
 
 // Snapshot is a point-in-time copy of every global counter, for

@@ -44,6 +44,19 @@ type EvalStats struct {
 	// JoinRows counts rows materialized by the bottom-up join phase.
 	// DETERMINISTIC.
 	JoinRows int64 `json:"join_rows" sem:"det"`
+	// DeltaInserts / DeltaDeletes count the plan-relevant net delta
+	// atoms an incremental (ExecuteDelta) run consumed; 0 on full runs.
+	// DETERMINISTIC.
+	DeltaInserts int64 `json:"delta_inserts,omitempty" sem:"det"`
+	DeltaDeletes int64 `json:"delta_deletes,omitempty" sem:"det"`
+	// TreesReused / TreesRepaired / TreesRecomputed classify what an
+	// incremental run did with each join tree of the plan: reused the
+	// cached reducer projection untouched, repaired it from an
+	// insert-only delta, or recomputed it (deletes, or no usable
+	// state). All 0 on plain full runs. DETERMINISTIC.
+	TreesReused     int64 `json:"trees_reused,omitempty" sem:"det"`
+	TreesRepaired   int64 `json:"trees_repaired,omitempty" sem:"det"`
+	TreesRecomputed int64 `json:"trees_recomputed,omitempty" sem:"det"`
 	// WallNS is the evaluation wall time. NONDETERMINISTIC.
 	WallNS telemetry.DurationNS `json:"wall_ns" sem:"nondet"`
 }
@@ -52,7 +65,8 @@ type EvalStats struct {
 // two evaluations of the same plan over the same database with the same
 // index setting must produce byte-identical fingerprints.
 func (e *EvalStats) Fingerprint() string {
-	return fmt.Sprintf("eval{method=%s answers=%d scanned=%d lookups=%d hits=%d skipped=%d semijoins=%d dropped=%d joinrows=%d}",
+	return fmt.Sprintf("eval{method=%s answers=%d scanned=%d lookups=%d hits=%d skipped=%d semijoins=%d dropped=%d joinrows=%d delta{ins=%d del=%d reused=%d repaired=%d recomputed=%d}}",
 		e.Method, e.Answers, e.RowsScanned, e.IndexLookups, e.IndexHits,
-		e.IndexSkippedRows, e.Semijoins, e.SemijoinDroppedRows, e.JoinRows)
+		e.IndexSkippedRows, e.Semijoins, e.SemijoinDroppedRows, e.JoinRows,
+		e.DeltaInserts, e.DeltaDeletes, e.TreesReused, e.TreesRepaired, e.TreesRecomputed)
 }

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 
 	"semacyclic/internal/core"
+	"semacyclic/internal/instance"
 	"semacyclic/internal/obs"
 	"semacyclic/internal/telemetry"
 	"semacyclic/internal/term"
@@ -39,6 +41,19 @@ type EvaluateRequest struct {
 	// NoIndex disables the per-position index lookups in the
 	// Yannakakis leaf-load (benchmarking ablation; answers identical).
 	NoIndex bool `json:"no_index,omitempty"`
+	// Overlay, when present, evaluates a what-if delta layered over the
+	// named instance without mutating it: answers are computed as if the
+	// overlay's deletes-then-inserts had been applied, the stored
+	// instance (and every concurrent request) sees nothing.
+	Overlay *OverlayRequest `json:"overlay,omitempty"`
+}
+
+// OverlayRequest is the optional what-if block of POST /evaluate, in
+// the same ground-atom syntax and with the same net semantics as
+// PATCH /instances.
+type OverlayRequest struct {
+	Insert string `json:"insert,omitempty"`
+	Delete string `json:"delete,omitempty"`
 }
 
 // EvaluateResponse is the JSON body of a /evaluate answer.
@@ -60,6 +75,17 @@ type EvaluateResponse struct {
 	// PlanCached reports whether the compiled plan came from the plan
 	// cache (a hit skips decide + GYO entirely).
 	PlanCached bool `json:"plan_cached"`
+	// Epoch is the instance epoch the evaluation ran at (the base
+	// epoch, for overlay runs); correlate with PATCH responses.
+	Epoch uint64 `json:"epoch"`
+	// Overlay reports a what-if evaluation: the answers reflect the
+	// request's overlay delta, the stored instance is untouched.
+	Overlay bool `json:"overlay,omitempty"`
+	// Reducer labels how the retained semijoin-reducer state was used
+	// on a stateful (yannakakis, non-overlay) evaluation: "cold" first
+	// run, "reused" verbatim, "repaired" from the delta, "recomputed",
+	// or a per-tree "mixed". Empty for stateless methods and overlays.
+	Reducer string `json:"reducer,omitempty"`
 	// Stats is the per-evaluation work snapshot.
 	Stats *obs.EvalStats `json:"stats,omitempty"`
 }
@@ -69,6 +95,47 @@ type EvaluateResponse struct {
 // at every value of each.
 func planKey(u *decideUnit, method string) string {
 	return "plan\x00" + u.key + "\x00m=" + method
+}
+
+// reducerKey derives the reducer-state cache key: one retained state
+// per (plan, instance name). A reloaded instance under the same name
+// leaves a stale state behind; the epoch-journal and view-lineage
+// checks inside ExecuteIncremental detect it and recompute, so a stale
+// entry costs time, never correctness.
+func reducerKey(pk, instanceName string) string {
+	return pk + "\x00i=" + instanceName
+}
+
+// reducerDecision labels how an incremental run used the previous
+// state, from the per-tree split in its stats.
+func reducerDecision(prev *core.ReducerState, st *obs.EvalStats) string {
+	if prev == nil {
+		return "cold"
+	}
+	switch {
+	case st.TreesRepaired == 0 && st.TreesRecomputed == 0:
+		return "reused"
+	case st.TreesReused == 0 && st.TreesRecomputed == 0:
+		return "repaired"
+	case st.TreesReused == 0 && st.TreesRepaired == 0:
+		return "recomputed"
+	}
+	return "mixed"
+}
+
+// reducerCounter maps a decision label to its obs counter.
+func reducerCounter(decision string) *obs.Counter {
+	switch decision {
+	case "cold":
+		return obs.ServerReducerCold
+	case "reused":
+		return obs.ServerReducerReused
+	case "repaired":
+		return obs.ServerReducerRepaired
+	case "recomputed":
+		return obs.ServerReducerRecomputed
+	}
+	return obs.ServerReducerMixed
 }
 
 // plan returns the compiled evaluation plan for the unit, from the
@@ -118,6 +185,21 @@ func (s *Server) serveEvaluate(w http.ResponseWriter, r *http.Request) {
 	if method == "" {
 		method = core.MethodAuto
 	}
+	var ovIns, ovDel []instance.Atom
+	if req.Overlay != nil {
+		if ovIns, err = instance.ParseAtoms(req.Overlay.Insert); err != nil {
+			writeError(w, http.StatusBadRequest, "overlay insert: "+err.Error())
+			return
+		}
+		if ovDel, err = instance.ParseAtoms(req.Overlay.Delete); err != nil {
+			writeError(w, http.StatusBadRequest, "overlay delete: "+err.Error())
+			return
+		}
+		if len(ovIns) == 0 && len(ovDel) == 0 {
+			writeError(w, http.StatusBadRequest, "empty overlay: provide insert and/or delete atoms")
+			return
+		}
+	}
 	entry, ok := s.instances.get(req.Instance)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no instance %q (load it via POST /instances)", req.Instance))
@@ -136,11 +218,49 @@ func (s *Server) serveEvaluate(w http.ResponseWriter, r *http.Request) {
 		if derr != nil {
 			return
 		}
-		ans, stats, execErr := p.Execute(entry.db, core.EvalOptions{
+		eopt := core.EvalOptions{
 			Cancel:       ctx.Done(),
 			DisableIndex: req.NoIndex,
 			Trace:        rec,
-		})
+		}
+		// The entry read lock spans the whole evaluation, so a
+		// concurrent PATCH cannot mutate the instance (or its epoch)
+		// mid-run.
+		entry.mu.RLock()
+		defer entry.mu.RUnlock()
+		epoch := entry.db.Epoch()
+		var (
+			ans     [][]term.Term
+			stats   *obs.EvalStats
+			reducer string
+			execErr error
+		)
+		switch {
+		case req.Overlay != nil:
+			var ov *instance.Overlay
+			ov, execErr = entry.db.NewOverlay(ovIns, ovDel)
+			if execErr == nil {
+				ans, stats, execErr = p.ExecuteOverlay(ov, eopt)
+			}
+			if execErr == nil {
+				obs.ServerOverlayEvals.Add(1)
+			}
+		case p.Incremental():
+			rk := reducerKey(planKey(u, method), req.Instance)
+			var prev *core.ReducerState
+			if v, ok := s.reducers.Get(rk); ok {
+				prev, _ = v.(*core.ReducerState)
+			}
+			var next *core.ReducerState
+			ans, stats, next, execErr = p.ExecuteIncremental(entry.db, prev, eopt)
+			if execErr == nil && next != nil {
+				s.reducers.Add(rk, next)
+				reducer = reducerDecision(prev, stats)
+				reducerCounter(reducer).Add(1)
+			}
+		default:
+			ans, stats, execErr = p.Execute(entry.db, eopt)
+		}
 		if execErr != nil {
 			derr = execErr
 			return
@@ -155,6 +275,9 @@ func (s *Server) serveEvaluate(w http.ResponseWriter, r *http.Request) {
 			Free:       freeNames(u),
 			Answers:    renderAnswers(ans),
 			PlanCached: cached,
+			Epoch:      epoch,
+			Overlay:    req.Overlay != nil,
+			Reducer:    reducer,
 			Stats:      stats,
 		}
 		if p.Witness != nil {
@@ -167,6 +290,10 @@ func (s *Server) serveEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	<-done
 	if derr != nil {
+		if errors.Is(derr, instance.ErrArityClash) {
+			writeError(w, http.StatusConflict, derr.Error())
+			return
+		}
 		writeComputeErr(w, derr)
 		return
 	}

@@ -23,9 +23,17 @@ type registry struct {
 	maxAtoms     int
 }
 
-// regEntry is one registered database with its load-time summary.
+// regEntry is one registered database with its summary. The entry's
+// own lock serializes PATCH mutations against in-flight evaluations:
+// evaluations hold mu.RLock for their whole run, a patch holds mu.Lock
+// while applying its batch and refreshing the summary. Reloading a
+// name still swaps the registry pointer — the old entry (and its lock)
+// drains independently, so in-flight work finishes against the version
+// it started with.
 type regEntry struct {
-	name   string
+	name string
+
+	mu     sync.RWMutex
 	db     *instance.Instance
 	preds  []string
 	counts map[string]int
@@ -43,6 +51,12 @@ type InstanceInfo struct {
 	Atoms int `json:"atoms"`
 	// Predicates maps each predicate to its fact count.
 	Predicates map[string]int `json:"predicates"`
+	// Epoch is the instance's mutation epoch, advancing by one per
+	// applied PATCH batch (the absolute value is opaque — load-time
+	// construction already consumed some epochs). Evaluation responses
+	// echo the epoch they ran at, so clients can correlate answers with
+	// instance versions.
+	Epoch uint64 `json:"epoch"`
 }
 
 // InstanceRequest is the JSON body of POST /instances.
@@ -57,7 +71,9 @@ type InstanceRequest struct {
 }
 
 func (e *regEntry) info() InstanceInfo {
-	return InstanceInfo{Name: e.name, Atoms: e.db.Len(), Predicates: e.counts}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return InstanceInfo{Name: e.name, Atoms: e.db.Len(), Predicates: e.counts, Epoch: e.db.Epoch()}
 }
 
 // load parses and registers a database. The returned status is the

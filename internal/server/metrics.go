@@ -54,6 +54,16 @@ const (
 	hInflight    = "requests admitted and not yet finished"
 	mInstances   = "semacycd_instances"
 	hInstances   = "named database instances loaded"
+	mReducerDec  = "semacycd_reducer_decisions_total"
+	hReducerDec  = "incremental evaluations by reducer-state decision"
+	mDeltaAtoms  = "semacycd_delta_atoms_total"
+	hDeltaAtoms  = "effective atoms mutated by PATCH batches"
+	mEpochChurn  = "semacycd_epoch_churn_total"
+	hEpochChurn  = "instance epochs advanced by PATCH batches"
+	mPatches     = "semacycd_patches_total"
+	hPatches     = "successful PATCH /instances/{name} batches"
+	mOverlayEval = "semacycd_overlay_evaluations_total"
+	hOverlayEval = "what-if evaluations over copy-on-write overlays"
 )
 
 // metricsSet owns the server's telemetry registry and the handles the
@@ -103,6 +113,24 @@ func newMetricsSet(s *Server) *metricsSet {
 		return int64(s.inflight)
 	})
 	m.reg.GaugeFunc(mInstances, hInstances, "", func() int64 { return int64(s.instances.len()) })
+	decisions := []struct {
+		label string
+		c     *obs.Counter
+	}{
+		{"cold", obs.ServerReducerCold},
+		{"reused", obs.ServerReducerReused},
+		{"repaired", obs.ServerReducerRepaired},
+		{"recomputed", obs.ServerReducerRecomputed},
+		{"mixed", obs.ServerReducerMixed},
+	}
+	for _, d := range decisions {
+		m.reg.CounterFunc(mReducerDec, hReducerDec, telemetry.Labels("decision", d.label), d.c.Load)
+	}
+	m.reg.CounterFunc(mDeltaAtoms, hDeltaAtoms, telemetry.Labels("op", "insert"), obs.ServerDeltaInserts.Load)
+	m.reg.CounterFunc(mDeltaAtoms, hDeltaAtoms, telemetry.Labels("op", "delete"), obs.ServerDeltaDeletes.Load)
+	m.reg.CounterFunc(mEpochChurn, hEpochChurn, "", obs.ServerEpochChurn.Load)
+	m.reg.CounterFunc(mPatches, hPatches, "", obs.ServerPatches.Load)
+	m.reg.CounterFunc(mOverlayEval, hOverlayEval, "", obs.ServerOverlayEvals.Load)
 	for _, c := range obs.All() {
 		c := c
 		m.reg.CounterFunc(promCounterName(c.Name()), "process-global counter "+c.Name(), "", c.Load)

@@ -7,7 +7,9 @@
 //	POST /instances        — load a named database (indexed at load time)
 //	GET  /instances        — list loaded instances
 //	DELETE /instances/{name} — drop a loaded instance
+//	PATCH /instances/{name}  — apply an atomic insert/delete batch
 //	POST /evaluate         — evaluate a query on a loaded instance
+//	                         (optionally over a what-if overlay)
 //	GET  /healthz          — liveness + queue depth
 //	GET  /debug/vars       — the expvar counters (obs.Publish)
 //
@@ -158,6 +160,10 @@ type Server struct {
 	sigmas *lruCache
 	// plans caches *core.Plan by planKey (decision knobs × method).
 	plans *lruCache
+	// reducers caches *core.ReducerState by reducerKey — the retained
+	// semijoin-reducer state behind incremental /evaluate, one entry per
+	// (plan, instance name).
+	reducers *lruCache
 	// instances is the named-database registry behind /instances.
 	instances *registry
 
@@ -194,6 +200,7 @@ func New(cfg Config) *Server {
 		decisions: newLRU(cfg.CacheSize),
 		sigmas:    newLRU(cfg.SigmaCacheSize),
 		plans:     newLRU(cfg.PlanCacheSize),
+		reducers:  newLRU(cfg.PlanCacheSize),
 		instances: newRegistry(cfg.MaxInstances, cfg.MaxInstanceAtoms),
 		prepStats: &lruStats{},
 		traces:    telemetry.NewTraceRing(cfg.TraceRingSize),
@@ -221,6 +228,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /instances", s.instrument("/instances", s.serveInstanceLoad))
 	mux.HandleFunc("GET /instances", s.serveInstanceList)
 	mux.HandleFunc("DELETE /instances/{name}", s.serveInstanceDelete)
+	mux.HandleFunc("PATCH /instances/{name}", s.instrument("/instances/patch", s.servePatch))
 	mux.HandleFunc("POST /evaluate", s.instrument("/evaluate", s.serveEvaluate))
 	mux.HandleFunc("GET /healthz", s.serveHealthz)
 	mux.HandleFunc("GET /metrics", s.serveMetrics)

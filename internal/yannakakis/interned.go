@@ -96,7 +96,19 @@ type Compiled struct {
 
 	rootSteps []rootStep
 	colIdx    []int32 // result columns ordered as query.Free
+
+	// Delta-repair indexes (see delta.go): the nodes using each
+	// predicate, each node's tree (index into roots), and each tree's
+	// node set.
+	predNode  map[string][]int32
+	treeOf    []int32
+	treeNodes [][]int32
 }
+
+// NumTrees returns the number of join trees in the plan's forest — the
+// denominator of the reused/repaired/recomputed split an incremental
+// run reports in its EvalStats.
+func (c *Compiled) NumTrees() int { return len(c.roots) }
 
 // Compile lowers the query and its join forest into an executable
 // integer-coded program. The forest must cover exactly the query's
@@ -232,6 +244,25 @@ func Compile(q *cq.CQ, forest *hypergraph.Forest) (*Compiled, error) {
 		}
 		c.colIdx[i] = int32(j)
 	}
+
+	c.predNode = make(map[string][]int32, len(c.nodes))
+	for i := range c.nodes {
+		p := c.nodes[i].pred
+		c.predNode[p] = append(c.predNode[p], int32(i))
+	}
+	c.treeOf = make([]int32, len(c.nodes))
+	c.treeNodes = make([][]int32, len(c.roots))
+	for ridx, r := range c.roots {
+		var collect func(i int)
+		collect = func(i int) {
+			c.treeOf[i] = int32(ridx)
+			c.treeNodes[ridx] = append(c.treeNodes[ridx], int32(i))
+			for _, ch := range c.children[i] {
+				collect(ch)
+			}
+		}
+		collect(r)
+	}
 	return c, nil
 }
 
@@ -265,26 +296,59 @@ type ievalState struct {
 // of the same Compiled; all mutable state is per-call. The database's
 // interned view is built on first use and cached until mutation.
 func (c *Compiled) Execute(db *instance.Instance, opt Options) ([][]term.Term, error) {
-	st := &ievalState{evalState: evalState{opt: opt}}
-	if st.opt.Stats != nil {
-		st.opt.Stats.Method = "yannakakis"
-	}
-	iv := db.Interned()
+	ans, _, err := c.executeView(db.Interned(), opt, false)
+	return ans, err
+}
 
-	// The per-database string→id boundary: translate the plan's
-	// constants once. A miss proves the constant matches no fact.
+// ExecuteView runs the compiled program over an explicit interned view
+// — the entry point for overlay (what-if) evaluation, where the view
+// is a patched image of a base instance rather than the instance's own
+// cache. Answers and stats are exactly Execute's for the view's atoms.
+func (c *Compiled) ExecuteView(iv *instance.InternedView, opt Options) ([][]term.Term, error) {
+	ans, _, err := c.executeView(iv, opt, false)
+	return ans, err
+}
+
+// ExecuteState is Execute retaining the per-tree semijoin-reducer
+// state ExecuteDelta repairs on later runs. Answers and stats are
+// byte-identical to Execute's; the extra work is only the bookkeeping
+// of the per-root reduced projections the run computes anyway. When an
+// empty node cuts evaluation short the returned state is marked
+// incomplete (its projections never materialized) and a later
+// ExecuteDelta falls back to a full recompute.
+func (c *Compiled) ExecuteState(db *instance.Instance, opt Options) ([][]term.Term, *ReducerState, error) {
+	return c.executeView(db.Interned(), opt, true)
+}
+
+// lookupConsts translates the plan's constants into a view's id space.
+// A miss proves the constant matches no fact of the view.
+func (c *Compiled) lookupConsts(iv *instance.InternedView) ([]symtab.ID, []bool) {
 	constID := make([]symtab.ID, len(c.consts))
 	constOK := make([]bool, len(c.consts))
 	for i, t := range c.consts {
 		constID[i], constOK[i] = iv.Table.Lookup(t)
 	}
+	return constID, constOK
+}
+
+// executeView is the shared full-evaluation core behind Execute,
+// ExecuteView and ExecuteState.
+func (c *Compiled) executeView(iv *instance.InternedView, opt Options, keepState bool) ([][]term.Term, *ReducerState, error) {
+	st := &ievalState{evalState: evalState{opt: opt}}
+	if st.opt.Stats != nil {
+		st.opt.Stats.Method = "yannakakis"
+	}
+
+	// The per-database string→id boundary: translate the plan's
+	// constants once.
+	constID, constOK := c.lookupConsts(iv)
 
 	leafSp := opt.Trace.Start("yannakakis:leaves")
 	rels := make([]irel, len(c.nodes))
 	for i := range c.nodes {
 		r, err := loadLeaf(&c.nodes[i], iv, constID, constOK, st)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		rels[i] = r
 	}
@@ -295,7 +359,7 @@ func (c *Compiled) Execute(db *instance.Instance, opt Options) ([][]term.Term, e
 	for _, i := range c.post {
 		if p := c.forest.Parent[i]; p >= 0 {
 			if err := st.semijoin(&rels[p], &rels[i], c.nodes[i].down.li, c.nodes[i].down.ri); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
@@ -306,41 +370,67 @@ func (c *Compiled) Execute(db *instance.Instance, opt Options) ([][]term.Term, e
 		i := c.post[k]
 		if p := c.forest.Parent[i]; p >= 0 {
 			if err := st.semijoin(&rels[i], &rels[p], c.nodes[i].up.li, c.nodes[i].up.ri); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
 	downSp.End()
-	// Any empty node after full reduction means no answers.
+	// Any empty node after full reduction means no answers. The
+	// short-circuit skips phase 3 entirely, so a retained state has no
+	// repair-grade projections: mark it incomplete.
 	for i := range rels {
 		if rels[i].n == 0 {
-			return nil, nil
+			return nil, c.incompleteState(iv, keepState), nil
 		}
 	}
 
 	// Phase 3: bottom-up join per tree, cross-product across trees.
 	joinSp := opt.Trace.Start("yannakakis:join")
 	defer joinSp.End()
+	var projs []irel
+	if keepState {
+		projs = make([]irel, len(c.roots))
+	}
 	result := irel{w: 0, n: 1} // one empty row: identity for ⨯
 	for ridx, r := range c.roots {
 		uv, err := c.joinUp(r, rels, st)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		step := c.rootSteps[ridx]
 		proj := projectRel(uv, step.keep)
+		if keepState {
+			projs[ridx] = proj
+		}
 		if proj.n == 0 {
-			return nil, nil
+			return nil, c.incompleteState(iv, keepState), nil
 		}
 		result, err = st.join(result, proj, step.li, step.ri, step.rExtra, step.outW)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
-	// Answer boundary: dedup on interned tuples, then de-intern each
-	// distinct answer once and order by its canonical string key —
-	// never by ids, whose values are build-order accidents.
+	out := c.materializeAnswers(result, iv, st)
+	if !keepState {
+		return out, nil, nil
+	}
+	return out, &ReducerState{view: iv, projs: projs, answers: out}, nil
+}
+
+// incompleteState returns the marker state of a short-circuited run
+// (nil when the caller keeps no state).
+func (c *Compiled) incompleteState(iv *instance.InternedView, keepState bool) *ReducerState {
+	if !keepState {
+		return nil
+	}
+	return &ReducerState{view: iv, incomplete: true}
+}
+
+// materializeAnswers is the answer boundary: dedup on interned tuples,
+// then de-intern each distinct answer once and order by its canonical
+// string key — never by ids, whose values are build-order accidents.
+func (c *Compiled) materializeAnswers(result irel, iv *instance.InternedView, st *ievalState) [][]term.Term {
 	freeW := len(c.colIdx)
 	seen := make(map[string]bool, result.n)
 	var out [][]term.Term
@@ -370,7 +460,7 @@ func (c *Compiled) Execute(db *instance.Instance, opt Options) ([][]term.Term, e
 	if st.opt.Stats != nil {
 		st.opt.Stats.Answers = len(out)
 	}
-	return out, nil
+	return out
 }
 
 // loadLeaf is matchRows on the columnar view: candidate selection by

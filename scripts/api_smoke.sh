@@ -124,6 +124,53 @@ vars=$(request GET /debug/vars 200)
 expect_contains "$vars" '"server.evaluations"' expvar
 expect_contains "$vars" '"server.plan_cache_hits"' expvar
 
+echo "-- patch: apply delta, epoch advances, errors"
+p1=$(request PATCH /instances/musicstore 200 \
+    '{"insert":"Interest(bob,jazz). Owns(bob,kindofblue)."}')
+expect_contains "$p1" '"inserted":2' patch
+expect_contains "$p1" '"atoms":5' patch
+epoch1=$(grep -o '"epoch":[0-9]*' <<<"$p1")
+request PATCH /instances/nope 404 '{"insert":"R(a)."}' >/dev/null
+request PATCH /instances/musicstore 400 '{"insert":"R(a"}' >/dev/null
+request PATCH /instances/musicstore 400 '{}' >/dev/null
+request PATCH /instances/musicstore 409 '{"insert":"Owns(onlyone)."}' >/dev/null
+p2=$(request PATCH /instances/musicstore 200 '{"delete":"Owns(bob,kindofblue)."}')
+expect_contains "$p2" '"deleted":1' patch-delete
+epoch2=$(grep -o '"epoch":[0-9]*' <<<"$p2")
+[[ "$epoch1" != "$epoch2" ]] || fail "patch: epoch did not advance ($epoch1 vs $epoch2)"
+
+echo "-- evaluate: reducer progression cold → reused → repaired"
+YQ='{"query":"q(x) :- Interest(x,z), Class(y,z).","instance":"musicstore","method":"yannakakis"}'
+expect_contains "$(request POST /evaluate 200 "$YQ")" '"reducer":"cold"' reducer-cold
+expect_contains "$(request POST /evaluate 200 "$YQ")" '"reducer":"reused"' reducer-reused
+request PATCH /instances/musicstore 200 '{"insert":"Interest(carol,jazz)."}' >/dev/null
+r3=$(request POST /evaluate 200 "$YQ")
+expect_contains "$r3" '"reducer":"repaired"' reducer-repaired
+expect_contains "$r3" '"carol"' reducer-repaired-answer
+
+echo "-- evaluate: what-if overlay (stateless, base untouched)"
+OV='{"query":"q(x) :- Interest(x,z), Class(y,z).","instance":"musicstore","method":"yannakakis","overlay":{"insert":"Interest(dave,jazz)."}}'
+ov=$(request POST /evaluate 200 "$OV")
+expect_contains "$ov" '"overlay":true' overlay
+expect_contains "$ov" '"dave"' overlay-answer
+after=$(request POST /evaluate 200 "$YQ")
+[[ "$after" != *'"dave"'* ]] || fail "overlay leaked into the base instance"
+expect_contains "$after" '"reducer":"reused"' overlay-stateless
+request POST /evaluate 400 \
+    '{"query":"q :- E(x,y).","instance":"musicstore","overlay":{}}' >/dev/null
+request POST /evaluate 409 \
+    '{"query":"q :- E(x,y).","instance":"musicstore","overlay":{"insert":"Owns(onlyone)."}}' >/dev/null
+
+echo "-- delta metrics series present"
+dm=$(request GET /metrics 200)
+expect_contains "$dm" 'semacycd_patches_total' delta-metrics
+expect_contains "$dm" 'semacycd_delta_atoms_total{op="insert"}' delta-metrics
+expect_contains "$dm" 'semacycd_delta_atoms_total{op="delete"}' delta-metrics
+expect_contains "$dm" 'semacycd_epoch_churn_total' delta-metrics
+expect_contains "$dm" 'semacycd_reducer_decisions_total{decision="cold"}' delta-metrics
+expect_contains "$dm" 'semacycd_reducer_decisions_total{decision="repaired"}' delta-metrics
+expect_contains "$dm" 'semacycd_overlay_evaluations_total' delta-metrics
+
 echo "-- instance delete: 204 then 404"
 request DELETE /instances/musicstore 204 >/dev/null
 request DELETE /instances/musicstore 404 >/dev/null

@@ -51,6 +51,26 @@ echo "== cancellation & server gate (race) =="
 go test -race -count=1 ./internal/server/
 go test -race -count=1 -run 'Cancel' ./internal/chase/ ./internal/rewrite/ ./internal/core/
 
+echo "== delta & overlay differential gate (race) =="
+# Incremental evaluation must never drift from from-scratch: replay
+# delta journals through ExecuteDelta and overlays and compare answers
+# and deterministic fingerprints against full re-evaluation, at the
+# instance, reducer and plan layers. -count=1: a cached 'ok' can never
+# satisfy the gate.
+go test -race -count=1 -run 'Delta|Overlay|Incremental' \
+    ./internal/instance/ ./internal/yannakakis/ ./internal/core/
+
+echo "== internal/README.md completeness =="
+# Every internal package gets its paragraph; a new package without one
+# fails the gate here rather than drifting silently.
+for d in internal/*/; do
+    pkg=$(basename "$d")
+    if ! grep -q "^\*\*${pkg}\*\*" internal/README.md; then
+        echo "internal/README.md: no paragraph for internal/${pkg}" >&2
+        exit 1
+    fi
+done
+
 echo "== torture corpus (race, -j 1/4/8) =="
 # The data-driven corpus under testdata/corpus: parser regressions,
 # differential method agreement on frozen verdicts/answers, stable

@@ -54,6 +54,16 @@ type (
 	// Instance is an indexed set of atoms (a database when finite and
 	// variable-free, which Instance enforces).
 	Instance = instance.Instance
+	// Delta is one batch of inserts and deletes, as journalled by
+	// Instance.ApplyDelta and bridged by Instance.DeltaSince.
+	Delta = instance.Delta
+	// DeltaResult reports an applied batch: the new epoch and the net
+	// insert/delete counts after set semantics collapse the batch.
+	DeltaResult = instance.DeltaResult
+	// Overlay is a copy-on-write what-if view: a hypothetical delta
+	// layered over a shared base instance without copying or mutating
+	// it (Instance.NewOverlay).
+	Overlay = instance.Overlay
 	// CQ is a conjunctive query.
 	CQ = cq.CQ
 	// UCQ is a union of conjunctive queries.
@@ -89,6 +99,10 @@ type (
 	// EvalOptions tunes one Plan.Execute run (cancellation, index
 	// ablation).
 	EvalOptions = core.EvalOptions
+	// ReducerState is the retained per-plan semijoin state that
+	// Plan.ExecuteIncremental repairs from an instance's delta journal
+	// instead of recomputing.
+	ReducerState = core.ReducerState
 	// Certificate is a re-checkable proof behind a Yes decision.
 	Certificate = core.Certificate
 
@@ -191,6 +205,17 @@ func ParseDependencies(input string) (*Dependencies, error) { return deps.Parse(
 // ParseDatabase parses ground atoms like "R(a,b). S(c)." into a
 // database; arguments are constants (quotes optional).
 func ParseDatabase(input string) (*Instance, error) { return instance.Parse(input) }
+
+// ParseAtoms parses ground atoms in the ParseDatabase syntax into a
+// bare atom slice — the input format of Instance.ApplyDelta and
+// Instance.NewOverlay batches. Unlike ParseDatabase, the empty input
+// is fine (an empty batch side).
+func ParseAtoms(input string) ([]Atom, error) { return instance.ParseAtoms(input) }
+
+// ErrArityClash is wrapped by Instance.ApplyDelta and
+// Instance.NewOverlay when a batch atom's arity contradicts the
+// instance schema or another batch atom; match with errors.Is.
+var ErrArityClash = instance.ErrArityClash
 
 // FormatDatabase renders a database in the ground-atom syntax that
 // ParseDatabase reads back (one "R(a,b)." statement per line). It
