@@ -3,11 +3,14 @@
 // of the contract that the -race determinism tests check dynamically.
 //
 //	semalint [flags] [packages]          # default ./...
-//	semalint -json ./...                 # machine-readable findings
+//	semalint -json ./...                 # findings + per-analyzer timings
+//	semalint -sarif ./...                # SARIF 2.1.0 for code-scanning UIs
+//	semalint -budget-ms 20000 ./...      # fail CI when lint exceeds the budget
 //	semalint -detmap=false ./internal/…  # disable one analyzer
 //
 // Exit status: 0 no findings, 1 findings reported, 2 operational error
-// (pattern did not load, packages failed to typecheck, ...).
+// (pattern did not load, packages failed to typecheck, ...), 3 clean but
+// over the -budget-ms wall-time budget.
 package main
 
 import (
@@ -17,24 +20,39 @@ import (
 	"os"
 
 	"semacyclic/internal/lint"
+	"semacyclic/internal/telemetry"
 )
 
 func main() {
 	os.Exit(run())
 }
 
+// report is the -json output shape: the deterministic findings plus the
+// (nondeterministic, machine-local) per-analyzer wall times.
+type report struct {
+	Findings []lint.Diagnostic `json:"findings"`
+	Timings  []lint.Timing     `json:"timings"`
+}
+
 func run() int {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of vet-style text")
+	jsonOut := flag.Bool("json", false, "emit {findings, timings} as JSON instead of vet-style text")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log instead of vet-style text")
+	budgetMS := flag.Int64("budget-ms", 0, "fail (exit 3) when total analyzer wall time exceeds this many milliseconds; 0 disables")
 	enabled := map[string]*bool{}
 	for _, a := range lint.All() {
 		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
 	}
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: semalint [flags] [packages]\n\nenforces the determinism & cancellation contracts; see docs/ARCHITECTURE.md\n\n")
+			"usage: semalint [flags] [packages]\n\nenforces the determinism & cancellation contracts; see docs/ARCHITECTURE.md and docs/LINT.md\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "semalint: -json and -sarif are mutually exclusive")
+		return 2
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -54,27 +72,51 @@ func run() int {
 		return 2
 	}
 
-	diags := lint.Run(pkgs, analyzers)
-	if *jsonOut {
+	diags, timings := lint.RunTimed(pkgs, analyzers)
+	switch {
+	case *jsonOut:
+		r := report{Findings: diags, Timings: timings}
+		if r.Findings == nil {
+			r.Findings = []lint.Diagnostic{}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []lint.Diagnostic{}
-		}
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(r); err != nil {
 			fmt.Fprintln(os.Stderr, "semalint:", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		wd, _ := os.Getwd()
+		out, err := lint.SARIF(analyzers, diags, wd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semalint:", err)
+			return 2
+		}
+		os.Stdout.Write(out)
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
 		}
 	}
+
+	var totalNS telemetry.DurationNS
+	for _, t := range timings {
+		totalNS += t.WallNS
+	}
+	overBudget := *budgetMS > 0 && int64(totalNS) > *budgetMS*1e6
+	if overBudget {
+		fmt.Fprintf(os.Stderr, "semalint: analyzers took %dms, over the %dms budget\n",
+			int64(totalNS)/1e6, *budgetMS)
+	}
+
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(os.Stderr, "semalint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		}
 		return 1
+	}
+	if overBudget {
+		return 3
 	}
 	return 0
 }

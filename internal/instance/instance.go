@@ -29,10 +29,10 @@ type posKey struct {
 // both maintained incrementally on Add/Remove. The zero value is not
 // usable; call New.
 type Instance struct {
-	atoms  map[string]Atom   // canonical key → atom
-	byPred map[string][]Atom // predicate → atoms (order of insertion, compacted on removal)
-	byPos  map[posKey][]Atom
-	sch    *schema.Schema // lazily grown signature of the instance
+	atoms  map[string]Atom   `sem:"guardedby(owner)"` // canonical key → atom
+	byPred map[string][]Atom `sem:"guardedby(owner)"` // predicate → atoms (order of insertion, compacted on removal)
+	byPos  map[posKey][]Atom `sem:"guardedby(owner)"`
+	sch    *schema.Schema    `sem:"guardedby(owner)"` // lazily grown signature of the instance
 
 	// interned caches the columnar integer-coded view (see interned.go);
 	// dropped on every bare mutation, rebuilt lazily by Interned.
@@ -44,9 +44,9 @@ type Instance struct {
 	// the recent ApplyDelta batches (see delta.go) so incremental
 	// evaluators can catch up from an older epoch; bare mutations
 	// truncate it, forcing those evaluators to recompute.
-	epoch        uint64
-	journal      []journalEntry
-	journalAtoms int
+	epoch        uint64         `sem:"guardedby(owner)"`
+	journal      []journalEntry `sem:"guardedby(owner)"`
+	journalAtoms int            `sem:"guardedby(owner)"`
 }
 
 // New returns an empty instance.

@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The sem struct-tag annotation language. A tag is a comma-separated
+// attribute list:
+//
+//	sem:"det"                  deterministic value (dettaint sink,
+//	                           statsclass classification)
+//	sem:"nondet"               scheduling-dependent value (dettaint
+//	                           source, statsclass classification)
+//	sem:"group"                nested stats struct (statsclass)
+//	sem:"atomic"               accessed only through sync/atomic
+//	sem:"guardedby(mu)"        every access must hold the sibling
+//	                           field mu (same struct instance)
+//	sem:"guardedby(T.mu)"      every access must hold the lock field
+//	                           mu of some same-package type T (any
+//	                           instance — for sibling-less structs
+//	                           guarded by their owner's lock)
+//	sem:"guardedby(owner)"     externally serialized: the owner
+//	                           promises no concurrent access, so no
+//	                           goroutine spawned in the declaring
+//	                           package may write the field
+//
+// Attributes combine: `sem:"nondet,guardedby(mu)"` is a mutex-guarded
+// counter whose value must never reach a deterministic output.
+// Malformed tags, unknown attributes and unknown lock names are
+// reported under the reserved analyzer name "anno" — which no pragma
+// can name, so they are unsuppressible by construction.
+
+// guardRef is one parsed guardedby(...) argument.
+type guardRef struct {
+	// owner marks guardedby(owner).
+	owner bool
+	// typeName qualifies the lock's owning type for guardedby(T.mu):
+	// the full types.Named string ("semacyclic/internal/telemetry.Registry").
+	// Empty for sibling guards.
+	typeName string
+	// field is the lock field name ("mu"). Empty for owner guards.
+	field string
+	// rw reports whether the lock is a sync.RWMutex (reads may hold the
+	// read side).
+	rw bool
+}
+
+func (g *guardRef) String() string {
+	switch {
+	case g == nil:
+		return "<none>"
+	case g.owner:
+		return "owner"
+	case g.typeName != "":
+		return g.typeName + "." + g.field
+	default:
+		return g.field
+	}
+}
+
+// fieldAnno is the parsed annotation set of one struct field.
+type fieldAnno struct {
+	det, nondet, atomic bool
+	guard               *guardRef
+	// owner is the named struct type declaring the field, nil for
+	// anonymous structs.
+	owner *types.Named
+	// fieldName is the declared field name.
+	fieldName string
+}
+
+// rawDiag is a position-tagged message produced by a whole-program fact
+// pass, sliced per package at report time.
+type rawDiag struct {
+	pos token.Pos
+	msg string
+}
+
+// sortRawDiags orders findings deterministically regardless of the map
+// iteration order that produced them.
+func sortRawDiags(d []rawDiag) {
+	sort.Slice(d, func(i, j int) bool {
+		if d[i].pos != d[j].pos {
+			return d[i].pos < d[j].pos
+		}
+		return d[i].msg < d[j].msg
+	})
+}
+
+// annoIndex is the program-wide annotation table.
+type annoIndex struct {
+	// fields maps the field object to its parsed annotations.
+	fields map[*types.Var]*fieldAnno
+	// bad collects malformed-annotation diagnostics by package path.
+	bad map[string][]rawDiag
+}
+
+// annotations parses every sem tag in the program, once.
+func (prog *Program) annotations() *annoIndex {
+	prog.annoOnce.Do(func() {
+		idx := &annoIndex{fields: map[*types.Var]*fieldAnno{}, bad: map[string][]rawDiag{}}
+		for _, p := range prog.Pkgs {
+			idx.indexPackage(p)
+		}
+		prog.anno = idx
+	})
+	return prog.anno
+}
+
+// indexPackage parses the sem tags of every struct type declared in p.
+func (idx *annoIndex) indexPackage(p *Package) {
+	report := func(pos token.Pos, format string, args ...any) {
+		idx.bad[p.Path] = append(idx.bad[p.Path], rawDiag{pos: pos, msg: fmt.Sprintf(format, args...)})
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			var owner *types.Named
+			if tn, ok := p.Info.Defs[ts.Name].(*types.TypeName); ok {
+				owner, _ = tn.Type().(*types.Named)
+			}
+			for _, fld := range st.Fields.List {
+				if fld.Tag == nil {
+					continue
+				}
+				raw, err := strconv.Unquote(fld.Tag.Value)
+				if err != nil {
+					continue // the typechecker already rejects broken tag literals
+				}
+				sem, ok := reflect.StructTag(raw).Lookup("sem")
+				if !ok {
+					continue
+				}
+				anno := idx.parseTag(p, st, sem, fld.Tag.Pos(), report)
+				if anno == nil {
+					continue
+				}
+				anno.owner = owner
+				for _, name := range fld.Names {
+					if v, ok := p.Info.Defs[name].(*types.Var); ok {
+						a := *anno
+						a.fieldName = v.Name()
+						idx.fields[v] = &a
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// parseTag parses one sem tag value. Malformed tags report and return
+// nil; statsclass owns the det/nondet/group semantics for obs packages,
+// so unknown single-word attributes in obs structs are left to it.
+func (idx *annoIndex) parseTag(p *Package, st *ast.StructType, sem string, pos token.Pos, report func(token.Pos, string, ...any)) *fieldAnno {
+	anno := &fieldAnno{}
+	for _, attr := range strings.Split(sem, ",") {
+		attr = strings.TrimSpace(attr)
+		switch {
+		case attr == "det":
+			anno.det = true
+		case attr == "nondet":
+			anno.nondet = true
+		case attr == "group":
+			// statsclass territory; no dataflow meaning.
+		case attr == "atomic":
+			anno.atomic = true
+		case strings.HasPrefix(attr, "guardedby"):
+			g := idx.parseGuard(p, st, attr, pos, report)
+			if g == nil {
+				return nil
+			}
+			if anno.guard != nil {
+				report(pos, "sem tag declares more than one guardedby attribute")
+				return nil
+			}
+			anno.guard = g
+		default:
+			if isObsPkg(p) {
+				// statsclass reports unknown classifications in obs with
+				// its own message; don't double up.
+				continue
+			}
+			report(pos, "sem tag has unknown attribute %q; use det, nondet, group, atomic or guardedby(...)", attr)
+			return nil
+		}
+	}
+	if anno.det && anno.nondet {
+		report(pos, "sem tag declares both det and nondet; pick one")
+		return nil
+	}
+	return anno
+}
+
+// parseGuard parses and validates one guardedby(...) attribute against
+// the declaring struct and package: the named sibling must exist and be
+// a lock; a qualified T.mu must resolve to a lock field of a
+// same-package struct type.
+func (idx *annoIndex) parseGuard(p *Package, st *ast.StructType, attr string, pos token.Pos, report func(token.Pos, string, ...any)) *guardRef {
+	if !strings.HasPrefix(attr, "guardedby(") || !strings.HasSuffix(attr, ")") {
+		report(pos, "malformed guardedby attribute %q; use guardedby(<lock>), guardedby(<Type>.<lock>) or guardedby(owner)", attr)
+		return nil
+	}
+	arg := strings.TrimSpace(attr[len("guardedby(") : len(attr)-1])
+	if arg == "" {
+		report(pos, "guardedby attribute names no lock; use guardedby(<lock>), guardedby(<Type>.<lock>) or guardedby(owner)")
+		return nil
+	}
+	if arg == "owner" {
+		return &guardRef{owner: true}
+	}
+	if typeName, lock, ok := strings.Cut(arg, "."); ok {
+		obj, _ := p.Types.Scope().Lookup(typeName).(*types.TypeName)
+		if obj == nil {
+			report(pos, "guardedby(%s) names unknown type %q in package %s", arg, typeName, p.Path)
+			return nil
+		}
+		named, _ := obj.Type().(*types.Named)
+		rw, ok := lockFieldOf(obj.Type(), lock)
+		if !ok || named == nil {
+			report(pos, "guardedby(%s): %s has no lock field %q (need a sync.Mutex or sync.RWMutex)", arg, typeName, lock)
+			return nil
+		}
+		return &guardRef{typeName: named.String(), field: lock, rw: rw}
+	}
+	// Sibling guard: the lock lives in the same struct.
+	for _, sib := range st.Fields.List {
+		for _, name := range sib.Names {
+			if name.Name != arg {
+				continue
+			}
+			v, _ := p.Info.Defs[name].(*types.Var)
+			if v == nil {
+				continue
+			}
+			rw, ok := isLockType(v.Type())
+			if !ok {
+				report(pos, "guardedby(%s): sibling field %s has type %s, not a sync.Mutex or sync.RWMutex", arg, arg, v.Type())
+				return nil
+			}
+			return &guardRef{field: arg, rw: rw}
+		}
+	}
+	report(pos, "guardedby(%s) names unknown lock %q: no such sibling field in the struct", arg, arg)
+	return nil
+}
+
+// isLockType reports whether t (behind one pointer) is sync.Mutex or
+// sync.RWMutex, and whether it is the RW flavor.
+func isLockType(t types.Type) (rw, ok bool) {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// lockFieldOf reports whether named type t has a struct field `name` of
+// lock type, and whether that lock is an RWMutex.
+func lockFieldOf(t types.Type, name string) (rw, ok bool) {
+	st, isStruct := t.Underlying().(*types.Struct)
+	if !isStruct {
+		return false, false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return isLockType(st.Field(i).Type())
+		}
+	}
+	return false, false
+}
+
+// reportBad emits the package's malformed-annotation diagnostics under
+// the reserved "anno" name (unsuppressible: no analyzer or pragma may
+// use it).
+func (idx *annoIndex) reportBad(pass *Pass) {
+	for _, d := range idx.bad[pass.Pkg.Path] {
+		pass.report(Diagnostic{
+			Analyzer: "anno",
+			Pos:      pass.Pkg.Fset.Position(d.pos),
+			Message:  d.msg,
+		})
+	}
+}

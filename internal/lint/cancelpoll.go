@@ -15,14 +15,15 @@ import (
 // contains a cancellation check: a call whose callee name mentions
 // cancellation (state.cancelled, Options.cancelled, mapCancelled, ...),
 // a receive from a cancel/done channel, a use of an ErrCancelled
-// sentinel, or a call to a function or method of the same package that
-// itself (transitively) polls. Compare-and-swap retry loops are exempt:
-// a loop that calls CompareAndSwap terminates by the CAS contract.
-// Three-clause `for i := 0; i < n; i++` loops and `range` loops are
-// structurally bounded and never flagged.
+// sentinel, or a call — resolved through the whole-program call graph,
+// across package boundaries — to a function that itself (transitively)
+// polls. Compare-and-swap retry loops are exempt: a loop that calls
+// CompareAndSwap terminates by the CAS contract. Three-clause
+// `for i := 0; i < n; i++` loops and `range` loops are structurally
+// bounded and never flagged.
 //
-// Genuinely bounded while-loops (digit extraction, fixed work lists)
-// are annotated //semalint:allow cancelpoll(reason).
+// Genuinely bounded while-loops (digit extraction, binary search) are
+// annotated //semalint:allow cancelpoll(reason).
 var CancelPoll = &Analyzer{
 	Name: "cancelpoll",
 	Doc: "require unbounded/fixpoint loops in deterministic decision packages " +
@@ -34,34 +35,8 @@ func runCancelPoll(p *Pass) {
 	if !isDeterministicPkg(p.Pkg) {
 		return
 	}
+	polling := p.Prog.pollingAll()
 
-	// Pass 1: which same-package functions/methods poll, transitively?
-	// Calls are resolved by name (methods by bare method name), which
-	// over-approximates dispatch — acceptable for a polling proof.
-	bodies := map[string]*ast.BlockStmt{}
-	for _, f := range p.Pkg.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if ok && fd.Body != nil {
-				bodies[fd.Name.Name] = fd.Body
-			}
-		}
-	}
-	polling := map[string]bool{}
-	for changed := true; changed; {
-		changed = false
-		for name, body := range bodies {
-			if polling[name] {
-				continue
-			}
-			if bodyPolls(body, polling) {
-				polling[name] = true
-				changed = true
-			}
-		}
-	}
-
-	// Pass 2: flag candidate loops that cannot reach a poll.
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			fs, ok := n.(*ast.ForStmt)
@@ -72,7 +47,7 @@ func runCancelPoll(p *Pass) {
 			if !unbounded {
 				return true
 			}
-			if bodyPolls(fs.Body, polling) || callsCAS(fs.Body) {
+			if bodyPolls(p.Prog, p.Pkg, fs.Body, polling) || callsCAS(fs.Body) {
 				return true
 			}
 			p.Reportf(fs.For,
@@ -81,6 +56,29 @@ func runCancelPoll(p *Pass) {
 			return true
 		})
 	}
+}
+
+// pollingAll computes, once per program, which functions (declared or
+// literal, in any in-repo package) transitively reach a cancellation
+// poll — the whole-program fixpoint the per-loop check consults.
+func (prog *Program) pollingAll() map[*Func]bool {
+	prog.pollOnce.Do(func() {
+		polling := map[*Func]bool{}
+		for changed := true; changed; {
+			changed = false
+			for _, f := range prog.Funcs {
+				if polling[f] {
+					continue
+				}
+				if bodyPolls(prog, f.Pkg, f.Body(), polling) {
+					polling[f] = true
+					changed = true
+				}
+			}
+		}
+		prog.polling = polling
+	})
+	return prog.polling
 }
 
 // calleeName extracts the final name of a call target: f(...) -> "f",
@@ -101,8 +99,9 @@ func mentionsCancel(name string) bool {
 }
 
 // bodyPolls reports whether the subtree contains a cancellation check,
-// directly or through a call to a known-polling same-package function.
-func bodyPolls(body ast.Node, polling map[string]bool) bool {
+// directly or through a call — resolved across packages by the program
+// call graph — to a known-polling function.
+func bodyPolls(prog *Program, pkg *Package, body ast.Node, polling map[*Func]bool) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -110,8 +109,11 @@ func bodyPolls(body ast.Node, polling map[string]bool) bool {
 		}
 		switch x := n.(type) {
 		case *ast.CallExpr:
-			name := calleeName(x)
-			if mentionsCancel(name) || polling[name] {
+			if mentionsCancel(calleeName(x)) {
+				found = true
+				return false
+			}
+			if callee := prog.Callee(pkg, x); callee != nil && polling[callee] {
 				found = true
 				return false
 			}
@@ -126,7 +128,7 @@ func bodyPolls(body ast.Node, polling map[string]bool) bool {
 			// <-o.Cancel / <-ctx.Done() style receives, including
 			// inside select statements.
 			if x.Op.String() == "<-" {
-				if s := exprText(x.X); strings.Contains(s, "Cancel") || strings.Contains(s, "Done") {
+				if s := chanText(x.X); strings.Contains(s, "Cancel") || strings.Contains(s, "Done") {
 					found = true
 					return false
 				}
@@ -151,18 +153,18 @@ func callsCAS(body ast.Node) bool {
 	return found
 }
 
-// exprText renders a simple expression (idents and selections) for
-// substring matching; composite expressions flatten recursively.
-func exprText(e ast.Expr) string {
+// chanText renders a channel expression (idents, selections, calls) for
+// cancellation-name matching.
+func chanText(e ast.Expr) string {
 	switch x := e.(type) {
 	case *ast.Ident:
 		return x.Name
 	case *ast.SelectorExpr:
-		return exprText(x.X) + "." + x.Sel.Name
+		return chanText(x.X) + "." + x.Sel.Name
 	case *ast.CallExpr:
-		return exprText(x.Fun) + "()"
+		return chanText(x.Fun) + "()"
 	case *ast.ParenExpr:
-		return exprText(x.X)
+		return chanText(x.X)
 	}
 	return ""
 }

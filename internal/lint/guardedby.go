@@ -1,0 +1,323 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+)
+
+// GuardedBy verifies the sem:"guardedby(...)" annotation language
+// interprocedurally: every read and write of an annotated struct field
+// must be dominated by the named lock — on the same struct instance for
+// sibling guards (guardedby(mu)), on any instance of the owning type
+// for qualified guards (guardedby(T.mu)). RWMutex guards accept the
+// read side for reads and demand the write side for writes.
+//
+// A function that accesses a guarded field through a receiver or
+// parameter without holding the lock itself is not flagged at the
+// access: the obligation propagates to its callers through a
+// requirement fixpoint, so the common helper shape — a private method
+// documented "caller holds mu" — typechecks as long as every in-repo
+// caller really does hold it. The constructor pattern (a composite
+// literal assigned to a fresh local, initialized before publication) is
+// exempt.
+//
+// guardedby(owner) declares external serialization: the structure's
+// owner promises no concurrent access. The analyzer holds the declaring
+// package to that promise — no write to such a field may be reachable
+// from a goroutine the declaring package itself spawns. sem:"atomic"
+// fields must have a sync/atomic type, making unguarded plain accesses
+// unrepresentable.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc: "verify sem:\"guardedby(...)\" field annotations interprocedurally: every access " +
+		"dominated by the named lock, including through helper calls",
+	Run: runGuardedBy,
+}
+
+func runGuardedBy(p *Pass) {
+	idx := p.Prog.annotations()
+	idx.reportBad(p)
+	for _, d := range p.Prog.guardedbyAll()[p.Pkg.Path] {
+		p.Reportf(d.pos, "%s", d.msg)
+	}
+}
+
+// gbRequirement is an undischarged lock obligation of one function: the
+// parameter or receiver object the guarded access flows through, and
+// the original access for the diagnostic.
+type gbRequirement struct {
+	obj    types.Object
+	access *fieldAccess
+}
+
+// guardedbyAll runs the whole-program check once and slices the
+// findings by package path.
+func (prog *Program) guardedbyAll() map[string][]rawDiag {
+	prog.gbOnce.Do(func() {
+		prog.gbDiags = prog.checkGuardedBy()
+	})
+	return prog.gbDiags
+}
+
+func (prog *Program) checkGuardedBy() map[string][]rawDiag {
+	facts := prog.lockFactsAll()
+	diags := map[string][]rawDiag{}
+	emit := func(pkg *Package, pos token.Pos, format string, args ...any) {
+		diags[pkg.Path] = append(diags[pkg.Path], rawDiag{pos: pos, msg: fmt.Sprintf(format, args...)})
+	}
+
+	// Phase 1: local discharge. Every annotated access is either proved
+	// by the local lockset, exempt (fresh local), deferred to callers
+	// (receiver/parameter base), or a finding.
+	reqs := map[*Func][]gbRequirement{}
+	for _, f := range prog.Funcs {
+		ff := facts[f]
+		for i := range ff.accesses {
+			a := &ff.accesses[i]
+			g := a.anno.guard
+			if g == nil || g.owner {
+				continue
+			}
+			if accessSatisfied(a, g) {
+				continue
+			}
+			if a.root != nil && ff.fresh[a.root] {
+				continue
+			}
+			if a.root != nil && isParamOrRecv(f, a.root) {
+				reqs[f] = append(reqs[f], gbRequirement{obj: a.root, access: a})
+				continue
+			}
+			emit(f.Pkg, a.pos, "%s of %s (guarded by %s) without holding the lock",
+				rw(a.write), a.describe(), g)
+		}
+	}
+
+	// Phase 2: requirement fixpoint. A call site binding a requirement
+	// to an expression either discharges it (lock held on that
+	// expression, or fresh local), re-raises it on the caller's own
+	// parameter, or — once the fixpoint settles — is a finding.
+	for changed := true; changed; {
+		changed = false
+		for _, g := range prog.Funcs {
+			for _, site := range facts[g].calls {
+				for _, req := range reqs[site.callee] {
+					bound := bindRequirement(site, req)
+					if bound == nil || reqSatisfied(site, bound, req) {
+						continue
+					}
+					if bound.root != nil && facts[g].fresh[bound.root] {
+						continue
+					}
+					if bound.root != nil && isParamOrRecv(g, bound.root) {
+						if addReq(reqs, g, gbRequirement{obj: bound.root, access: req.access}) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 3: report the call sites that discharge nothing.
+	for _, g := range prog.Funcs {
+		for _, site := range facts[g].calls {
+			for _, req := range reqs[site.callee] {
+				bound := bindRequirement(site, req)
+				if bound == nil {
+					emit(g.Pkg, site.pos,
+						"call into %s requires %s held for %s, but the binding argument is missing",
+						site.callee.Name, req.access.anno.guard, req.access.describe())
+					continue
+				}
+				if reqSatisfied(site, bound, req) {
+					continue
+				}
+				if bound.root != nil && (facts[g].fresh[bound.root] || isParamOrRecv(g, bound.root)) {
+					continue // exempt or re-raised on the caller
+				}
+				emit(g.Pkg, site.pos,
+					"call into %s %ss %s (guarded by %s) without holding the lock on %q",
+					site.callee.Name, rw(req.access.write), req.access.describe(),
+					req.access.anno.guard, bound.text)
+			}
+		}
+	}
+
+	prog.checkOwnerFields(facts, emit)
+	prog.checkAtomicFields(emit)
+
+	for path := range diags {
+		sortRawDiags(diags[path])
+	}
+	return diags
+}
+
+// describe renders the field for diagnostics: "server.regEntry.preds".
+func (a *fieldAccess) describe() string {
+	if a.anno.owner != nil {
+		return lockID{typ: a.anno.owner.String(), field: a.field.Name()}.shortString()
+	}
+	return a.field.Name()
+}
+
+func rw(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+// accessSatisfied checks an access against its guard using the local
+// lockset.
+func accessSatisfied(a *fieldAccess, g *guardRef) bool {
+	if g.typeName != "" {
+		return holdsQualified(a.held, lockID{typ: g.typeName, field: g.field}, a.write)
+	}
+	return holdsSibling(a.held, a.base, g.field, a.write)
+}
+
+// bindRequirement maps a callee requirement to the caller-side argument
+// expression: the receiver for method requirements, the positional
+// argument otherwise.
+func bindRequirement(site callSite, req gbRequirement) *argInfo {
+	sig := site.callee.Sig()
+	if sig == nil {
+		return nil
+	}
+	if recv := sig.Recv(); recv != nil && req.obj == recv {
+		return site.recv
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if params.At(i) == req.obj {
+			if i < len(site.args) {
+				return &site.args[i]
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// reqSatisfied checks a bound requirement against the call site's
+// lockset.
+func reqSatisfied(site callSite, bound *argInfo, req gbRequirement) bool {
+	g := req.access.anno.guard
+	if g.typeName != "" {
+		return holdsQualified(site.held, lockID{typ: g.typeName, field: g.field}, req.access.write)
+	}
+	return holdsSibling(site.held, bound.text, g.field, req.access.write)
+}
+
+// isParamOrRecv reports whether obj is a parameter or the receiver of f.
+func isParamOrRecv(f *Func, obj types.Object) bool {
+	sig := f.Sig()
+	if sig == nil {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil && obj == recv {
+		return true
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if params.At(i) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func addReq(reqs map[*Func][]gbRequirement, f *Func, r gbRequirement) bool {
+	for _, have := range reqs[f] {
+		if have.obj == r.obj && have.access == r.access {
+			return false
+		}
+	}
+	reqs[f] = append(reqs[f], r)
+	return true
+}
+
+// checkOwnerFields enforces guardedby(owner): no write to an
+// owner-serialized field may be reachable from a goroutine spawned by
+// the field's own package (external callers own the serialization; the
+// declaring package must not break it from inside).
+func (prog *Program) checkOwnerFields(facts map[*Func]*lockFacts, emit func(*Package, token.Pos, string, ...any)) {
+	for path, roots := range prog.goRoots {
+		reached := map[*Func]bool{}
+		var queue []*Func
+		for _, r := range roots {
+			if !reached[r] {
+				reached[r] = true
+				queue = append(queue, r)
+			}
+		}
+		for len(queue) > 0 {
+			f := queue[0]
+			queue = queue[1:]
+			for _, site := range facts[f].calls {
+				if !reached[site.callee] {
+					reached[site.callee] = true
+					queue = append(queue, site.callee)
+				}
+			}
+		}
+		for _, f := range prog.Funcs {
+			if !reached[f] {
+				continue
+			}
+			for i := range facts[f].accesses {
+				a := &facts[f].accesses[i]
+				g := a.anno.guard
+				if g == nil || !g.owner || !a.write {
+					continue
+				}
+				if a.field.Pkg() == nil || a.field.Pkg().Path() != path {
+					continue // serialization is the external owner's problem
+				}
+				emit(f.Pkg, a.pos,
+					"write to %s from a goroutine spawned in %s, but the field is sem:\"guardedby(owner)\" — externally serialized, no internal concurrency allowed",
+					a.describe(), path)
+			}
+		}
+	}
+}
+
+// checkAtomicFields enforces sem:"atomic": the field type must come
+// from sync/atomic, so plain (unsynchronized) accesses cannot exist.
+func (prog *Program) checkAtomicFields(emit func(*Package, token.Pos, string, ...any)) {
+	idx := prog.annotations()
+	for v, anno := range idx.fields {
+		if !anno.atomic || isAtomicType(v.Type()) {
+			continue
+		}
+		if v.Pkg() == nil {
+			continue
+		}
+		pkg, ok := prog.ByPath[v.Pkg().Path()]
+		if !ok {
+			continue
+		}
+		emit(pkg, v.Pos(),
+			"field %s is sem:\"atomic\" but its type %s is not from sync/atomic; use atomic.Int64/Uint64/Pointer so unsynchronized access is unrepresentable",
+			v.Name(), v.Type())
+	}
+}
+
+// isAtomicType reports whether t (possibly behind a pointer or array)
+// is a named type from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Pointer:
+		return isAtomicType(u.Elem())
+	case *types.Array:
+		return isAtomicType(u.Elem())
+	case *types.Slice:
+		return isAtomicType(u.Elem())
+	case *types.Named:
+		pkg := u.Obj().Pkg()
+		return pkg != nil && pkg.Path() == "sync/atomic"
+	}
+	return false
+}

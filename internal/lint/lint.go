@@ -31,8 +31,12 @@ import (
 	"go/token"
 	"path"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+
+	"semacyclic/internal/telemetry"
 )
 
 // Analyzer is one named static check.
@@ -66,7 +70,11 @@ type Pass struct {
 	// Analyzer is the check being run.
 	Analyzer *Analyzer
 	// Pkg is the loaded package under analysis.
-	Pkg    *Package
+	Pkg *Package
+	// Prog is the interprocedural analysis universe shared by every
+	// pass of one Run invocation: the call graph, annotation index and
+	// whole-program fact caches live here.
+	Prog   *Program
 	report func(Diagnostic)
 }
 
@@ -112,7 +120,10 @@ func isTelemetryPkg(p *Package) bool {
 
 // All returns the full semalint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{DetMap, CancelPoll, NoWallTime, ErrWrap, StatsClass, InternLeak, EpochThread}
+	return []*Analyzer{
+		DetMap, CancelPoll, NoWallTime, ErrWrap, StatsClass, InternLeak, EpochThread,
+		DetTaint, GuardedBy, LockOrder,
+	}
 }
 
 // pragma is one parsed //semalint:allow comment.
@@ -164,46 +175,68 @@ func filePragmas(pkg *Package, f *ast.File, known map[string]bool, report func(D
 	return out
 }
 
-// Run applies the analyzers to every package, resolves pragma
-// suppressions, and returns the surviving diagnostics sorted by
-// position. A pragma suppresses a finding of its analyzer on the same
-// line or the line directly below (i.e. the pragma sits on the flagged
-// line or on its own line immediately above).
+// Timing is one analyzer's cumulative wall time across a RunTimed
+// invocation — a nondeterministic measurement, reported separately from
+// the (deterministic) findings.
+type Timing struct {
+	Analyzer string               `json:"analyzer"`
+	WallNS   telemetry.DurationNS `json:"wall_ns"`
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(pkgs, analyzers)
+	return diags
+}
+
+// RunTimed is Run plus per-analyzer wall times. Packages are analyzed
+// in parallel (one worker per CPU); whole-program facts — the call
+// graph, annotation index, taint and lockset fixpoints — are computed
+// once behind the Program's sync.Once gates and shared. The diagnostic
+// output is assembled in package order and sorted, so it is
+// byte-identical at any parallelism; only the timings vary.
+//
+// Pragma resolution happens per package: a pragma suppresses a finding
+// of its analyzer on the same line or the line directly below (i.e. the
+// pragma sits on the flagged line or on its own line immediately
+// above). Malformed pragmas and malformed sem annotations report under
+// the reserved names "pragma" and "anno", which no pragma may suppress.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range All() {
 		known[a.Name] = true
 	}
+	prog := newProgram(pkgs)
+
+	perPkg := make([][]Diagnostic, len(pkgs))
+	perPkgNS := make([][]telemetry.DurationNS, len(pkgs))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	for i := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			perPkg[i], perPkgNS[i] = runPackage(prog, pkgs[i], analyzers, known)
+		}(i)
+	}
+	wg.Wait()
 
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		var raw []Diagnostic
-		collect := func(d Diagnostic) { raw = append(raw, d) }
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, report: collect}
-			a.Run(pass)
-		}
-
-		// pragmas by file for this package (malformed ones report
-		// straight into the surviving set — they are never suppressible).
-		pragmasByFile := map[string][]pragma{}
-		for _, f := range pkg.Files {
-			name := pkg.Fset.Position(f.Pos()).Filename
-			pragmasByFile[name] = filePragmas(pkg, f, known, func(d Diagnostic) { diags = append(diags, d) })
-		}
-		for _, d := range raw {
-			suppressed := false
-			ps := pragmasByFile[d.Pos.Filename]
-			for i := range ps {
-				if ps[i].name == d.Analyzer && (ps[i].line == d.Pos.Line || ps[i].line == d.Pos.Line-1) {
-					ps[i].used = true
-					suppressed = true
-					break
-				}
-			}
-			if !suppressed {
-				diags = append(diags, d)
-			}
+	timings := make([]Timing, len(analyzers))
+	for i := range analyzers {
+		timings[i].Analyzer = analyzers[i].Name
+	}
+	for i := range pkgs {
+		diags = append(diags, perPkg[i]...)
+		for j, ns := range perPkgNS[i] {
+			timings[j].WallNS += ns
 		}
 	}
 
@@ -228,5 +261,43 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		out = append(out, d)
 	}
-	return out
+	return out, timings
+}
+
+// runPackage runs every analyzer over one package, timing each, and
+// resolves pragma suppressions against the raw findings.
+func runPackage(prog *Program, pkg *Package, analyzers []*Analyzer, known map[string]bool) ([]Diagnostic, []telemetry.DurationNS) {
+	var raw []Diagnostic
+	collect := func(d Diagnostic) { raw = append(raw, d) }
+	ns := make([]telemetry.DurationNS, len(analyzers))
+	for i, a := range analyzers {
+		sw := telemetry.StartTimer()
+		pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, report: collect}
+		a.Run(pass)
+		ns[i] = sw.ElapsedNS()
+	}
+
+	// pragmas by file for this package (malformed ones report straight
+	// into the surviving set — they are never suppressible).
+	var diags []Diagnostic
+	pragmasByFile := map[string][]pragma{}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		pragmasByFile[name] = filePragmas(pkg, f, known, func(d Diagnostic) { diags = append(diags, d) })
+	}
+	for _, d := range raw {
+		suppressed := false
+		ps := pragmasByFile[d.Pos.Filename]
+		for i := range ps {
+			if ps[i].name == d.Analyzer && (ps[i].line == d.Pos.Line || ps[i].line == d.Pos.Line-1) {
+				ps[i].used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			diags = append(diags, d)
+		}
+	}
+	return diags, ns
 }

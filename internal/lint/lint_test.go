@@ -2,6 +2,8 @@ package lint_test
 
 import (
 	"bufio"
+	"bytes"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -123,6 +125,23 @@ func TestEpochThreadFixture(t *testing.T) {
 // not suppress the analyzer they misname.
 func TestPragmaHygiene(t *testing.T) { runFixture(t, lint.DetMap, "pragma/chase") }
 
+// The interprocedural suite: taint, guarded-by and lock-order fixtures,
+// each mixing positive and negative cases plus the empty-reason-pragma
+// hygiene rule.
+func TestDetTaintFixture(t *testing.T)  { runFixture(t, lint.DetTaint, "dettaint/srv") }
+func TestGuardedByFixture(t *testing.T) { runFixture(t, lint.GuardedBy, "guardedby/cache") }
+func TestLockOrderFixture(t *testing.T) { runFixture(t, lint.LockOrder, "lockorder/locks") }
+
+// TestAnnoHygiene checks malformed sem tags report under the reserved
+// "anno" name and cannot be suppressed by pragma.
+func TestAnnoHygiene(t *testing.T) { runFixture(t, lint.GuardedBy, "anno/bad") }
+
+// TestCancelPollCrossPackage checks the PR 3 contract resolves polls
+// through the whole-program call graph, across package boundaries.
+func TestCancelPollCrossPackage(t *testing.T) {
+	runFixture(t, lint.CancelPoll, "cancelpoll/game")
+}
+
 // TestStatsClassCatchesNewUnclassifiedField is the satellite guarantee:
 // adding a field without a sem tag to an obs stats struct must fail.
 func TestStatsClassCatchesNewUnclassifiedField(t *testing.T) {
@@ -158,9 +177,70 @@ func TestSuiteNames(t *testing.T) {
 	for _, a := range lint.All() {
 		got = append(got, a.Name)
 	}
-	want := []string{"detmap", "cancelpoll", "nowalltime", "errwrap", "statsclass", "internleak", "epochthread"}
+	want := []string{
+		"detmap", "cancelpoll", "nowalltime", "errwrap", "statsclass", "internleak", "epochthread",
+		"dettaint", "guardedby", "lockorder",
+	}
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Fatalf("analyzer suite = %v, want %v", got, want)
+	}
+}
+
+// TestSARIFGolden pins the SARIF 2.1.0 rendering byte-for-byte: rules
+// in analyzer order (plus the reserved "anno" channel when it fired),
+// results in diagnostic order, paths under the base relativized.
+// Regenerate with UPDATE_GOLDEN=1 go test ./internal/lint -run SARIF.
+func TestSARIFGolden(t *testing.T) {
+	analyzers := []*lint.Analyzer{
+		{Name: "demo", Doc: "demo analyzer used by the golden test"},
+		{Name: "other", Doc: "second analyzer, no findings"},
+	}
+	diags := []lint.Diagnostic{
+		{
+			Analyzer: "demo",
+			Pos:      token.Position{Filename: "/repo/internal/a/a.go", Line: 12, Column: 3},
+			Message:  "tainted value reaches a deterministic sink",
+		},
+		{
+			Analyzer: "anno",
+			Pos:      token.Position{Filename: "/elsewhere/b.go", Line: 4, Column: 1},
+			Message:  `sem tag has unknown attribute "wat"`,
+		},
+	}
+	got, err := lint.SARIF(analyzers, diags, "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "sarif", "golden.sarif")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("SARIF output drifted from %s:\n--- got ---\n%s", golden, got)
+	}
+}
+
+// TestSARIFEmpty checks a clean run still renders a valid log with an
+// empty (non-null) results array.
+func TestSARIFEmpty(t *testing.T) {
+	out, err := lint.SARIF([]*lint.Analyzer{{Name: "demo", Doc: "d"}}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"results": []`) {
+		t.Errorf("empty run must render \"results\": [], got:\n%s", out)
+	}
+	if !strings.Contains(string(out), `"version": "2.1.0"`) {
+		t.Errorf("missing version pin:\n%s", out)
 	}
 }
 

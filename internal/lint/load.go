@@ -16,8 +16,10 @@ import (
 )
 
 // Package is one loaded, parsed and typechecked package ready for
-// analysis. Only target packages (the ones named by the Load patterns,
-// or a LoadDir fixture) carry Files/Info; dependencies are typechecked
+// analysis. Target packages (the ones named by the Load patterns, or a
+// LoadDir fixture) and every in-repo dependency carry Files/Info —
+// the interprocedural engine (program.go) needs function bodies for
+// the whole module; standard-library dependencies are typechecked
 // declaration-only and live in the loader's cache.
 type Package struct {
 	// Path is the import path ("semacyclic/internal/chase"). Fixture
@@ -33,6 +35,11 @@ type Package struct {
 	Types *types.Package
 	// Info holds the type-and-use facts the analyzers consult.
 	Info *types.Info
+
+	// loader owns the cache this package was resolved against; the
+	// interprocedural Program uses it to pull in-repo dependencies into
+	// the analysis universe.
+	loader *Loader
 }
 
 // listPackage is the subset of `go list -json` output the loader needs.
@@ -44,6 +51,19 @@ type listPackage struct {
 	Standard   bool
 	DepOnly    bool
 	Incomplete bool
+	Module     *listModule
+}
+
+// listModule is the subset of the Module block the loader needs: Main
+// marks packages that belong to the module under analysis (the repo),
+// whose function bodies the interprocedural engine loads.
+type listModule struct {
+	Main bool
+}
+
+// inRepo reports whether the listed package belongs to the main module.
+func (lp *listPackage) inRepo() bool {
+	return !lp.Standard && lp.Module != nil && lp.Module.Main
 }
 
 // Loader parses and typechecks packages from source using the go
@@ -57,11 +77,19 @@ type Loader struct {
 	// cache maps import path -> typechecked package (dependencies and
 	// targets alike), so repeated Load/LoadDir calls share work.
 	cache map[string]*types.Package
+	// repo maps import path -> fully analyzed in-repo package (bodies,
+	// Files, Info). Targets and in-repo dependencies both land here; the
+	// interprocedural Program draws its analysis universe from this map.
+	repo map[string]*Package
 }
 
 // NewLoader returns an empty loader with a fresh FileSet.
 func NewLoader() *Loader {
-	return &Loader{fset: token.NewFileSet(), cache: map[string]*types.Package{}}
+	return &Loader{
+		fset:  token.NewFileSet(),
+		cache: map[string]*types.Package{},
+		repo:  map[string]*Package{},
+	}
 }
 
 // Import satisfies types.Importer from the cache filled in dependency
@@ -135,8 +163,9 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 }
 
 // LoadDir loads a fixture directory as a single package under the
-// given synthetic import path. Fixtures may import standard-library
-// packages only; the closure is resolved and typechecked on demand.
+// given synthetic import path. Fixtures may import standard-library and
+// in-repo packages; the closure is resolved and typechecked on demand
+// (in-repo imports with bodies, so interprocedural fixtures work).
 func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
 	if err != nil {
@@ -178,11 +207,18 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	return l.typecheck(path, files, true)
 }
 
-// checkDep typechecks a dependency declaration-only, tolerating type
-// errors (CGO-stubbed corners of the standard library), and caches it.
+// checkDep typechecks a dependency and caches it. In-repo dependencies
+// are checked fully, bodies included, so the interprocedural engine can
+// follow calls across package boundaries; standard-library dependencies
+// are checked declaration-only with type errors tolerated (CGO-stubbed
+// corners of the standard library).
 func (l *Loader) checkDep(lp *listPackage) error {
 	if _, ok := l.cache[lp.ImportPath]; ok {
 		return nil
+	}
+	if lp.inRepo() {
+		_, err := l.checkTarget(lp.ImportPath, lp.Dir, lp.GoFiles)
+		return err
 	}
 	var files []*ast.File
 	for _, name := range lp.GoFiles {
@@ -209,6 +245,9 @@ func (l *Loader) checkDep(lp *listPackage) error {
 // checkTarget parses a target package with comments and typechecks it
 // fully; type errors are fatal (analysis over broken trees lies).
 func (l *Loader) checkTarget(path, dir string, goFiles []string) (*Package, error) {
+	if pkg, ok := l.repo[path]; ok {
+		return pkg, nil
+	}
 	var files []*ast.File
 	for _, name := range goFiles {
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
@@ -240,15 +279,18 @@ func (l *Loader) typecheck(path string, files []*ast.File, fixture bool) (*Packa
 	if firstErr != nil {
 		return nil, fmt.Errorf("lint: typechecking %s: %w", path, firstErr)
 	}
+	p := &Package{
+		Path:   path,
+		Name:   pkg.Name(),
+		Fset:   l.fset,
+		Files:  files,
+		Types:  pkg,
+		Info:   info,
+		loader: l,
+	}
 	if !fixture {
 		l.cache[path] = pkg
+		l.repo[path] = p
 	}
-	return &Package{
-		Path:  path,
-		Name:  pkg.Name(),
-		Fset:  l.fset,
-		Files: files,
-		Types: pkg,
-		Info:  info,
-	}, nil
+	return p, nil
 }

@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the program's static lock-acquisition graph — an
+// edge A → B whenever a B-typed lock is acquired while an A-typed lock
+// is held, directly or anywhere inside a callee (per-function
+// may-acquire summaries closed under the call graph) — and fails on
+// cycles, on re-acquisition of a held lock, and on calls into function
+// values (user callbacks: onEvict hooks, registered closures) made with
+// any lock held. Lock identity is type-based (owning struct type +
+// field), the granularity at which a deadlock between two instances of
+// the same cache type is still a deadlock.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "fail on cycles in the static lock-acquisition graph and on lock-held calls " +
+		"into user callbacks",
+	Run: runLockOrder,
+}
+
+func runLockOrder(p *Pass) {
+	for _, d := range p.Prog.lockorderAll()[p.Pkg.Path] {
+		p.Reportf(d.pos, "%s", d.msg)
+	}
+}
+
+// loEdge is one acquisition-order edge with its first witness site.
+type loEdge struct {
+	from, to lockID
+	pos      token.Pos
+	pkg      *Package
+	desc     string
+}
+
+// lockorderAll runs the whole-program check once and slices the
+// findings by package path.
+func (prog *Program) lockorderAll() map[string][]rawDiag {
+	prog.loOnce.Do(func() {
+		prog.loDiags = prog.checkLockOrder()
+	})
+	return prog.loDiags
+}
+
+func (prog *Program) checkLockOrder() map[string][]rawDiag {
+	facts := prog.lockFactsAll()
+	diags := map[string][]rawDiag{}
+	emit := func(pkg *Package, pos token.Pos, format string, args ...any) {
+		diags[pkg.Path] = append(diags[pkg.Path], rawDiag{pos: pos, msg: fmt.Sprintf(format, args...)})
+	}
+
+	// may-acquire fixpoint: every lock a function can take, transitively.
+	may := map[*Func]map[lockID]bool{}
+	for _, f := range prog.Funcs {
+		set := map[lockID]bool{}
+		for _, a := range facts[f].acquires {
+			set[a.id] = true
+		}
+		may[f] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range prog.Funcs {
+			for _, site := range facts[f].calls {
+				for id := range may[site.callee] {
+					if !may[f][id] {
+						may[f][id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edge construction, in deterministic function order; the first
+	// witness per (from, to) pair wins.
+	edges := map[[2]string]*loEdge{}
+	addEdge := func(from, to lockID, pos token.Pos, pkg *Package, desc string) {
+		key := [2]string{from.String(), to.String()}
+		if _, ok := edges[key]; !ok {
+			edges[key] = &loEdge{from: from, to: to, pos: pos, pkg: pkg, desc: desc}
+		}
+	}
+	for _, f := range prog.Funcs {
+		ff := facts[f]
+		for _, acq := range ff.acquires {
+			for _, h := range acq.held {
+				if h.id == acq.id && h.base == acq.base && h.write && acq.write {
+					// Same instance, same lock, write side twice: certain
+					// self-deadlock, reported directly.
+					emit(f.Pkg, acq.pos, "lock %s acquired while already held (self-deadlock)", acq.id.shortString())
+					continue
+				}
+				addEdge(h.id, acq.id, acq.pos, f.Pkg, fmt.Sprintf("%s locked in %s", acq.id.shortString(), f.Name))
+			}
+		}
+		for _, site := range ff.calls {
+			if len(site.held) == 0 {
+				continue
+			}
+			for id := range may[site.callee] {
+				for _, h := range site.held {
+					addEdge(h.id, id, site.pos, f.Pkg, fmt.Sprintf("%s locked via call to %s", id.shortString(), site.callee.Name))
+				}
+			}
+		}
+		for _, fc := range ff.fnCalls {
+			if len(fc.held) == 0 {
+				continue
+			}
+			var names []string
+			for _, h := range fc.held {
+				names = append(names, h.id.shortString())
+			}
+			emit(f.Pkg, fc.pos,
+				"call into function value %q while holding %s; user callbacks must run lock-free "+
+					"(snapshot under the lock, invoke after unlock)",
+				fc.desc, strings.Join(names, ", "))
+		}
+	}
+
+	reportCycles(edges, emit)
+
+	for path := range diags {
+		sortRawDiags(diags[path])
+	}
+	return diags
+}
+
+// reportCycles finds strongly connected components of the acquisition
+// graph and reports each cycle once, at its lexicographically first
+// witness edge.
+func reportCycles(edges map[[2]string]*loEdge, emit func(*Package, token.Pos, string, ...any)) {
+	// Deterministic adjacency.
+	keys := make([][2]string, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	adj := map[string][]string{}
+	nodes := []string{}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		adj[k[0]] = append(adj[k[0]], k[1])
+		for _, n := range k {
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	// Tarjan SCC, iterative enough for a lock graph's size in recursion.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, visited := index[w]; !visited {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, visited := index[v]; !visited {
+			strongconnect(v)
+		}
+	}
+
+	for _, scc := range sccs {
+		inSCC := map[string]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		// A single node is a cycle only with a self-edge.
+		if len(scc) == 1 {
+			if _, ok := edges[[2]string{scc[0], scc[0]}]; !ok {
+				continue
+			}
+		}
+		sort.Strings(scc)
+		var witness *loEdge
+		var parts []string
+		for _, k := range keys {
+			if !inSCC[k[0]] || !inSCC[k[1]] {
+				continue
+			}
+			e := edges[k]
+			if witness == nil {
+				witness = e
+			}
+			parts = append(parts, fmt.Sprintf("%s → %s at %s",
+				e.from.shortString(), e.to.shortString(), e.pkg.Fset.Position(e.pos)))
+		}
+		if witness == nil {
+			continue
+		}
+		var names []string
+		for _, n := range scc {
+			names = append(names, lockIDFromString(n).shortString())
+		}
+		emit(witness.pkg, witness.pos,
+			"lock-order cycle among {%s}: %s; impose a single acquisition order or drop a lock scope",
+			strings.Join(names, ", "), strings.Join(parts, "; "))
+	}
+}
+
+// lockIDFromString round-trips the String() key back to a lockID for
+// display; the last dot separates type from field.
+func lockIDFromString(s string) lockID {
+	if i := strings.LastIndex(s, "."); i >= 0 {
+		return lockID{typ: s[:i], field: s[i+1:]}
+	}
+	return lockID{typ: s}
+}

@@ -1,0 +1,771 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The lockset walker: an intra-procedural abstract interpretation of
+// each function body tracking which mutexes are held at every
+// statement. It is deliberately simple — branch merges intersect the
+// fall-through branches, loop bodies cannot contribute locks past the
+// loop, a deferred Unlock pins the lock to function exit — which is
+// exactly the discipline the repo's locking code follows (and the
+// discipline worth enforcing: a lockset this walker cannot prove held
+// is a lockset a maintainer cannot eyeball either). guardedby and
+// lockorder both consume the per-function facts collected here;
+// interprocedural resolution happens in their own fixpoints.
+
+// lockID identifies a lock by its owning named type and field name
+// ("semacyclic/internal/server.lruCache" + "mu"), merging all instances
+// of the type — the right granularity for a static acquisition order.
+// Package-level and local mutexes use the package path (or function
+// name) as the pseudo-type.
+type lockID struct {
+	typ   string
+	field string
+}
+
+func (id lockID) String() string {
+	if id.field == "" {
+		return id.typ
+	}
+	return id.typ + "." + id.field
+}
+
+// shortString trims the module prefix for readable diagnostics.
+func (id lockID) shortString() string {
+	s := id.String()
+	return strings.TrimPrefix(s, "semacyclic/internal/")
+}
+
+// heldLock is one lock the walker can prove held: its identity, the
+// canonical text of the expression it was acquired through (matching
+// sibling guards to the same struct instance), and whether the write
+// side is held (Lock vs RLock).
+type heldLock struct {
+	base  string
+	id    lockID
+	write bool
+}
+
+// lockSet is the abstract state: the set of provably held locks.
+type lockSet map[heldLock]bool
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// intersect keeps only locks held in both states.
+func intersect(a, b lockSet) lockSet {
+	out := lockSet{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// snapshot renders the state as a deterministic slice.
+func (s lockSet) snapshot() []heldLock {
+	out := make([]heldLock, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.id != b.id {
+			return a.id.String() < b.id.String()
+		}
+		if a.base != b.base {
+			return a.base < b.base
+		}
+		return a.write && !b.write
+	})
+	return out
+}
+
+// holdsSibling reports whether a lock named field is held on base (the
+// sibling-guard check); needWrite demands the write side.
+func holdsSibling(held []heldLock, base, field string, needWrite bool) bool {
+	for _, h := range held {
+		if h.id.field == field && h.base == base && (h.write || !needWrite) {
+			return true
+		}
+	}
+	return false
+}
+
+// holdsQualified reports whether any instance lock with the given
+// identity is held (the guardedby(T.mu) check).
+func holdsQualified(held []heldLock, id lockID, needWrite bool) bool {
+	for _, h := range held {
+		if h.id == id && (h.write || !needWrite) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldAccess is one read or write of an annotated struct field.
+type fieldAccess struct {
+	field *types.Var
+	anno  *fieldAnno
+	// base is the canonical text of the receiver expression ("e",
+	// "s.stats").
+	base string
+	// root is the object at the bottom of the receiver chain when base
+	// is a single identifier (param, receiver or local), nil otherwise.
+	root types.Object
+	// write marks mutating accesses (assignment, ++/--, &, index-write,
+	// delete).
+	write bool
+	pos   token.Pos
+	held  []heldLock
+}
+
+// lockAcq is one Lock/RLock call site.
+type lockAcq struct {
+	id    lockID
+	base  string
+	write bool
+	pos   token.Pos
+	held  []heldLock
+}
+
+// fnValCall is a call through a function-typed value (field, variable
+// or parameter) — a user callback the static call graph cannot see
+// into; lockorder forbids these under any held lock.
+type fnValCall struct {
+	desc string
+	pos  token.Pos
+	held []heldLock
+}
+
+// callSite is one statically resolved call into the program.
+type callSite struct {
+	callee *Func
+	pos    token.Pos
+	held   []heldLock
+	// recv and args carry the canonical text and root object of the
+	// receiver and each argument, for requirement binding.
+	recv *argInfo
+	args []argInfo
+}
+
+type argInfo struct {
+	text string
+	root types.Object
+}
+
+// lockFacts is everything the lockset walker learns about one function.
+type lockFacts struct {
+	fn       *Func
+	accesses []fieldAccess
+	acquires []lockAcq
+	fnCalls  []fnValCall
+	calls    []callSite
+	// fresh holds locals initialized from a composite literal or new()
+	// in this function: unpublished values the constructor pattern
+	// mutates without locks.
+	fresh map[types.Object]bool
+}
+
+// lockFactsAll runs the walker over every function, once.
+func (prog *Program) lockFactsAll() map[*Func]*lockFacts {
+	prog.lockOnce.Do(func() {
+		anno := prog.annotations()
+		facts := make(map[*Func]*lockFacts, len(prog.Funcs))
+		for _, f := range prog.Funcs {
+			facts[f] = walkLocks(prog, anno, f)
+		}
+		prog.lock = facts
+	})
+	return prog.lock
+}
+
+// lockWalker carries the per-function walk state.
+type lockWalker struct {
+	prog  *Program
+	anno  *annoIndex
+	fn    *Func
+	pkg   *Package
+	facts *lockFacts
+	// writes marks expression nodes that are mutation sites (assignment
+	// LHS, ++/--, &x.f, delete arg), consulted when the expression
+	// visitor reaches the selector.
+	writes map[ast.Expr]bool
+}
+
+func walkLocks(prog *Program, anno *annoIndex, f *Func) *lockFacts {
+	w := &lockWalker{
+		prog:   prog,
+		anno:   anno,
+		fn:     f,
+		pkg:    f.Pkg,
+		facts:  &lockFacts{fn: f, fresh: map[types.Object]bool{}},
+		writes: map[ast.Expr]bool{},
+	}
+	held := lockSet{}
+	w.stmts(f.Body().List, held)
+	return w.facts
+}
+
+// terminal reports whether a statement never falls through.
+func terminal(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return len(st.List) > 0 && terminal(st.List[len(st.List)-1])
+	}
+	return false
+}
+
+func terminalList(list []ast.Stmt) bool {
+	return len(list) > 0 && terminal(list[len(list)-1])
+}
+
+// stmts interprets a statement list, mutating held in place.
+func (w *lockWalker) stmts(list []ast.Stmt, held lockSet) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held lockSet) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(st.X, held)
+	case *ast.AssignStmt:
+		for _, lhs := range st.Lhs {
+			w.markWrite(lhs)
+		}
+		w.trackFresh(st)
+		for _, e := range st.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range st.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.markWrite(st.X)
+		w.expr(st.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				w.trackFreshSpec(vs)
+				for _, v := range vs.Values {
+					w.expr(v, held)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock pins the lock to function exit: leave it in
+		// the set and remember no later Unlock should drop it (the
+		// deferred one runs at exit, not here). Other deferred calls run
+		// at exit with an unknowable lockset; record resolved callees
+		// with the current one (the common `mu.Lock(); defer helper()`
+		// shape) and visit the arguments.
+		if base, id, op, ok := w.lockOp(st.Call); ok {
+			switch op {
+			case "Unlock", "RUnlock":
+				// The lock stays held for the rest of the body. Nothing
+				// to mutate: acquisition already added it.
+				_ = base
+				_ = id
+			case "Lock", "RLock":
+				w.acquire(st.Call, base, id, op == "Lock", held)
+			}
+			return
+		}
+		w.call(st.Call, held)
+		for _, a := range st.Call.Args {
+			w.expr(a, held)
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs with an empty lockset (its Func is
+		// analyzed standalone); only the argument expressions evaluate
+		// here.
+		for _, a := range st.Call.Args {
+			w.expr(a, held)
+		}
+		w.expr(st.Call.Fun, held)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.expr(e, held)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held)
+		}
+		w.expr(st.Cond, held)
+		thenHeld := held.clone()
+		w.stmts(st.Body.List, thenHeld)
+		elseHeld := held.clone()
+		elseTerminal := false
+		if st.Else != nil {
+			switch e := st.Else.(type) {
+			case *ast.BlockStmt:
+				w.stmts(e.List, elseHeld)
+				elseTerminal = terminalList(e.List)
+			case *ast.IfStmt:
+				w.stmt(e, elseHeld)
+			}
+		}
+		merge(held, thenHeld, terminalList(st.Body.List), elseHeld, elseTerminal)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.expr(st.Cond, held)
+		}
+		bodyHeld := held.clone()
+		w.stmts(st.Body.List, bodyHeld)
+		if st.Post != nil {
+			w.stmt(st.Post, bodyHeld)
+		}
+		replace(held, intersect(held, bodyHeld))
+	case *ast.RangeStmt:
+		w.expr(st.X, held)
+		if st.Key != nil {
+			w.markWrite(st.Key)
+		}
+		if st.Value != nil {
+			w.markWrite(st.Value)
+		}
+		bodyHeld := held.clone()
+		w.stmts(st.Body.List, bodyHeld)
+		replace(held, intersect(held, bodyHeld))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			w.expr(st.Tag, held)
+		}
+		w.caseClauses(st.Body, held)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held)
+		}
+		w.stmt(st.Assign, held)
+		w.caseClauses(st.Body, held)
+	case *ast.SelectStmt:
+		var exits []lockSet
+		var anyFall bool
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			branch := held.clone()
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, branch)
+			}
+			w.stmts(cc.Body, branch)
+			if !terminalList(cc.Body) {
+				exits = append(exits, branch)
+				anyFall = true
+			}
+		}
+		if anyFall {
+			out := exits[0]
+			for _, e := range exits[1:] {
+				out = intersect(out, e)
+			}
+			replace(held, out)
+		}
+	case *ast.BlockStmt:
+		inner := held.clone()
+		w.stmts(st.List, inner)
+		replace(held, inner)
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt, held)
+	case *ast.SendStmt:
+		w.expr(st.Chan, held)
+		w.expr(st.Value, held)
+	}
+}
+
+// caseClauses merges switch/type-switch case bodies: the result is the
+// intersection over fall-through cases, and over the entry state unless
+// a default clause exists.
+func (w *lockWalker) caseClauses(body *ast.BlockStmt, held lockSet) {
+	exits := []lockSet{}
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		branch := held.clone()
+		for _, e := range cc.List {
+			w.expr(e, branch)
+		}
+		w.stmts(cc.Body, branch)
+		if !terminalList(cc.Body) {
+			exits = append(exits, branch)
+		}
+	}
+	if !hasDefault {
+		exits = append(exits, held.clone())
+	}
+	if len(exits) == 0 {
+		return // every path terminates; the code after is unreachable
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = intersect(out, e)
+	}
+	replace(held, out)
+}
+
+// merge folds branch exit states back into held.
+func merge(held, thenHeld lockSet, thenTerminal bool, elseHeld lockSet, elseTerminal bool) {
+	switch {
+	case thenTerminal && elseTerminal:
+		// unreachable after; keep entry state
+	case thenTerminal:
+		replace(held, elseHeld)
+	case elseTerminal:
+		replace(held, thenHeld)
+	default:
+		replace(held, intersect(thenHeld, elseHeld))
+	}
+}
+
+func replace(dst, src lockSet) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+// markWrite marks an lvalue's field selector as a mutation site.
+func (w *lockWalker) markWrite(e ast.Expr) {
+	switch lv := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		w.writes[lv] = true
+	case *ast.IndexExpr:
+		// m[k] = v writes the container the field holds.
+		if sel, ok := ast.Unparen(lv.X).(*ast.SelectorExpr); ok {
+			w.writes[sel] = true
+		}
+	case *ast.StarExpr:
+		w.markWrite(lv.X)
+	}
+}
+
+// trackFresh records `x := T{...}`, `x := &T{...}` and `x := new(T)`
+// locals: unpublished values the constructor pattern may initialize
+// without the guard.
+func (w *lockWalker) trackFresh(st *ast.AssignStmt) {
+	if st.Tok != token.DEFINE || len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := w.pkg.Info.Defs[id]; obj != nil && isFreshExpr(st.Rhs[i]) {
+			w.facts.fresh[obj] = true
+		}
+	}
+}
+
+func (w *lockWalker) trackFreshSpec(vs *ast.ValueSpec) {
+	if len(vs.Values) != len(vs.Names) {
+		return
+	}
+	for i, name := range vs.Names {
+		if obj := w.pkg.Info.Defs[name]; obj != nil && isFreshExpr(vs.Values[i]) {
+			w.facts.fresh[obj] = true
+		}
+	}
+}
+
+func isFreshExpr(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			_, ok := ast.Unparen(v.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// expr visits an expression under the current lockset: lock operations
+// mutate held, resolved calls and function-value calls are recorded,
+// annotated-field selectors become accesses. Function literals are
+// skipped — they have their own Func entries.
+func (w *lockWalker) expr(e ast.Expr, held lockSet) {
+	switch ex := e.(type) {
+	case nil:
+		return
+	case *ast.FuncLit:
+		return
+	case *ast.CallExpr:
+		if base, id, op, ok := w.lockOp(ex); ok {
+			switch op {
+			case "Lock":
+				w.acquire(ex, base, id, true, held)
+			case "RLock":
+				w.acquire(ex, base, id, false, held)
+			case "Unlock":
+				delete(held, heldLock{base: base, id: id, write: true})
+			case "RUnlock":
+				delete(held, heldLock{base: base, id: id, write: false})
+			}
+			return
+		}
+		if id, ok := ast.Unparen(ex.Fun).(*ast.Ident); ok && id.Name == "delete" && len(ex.Args) > 0 {
+			w.markWrite(ex.Args[0])
+		}
+		w.call(ex, held)
+		w.expr(ex.Fun, held)
+		for _, a := range ex.Args {
+			w.expr(a, held)
+		}
+		return
+	case *ast.SelectorExpr:
+		w.access(ex, held)
+		w.expr(ex.X, held)
+		return
+	case *ast.UnaryExpr:
+		if ex.Op == token.AND {
+			w.markWrite(ex.X)
+		}
+		w.expr(ex.X, held)
+		return
+	case *ast.BinaryExpr:
+		w.expr(ex.X, held)
+		w.expr(ex.Y, held)
+		return
+	case *ast.ParenExpr:
+		w.expr(ex.X, held)
+		return
+	case *ast.IndexExpr:
+		w.expr(ex.X, held)
+		w.expr(ex.Index, held)
+		return
+	case *ast.SliceExpr:
+		w.expr(ex.X, held)
+		w.expr(ex.Low, held)
+		w.expr(ex.High, held)
+		w.expr(ex.Max, held)
+		return
+	case *ast.StarExpr:
+		w.expr(ex.X, held)
+		return
+	case *ast.TypeAssertExpr:
+		w.expr(ex.X, held)
+		return
+	case *ast.CompositeLit:
+		for _, el := range ex.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.expr(kv.Value, held)
+				continue
+			}
+			w.expr(el, held)
+		}
+		return
+	case *ast.KeyValueExpr:
+		w.expr(ex.Value, held)
+		return
+	}
+}
+
+// lockOp classifies a call as a mutex operation: X.Lock(), X.RLock(),
+// X.Unlock(), X.RUnlock() where X's method set comes from sync.Mutex or
+// sync.RWMutex (directly or embedded).
+func (w *lockWalker) lockOp(call *ast.CallExpr) (base string, id lockID, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", lockID{}, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", lockID{}, "", false
+	}
+	obj, isFn := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", lockID{}, "", false
+	}
+	base, id = w.lockIdentity(sel.X)
+	return base, id, sel.Sel.Name, true
+}
+
+// lockIdentity canonicalizes the expression a mutex operation runs on:
+// for y.mu the base is y's text and the identity is (type of y).mu; for
+// a bare mu (package-level or local, or an embedded mutex receiver) the
+// identity falls back to the declaring scope.
+func (w *lockWalker) lockIdentity(lockExpr ast.Expr) (base string, id lockID) {
+	switch le := ast.Unparen(lockExpr).(type) {
+	case *ast.SelectorExpr:
+		base = exprText(le.X)
+		id = lockID{typ: namedTypeString(w.pkg.Info.TypeOf(le.X)), field: le.Sel.Name}
+		if id.typ == "" {
+			// Not a named struct (package-qualified var, anonymous
+			// struct): key on the full expression text in this package.
+			id = lockID{typ: w.pkg.Path, field: exprText(le)}
+		}
+		return base, id
+	case *ast.Ident:
+		// Bare mutex variable, or a method on an embedded mutex.
+		return le.Name, lockID{typ: w.pkg.Path, field: le.Name}
+	default:
+		t := exprText(lockExpr)
+		return t, lockID{typ: w.pkg.Path, field: t}
+	}
+}
+
+func (w *lockWalker) acquire(call *ast.CallExpr, base string, id lockID, write bool, held lockSet) {
+	w.facts.acquires = append(w.facts.acquires, lockAcq{
+		id: id, base: base, write: write, pos: call.Pos(), held: held.snapshot(),
+	})
+	held[heldLock{base: base, id: id, write: write}] = true
+}
+
+// access records a read or write of an annotated field.
+func (w *lockWalker) access(sel *ast.SelectorExpr, held lockSet) {
+	selection, ok := w.pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	anno, ok := w.anno.fields[field]
+	if !ok || (anno.guard == nil && !anno.atomic) {
+		return
+	}
+	base := exprText(sel.X)
+	var root types.Object
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		root = w.pkg.Info.Uses[id]
+	}
+	w.facts.accesses = append(w.facts.accesses, fieldAccess{
+		field: field,
+		anno:  anno,
+		base:  base,
+		root:  root,
+		write: w.writes[sel],
+		pos:   sel.Pos(),
+		held:  held.snapshot(),
+	})
+}
+
+// call records resolved call sites and calls through function values.
+func (w *lockWalker) call(call *ast.CallExpr, held lockSet) {
+	if callee := w.prog.Callee(w.pkg, call); callee != nil {
+		site := callSite{callee: callee, pos: call.Pos(), held: held.snapshot()}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if _, isMethod := w.pkg.Info.Selections[sel]; isMethod {
+				site.recv = w.argInfo(sel.X)
+			}
+		}
+		for _, a := range call.Args {
+			site.args = append(site.args, *w.argInfo(a))
+		}
+		w.facts.calls = append(w.facts.calls, site)
+		return
+	}
+	// Unresolved: a call through a function value (callback), an
+	// interface method, a conversion, or a builtin/stdlib function.
+	// Only function-typed *values* — fields, variables, parameters —
+	// are callbacks the lock-order analysis must flag.
+	fun := ast.Unparen(call.Fun)
+	switch fx := fun.(type) {
+	case *ast.Ident:
+		if v, ok := w.pkg.Info.Uses[fx].(*types.Var); ok {
+			if _, isSig := v.Type().Underlying().(*types.Signature); isSig {
+				w.facts.fnCalls = append(w.facts.fnCalls, fnValCall{desc: fx.Name, pos: call.Pos(), held: held.snapshot()})
+			}
+		}
+	case *ast.SelectorExpr:
+		if v, ok := w.pkg.Info.Uses[fx.Sel].(*types.Var); ok {
+			if _, isSig := v.Type().Underlying().(*types.Signature); isSig {
+				w.facts.fnCalls = append(w.facts.fnCalls, fnValCall{desc: exprText(fx), pos: call.Pos(), held: held.snapshot()})
+			}
+		}
+	}
+}
+
+func (w *lockWalker) argInfo(e ast.Expr) *argInfo {
+	info := &argInfo{text: exprText(e)}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		info.root = w.pkg.Info.Uses[id]
+	}
+	return info
+}
+
+// namedTypeString renders the named type behind pointers, "" when the
+// type is not named.
+func namedTypeString(t types.Type) string {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.String()
+	}
+	return ""
+}
+
+// exprText canonicalizes ident/selector chains ("s.stats.hits"); other
+// expressions get a positional placeholder that never matches a base.
+func exprText(e ast.Expr) string {
+	switch ex := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return ex.Name
+	case *ast.SelectorExpr:
+		return exprText(ex.X) + "." + ex.Sel.Name
+	case *ast.StarExpr:
+		return exprText(ex.X)
+	case *ast.UnaryExpr:
+		if ex.Op == token.AND {
+			return exprText(ex.X)
+		}
+	case *ast.IndexExpr:
+		return exprText(ex.X) + "[...]"
+	}
+	return "<expr>"
+}

@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"sync"
+)
+
+// Program is the interprocedural analysis universe: every in-repo
+// package reachable from the packages under analysis, with an index of
+// their functions (declared and literal) and a call-resolution map.
+// Analyzer-specific whole-program facts (polling sets, taint summaries,
+// lock summaries, annotations) are computed lazily, once, behind
+// sync.Once — the per-package analyzer passes run in parallel and all
+// share the same Program.
+type Program struct {
+	// Pkgs is the universe in deterministic (import-path) order.
+	Pkgs []*Package
+	// ByPath indexes the universe by import path.
+	ByPath map[string]*Package
+
+	// Funcs lists every function in the universe in deterministic
+	// order (package path, then file, then source offset).
+	Funcs []*Func
+	byObj map[*types.Func]*Func
+	byLit map[*ast.FuncLit]*Func
+
+	annoOnce sync.Once
+	anno     *annoIndex
+
+	pollOnce sync.Once
+	polling  map[*Func]bool
+
+	dtOnce  sync.Once
+	dtDiags map[string][]rawDiag
+
+	lockOnce sync.Once
+	lock     map[*Func]*lockFacts
+
+	gbOnce  sync.Once
+	gbDiags map[string][]rawDiag
+
+	loOnce  sync.Once
+	loDiags map[string][]rawDiag
+
+	// goRoots maps a package path to the functions launched as
+	// goroutines by go statements appearing in that package.
+	goRoots map[string][]*Func
+}
+
+// Func is one function body in the program: a declared function or
+// method (Decl != nil) or a function literal (Lit != nil).
+type Func struct {
+	// Obj is the declared function object; nil for literals.
+	Obj *types.Func
+	// Decl is the declaration; nil for literals.
+	Decl *ast.FuncDecl
+	// Lit is the literal; nil for declarations.
+	Lit *ast.FuncLit
+	// Pkg is the package the body lives in.
+	Pkg *Package
+	// Parent is the enclosing function of a literal; nil for
+	// declarations.
+	Parent *Func
+	// Name is a deterministic display name:
+	// "semacyclic/internal/server.(*Server).submit" or "...submit$1"
+	// for the first literal inside submit.
+	Name string
+	// GoCall marks a function launched with a go statement somewhere in
+	// the program (a goroutine entry point).
+	GoCall bool
+}
+
+// Body returns the function body (nil for bodiless declarations).
+func (f *Func) Body() *ast.BlockStmt {
+	if f.Lit != nil {
+		return f.Lit.Body
+	}
+	return f.Decl.Body
+}
+
+// FuncType returns the signature syntax.
+func (f *Func) FuncType() *ast.FuncType {
+	if f.Lit != nil {
+		return f.Lit.Type
+	}
+	return f.Decl.Type
+}
+
+// Sig returns the type-checked signature, nil when unresolvable.
+func (f *Func) Sig() *types.Signature {
+	if f.Obj != nil {
+		sig, _ := f.Obj.Type().(*types.Signature)
+		return sig
+	}
+	if tv, ok := f.Pkg.Info.Types[f.Lit]; ok {
+		sig, _ := tv.Type.(*types.Signature)
+		return sig
+	}
+	return nil
+}
+
+// Root returns the outermost declared function enclosing f (f itself
+// when f is a declaration).
+func (f *Func) Root() *Func {
+	for f.Parent != nil {
+		f = f.Parent
+	}
+	return f
+}
+
+// newProgram assembles the analysis universe for one Run invocation:
+// the passed packages plus every in-repo dependency reachable through
+// their imports. Fixture packages (not registered in the loader's repo
+// map) contribute themselves plus whatever in-repo packages they
+// import, keeping fixture runs hermetic.
+func newProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		ByPath:  map[string]*Package{},
+		byObj:   map[*types.Func]*Func{},
+		byLit:   map[*ast.FuncLit]*Func{},
+		goRoots: map[string][]*Func{},
+	}
+	var add func(p *Package)
+	add = func(p *Package) {
+		if p == nil {
+			return
+		}
+		if _, ok := prog.ByPath[p.Path]; ok {
+			return
+		}
+		prog.ByPath[p.Path] = p
+		prog.Pkgs = append(prog.Pkgs, p)
+		if p.loader == nil {
+			return
+		}
+		for _, imp := range p.Types.Imports() {
+			add(p.loader.repo[imp.Path()])
+		}
+	}
+	for _, p := range pkgs {
+		add(p)
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	for _, p := range prog.Pkgs {
+		prog.indexPackage(p)
+	}
+	prog.markGoCalls()
+	return prog
+}
+
+// indexPackage registers every declared function and function literal
+// of one package, in source order.
+func (prog *Program) indexPackage(p *Package) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			f := &Func{Obj: obj, Decl: fd, Pkg: p, Name: funcName(p, obj, fd)}
+			prog.Funcs = append(prog.Funcs, f)
+			if obj != nil {
+				prog.byObj[obj] = f
+			}
+			prog.indexLits(p, f, fd.Body)
+		}
+	}
+}
+
+// indexLits registers the function literals inside body, depth-first in
+// source order, parented to enclosing.
+func (prog *Program) indexLits(p *Package, enclosing *Func, body ast.Node) {
+	n := 0
+	var walk func(node ast.Node, parent *Func)
+	walk = func(node ast.Node, parent *Func) {
+		ast.Inspect(node, func(nd ast.Node) bool {
+			lit, ok := nd.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			n++
+			f := &Func{Lit: lit, Pkg: p, Parent: parent, Name: fmt.Sprintf("%s$%d", parent.Name, n)}
+			prog.Funcs = append(prog.Funcs, f)
+			prog.byLit[lit] = f
+			walk(lit.Body, f)
+			return false // children handled by the recursive walk
+		})
+	}
+	walk(body, enclosing)
+}
+
+// funcName renders the deterministic display name of a declaration.
+func funcName(p *Package, obj *types.Func, fd *ast.FuncDecl) string {
+	if obj != nil {
+		return obj.FullName()
+	}
+	return p.Path + "." + fd.Name.Name
+}
+
+// markGoCalls flags every function the program launches with a go
+// statement: the literal of `go func(){...}()` and the resolved callee
+// of `go name(...)`.
+func (prog *Program) markGoCalls() {
+	for _, f := range prog.Funcs {
+		p, body := f.Pkg, f.Body()
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok && n != f.Lit {
+				return false // inner literals have their own Func entries
+			}
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if callee := prog.Callee(p, gs.Call); callee != nil {
+				callee.GoCall = true
+				prog.goRoots[p.Path] = append(prog.goRoots[p.Path], callee)
+			}
+			return true
+		})
+	}
+}
+
+// Callee resolves a call expression to the Func whose body it enters,
+// or nil when the target is outside the program (standard library,
+// interface dispatch, or a function value the resolver cannot see
+// through).
+func (prog *Program) Callee(p *Package, call *ast.CallExpr) *Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return prog.byObj[obj]
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return prog.byObj[obj]
+		}
+	case *ast.FuncLit:
+		return prog.byLit[fun]
+	}
+	return nil
+}
+
+// FuncOf returns the Func for a declared function object, nil when the
+// object's body is outside the program.
+func (prog *Program) FuncOf(obj *types.Func) *Func {
+	return prog.byObj[obj]
+}
+
+// LitOf returns the Func for a function literal.
+func (prog *Program) LitOf(lit *ast.FuncLit) *Func {
+	return prog.byLit[lit]
+}
+
+// eachCall invokes fn for every call expression directly inside f's
+// body — calls inside nested function literals belong to the literal's
+// own Func and are not visited.
+func (f *Func) eachCall(fn func(*ast.CallExpr)) {
+	ast.Inspect(f.Body(), func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != ast.Node(f.Lit) {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}
+
+// eachNode walks f's body, skipping nested function literals (which
+// have their own Func entries).
+func (f *Func) eachNode(fn func(ast.Node) bool) {
+	ast.Inspect(f.Body(), func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != ast.Node(f.Lit) {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 rendering — the minimal subset of the OASIS schema that
+// code-scanning consumers (GitHub, VS Code SARIF viewer) require: one
+// run, one driver, the analyzer suite as rules, one result per
+// diagnostic with a physical location. The output is deterministic:
+// rules follow the analyzer order passed in, results follow the (already
+// sorted) diagnostic order, and keys are fixed by the struct layout.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// SARIF renders the diagnostics as an indented SARIF 2.1.0 log. The
+// rules array lists every analyzer that ran (plus the reserved "pragma"
+// and "anno" channels when they fired), so a result's ruleId always
+// resolves. File paths under baseDir are emitted relative to it with
+// forward slashes; other paths pass through unchanged.
+func SARIF(analyzers []*Analyzer, diags []Diagnostic, baseDir string) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers)+2)
+	have := map[string]bool{}
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+		have[a.Name] = true
+	}
+	reserved := map[string]string{
+		"pragma": "malformed or unjustified //semalint:allow pragma (never suppressible)",
+		"anno":   "malformed sem:\"...\" struct-tag annotation (never suppressible)",
+	}
+	for _, name := range []string{"anno", "pragma"} {
+		if have[name] {
+			continue
+		}
+		for _, d := range diags {
+			if d.Analyzer == name {
+				rules = append(rules, sarifRule{ID: name, ShortDescription: sarifMessage{Text: reserved[name]}})
+				break
+			}
+		}
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: sarifURI(d.Pos.Filename, baseDir)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "semalint",
+				InformationURI: "docs/LINT.md",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	out, err := json.MarshalIndent(&log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// sarifURI relativizes a path against baseDir and normalizes to the
+// forward-slash form SARIF requires.
+func sarifURI(name, baseDir string) string {
+	if baseDir != "" {
+		if rel, err := filepath.Rel(baseDir, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return filepath.ToSlash(name)
+}

@@ -1,0 +1,29 @@
+// Package bad is an annotation-hygiene fixture: malformed sem tags are
+// findings under the reserved "anno" name, which no pragma can
+// suppress.
+package bad
+
+import "sync"
+
+type S1 struct {
+	mu       sync.Mutex
+	notalock int
+
+	a int `sem:"guardedby(nosuch)"`           // want "names unknown lock"
+	b int `sem:"guardedby()"`                 // want "names no lock"
+	c int `sem:"guardedby(Missing.mu)"`       // want "unknown type"
+	d int `sem:"det,nondet"`                  // want "both det and nondet"
+	e int `sem:"wat"`                         // want "unknown attribute"
+	f int `sem:"guardedby(notalock)"`         // want "not a sync.Mutex or sync.RWMutex"
+	g int `sem:"guardedby(T2.n)"`             // want "has no lock field"
+	h int `sem:"guardedby(mu),guardedby(mu)"` // want "more than one guardedby"
+}
+
+type T2 struct{ n int }
+
+// S2 shows the pragma cannot reach the reserved channel: naming "anno"
+// is itself a malformed pragma, and the tag finding survives.
+type S2 struct {
+	//semalint:allow anno(attempted suppression) // want "unknown analyzer"
+	g int `sem:"guardedby(alsonosuch)"` // want "names unknown lock"
+}

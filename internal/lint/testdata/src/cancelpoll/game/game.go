@@ -1,0 +1,35 @@
+// Package game is a cross-package cancelpoll fixture: the poll lives in
+// another repo package (core.Decide transitively checks Options.Cancel)
+// and the whole-program call graph must carry that fact here.
+package game
+
+import (
+	"semacyclic/internal/core"
+	"semacyclic/internal/cq"
+	"semacyclic/internal/deps"
+)
+
+// ignore is a local helper that does NOT poll.
+func ignore(err error) bool { return err != nil }
+
+// RetryDecide polls through core.Decide, two packages away: no finding.
+func RetryDecide(q *cq.CQ, set *deps.Set, opt core.Options) *core.Result {
+	for {
+		res, err := core.Decide(q, set, opt)
+		if err == nil {
+			return res
+		}
+	}
+}
+
+// RetryBlind calls only non-polling helpers: flagged.
+func RetryBlind(errs []error) int {
+	n := 0
+	for len(errs) > 0 { // want "unbounded loop cannot reach an Options.Cancel poll"
+		if ignore(errs[0]) {
+			n++
+		}
+		errs = errs[1:]
+	}
+	return n
+}

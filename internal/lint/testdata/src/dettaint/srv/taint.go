@@ -1,0 +1,118 @@
+// Package srv is a dettaint fixture: wall-clock, map-order and
+// join-order taint must not reach fingerprints, HTTP response bodies or
+// sem:"det" fields.
+package srv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+type hasher struct{}
+
+func (hasher) Fingerprint(parts []string) uint64 { return uint64(len(parts)) }
+
+type stats struct {
+	Rounds     int   `sem:"det"`
+	LastSeenNS int64 `sem:"nondet"`
+	Note       string
+}
+
+// ServeTime leaks the clock into the response body through a local.
+func ServeTime(w http.ResponseWriter, r *http.Request) {
+	now := time.Now().String()
+	w.Write([]byte(now)) // want "wall-clock/scheduling-dependent value flows into the HTTP response body"
+}
+
+// ServeOK writes a constant: clean.
+func ServeOK(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("ok"))
+}
+
+// emit's byte parameter reaches the response body, so emit carries a
+// sink obligation to its call sites.
+func emit(w http.ResponseWriter, b []byte) {
+	w.Write(b)
+}
+
+// ServeVia hits emit's sink obligation interprocedurally.
+func ServeVia(w http.ResponseWriter, r *http.Request) {
+	emit(w, []byte(time.Now().String())) // want "via fixture/dettaint/srv.emit"
+}
+
+// FingerprintKeys hashes map keys in iteration order.
+func FingerprintKeys(m map[string]int) uint64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	var h hasher
+	return h.Fingerprint(keys) // want "iteration-order-dependent value flows into fingerprint input"
+}
+
+// FingerprintSorted uses the sanctioned collect-then-sort idiom: clean.
+func FingerprintSorted(m map[string]int) uint64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var h hasher
+	return h.Fingerprint(keys)
+}
+
+// Reclassify copies a nondet measurement into a det-classified field.
+func (s *stats) Reclassify() {
+	s.Rounds = int(s.LastSeenNS) // want "flows into sem:.det. field Rounds"
+}
+
+// Record stores the clock into the nondet-tagged field: the tag is the
+// sanctioned carrier, no finding.
+func Record() stats {
+	return stats{LastSeenNS: time.Now().UnixNano(), Rounds: 3}
+}
+
+// ServeDepth exposes scheduler state (queue depth) in the body.
+func ServeDepth(w http.ResponseWriter, r *http.Request, ch chan int) {
+	fmt.Fprintf(w, "depth=%d", len(ch)) // want "flows into the HTTP response body"
+}
+
+// ServeJSON encodes a clock-bearing payload straight into the body.
+func ServeJSON(w http.ResponseWriter, r *http.Request) {
+	payload := map[string]int64{"now": time.Now().UnixNano()}
+	json.NewEncoder(w).Encode(payload) // want "flows into the HTTP response body"
+}
+
+// JoinOrder appends from goroutines: the slice arrives in join order.
+func JoinOrder(items []string) uint64 {
+	var out []string
+	done := make(chan struct{})
+	for _, it := range items {
+		it := it
+		go func() {
+			out = append(out, it)
+			done <- struct{}{}
+		}()
+	}
+	for range items {
+		<-done
+	}
+	var h hasher
+	return h.Fingerprint(out) // want "iteration-order-dependent value flows into fingerprint input"
+}
+
+// PragmaEmpty shows an empty-reason pragma is a finding and suppresses
+// nothing.
+func PragmaEmpty(w http.ResponseWriter) {
+	//semalint:allow dettaint() // want "empty reason"
+	w.Write([]byte(time.Now().String())) // want "flows into the HTTP response body"
+}
+
+// PragmaOK is the sanctioned escape hatch: reasoned suppression.
+func PragmaOK(w http.ResponseWriter) {
+	//semalint:allow dettaint(demo endpoint intentionally echoes the clock)
+	w.Write([]byte(time.Now().String()))
+}

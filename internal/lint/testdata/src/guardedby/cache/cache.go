@@ -1,0 +1,147 @@
+// Package cache is a guardedby fixture: every access to an annotated
+// field must hold the declared lock, locally or through callers.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the sibling-guard shape: items is guarded by mu on the same
+// instance.
+type Cache struct {
+	mu    sync.Mutex
+	items map[string]int `sem:"guardedby(mu)"`
+}
+
+var global = &Cache{}
+
+// GetOK holds the lock with the deferred-unlock idiom.
+func GetOK(k string) (int, bool) {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	v, ok := global.items[k]
+	return v, ok
+}
+
+// PutOK holds the lock across the write.
+func PutOK(k string, v int) {
+	global.mu.Lock()
+	global.items[k] = v
+	global.mu.Unlock()
+}
+
+// Bad writes without any lock.
+func Bad() {
+	global.items["k"] = 1 // want "write of .*items .guarded by mu. without holding the lock"
+}
+
+// BadUnlocked releases before the access.
+func BadUnlocked() {
+	global.mu.Lock()
+	global.mu.Unlock()
+	global.items["x"] = 2 // want "write of .*items .guarded by mu. without holding the lock"
+}
+
+// New is the constructor exemption: a fresh, unpublished value.
+func New() *Cache {
+	c := &Cache{}
+	c.items = map[string]int{"seed": 0}
+	return c
+}
+
+// getLocked documents "caller holds mu": the obligation propagates.
+func (c *Cache) getLocked(k string) int {
+	return c.items[k]
+}
+
+// GoodCaller discharges getLocked's requirement.
+func GoodCaller() int {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	return global.getLocked("k")
+}
+
+// BadCaller calls the locked helper without the lock.
+func BadCaller() int {
+	return global.getLocked("k") // want "call into .*getLocked reads .*items .guarded by mu. without holding the lock"
+}
+
+// R is the RWMutex shape: reads may hold the read side, writes need the
+// write side.
+type R struct {
+	mu   sync.RWMutex
+	data []int `sem:"guardedby(mu)"`
+}
+
+var rg = &R{}
+
+// SumOK reads under RLock.
+func SumOK() int {
+	rg.mu.RLock()
+	defer rg.mu.RUnlock()
+	t := 0
+	for _, v := range rg.data {
+		t += v
+	}
+	return t
+}
+
+// BadRW writes under the read lock.
+func BadRW() {
+	rg.mu.RLock()
+	rg.data = append(rg.data, 1) // want "write of .*data .guarded by mu. without holding the lock"
+	rg.mu.RUnlock()
+}
+
+// Table carries the qualified-guard lock for sibling-less structs.
+type Table struct{ mu sync.Mutex }
+
+var tbl Table
+
+type row struct {
+	vals []int `sem:"guardedby(Table.mu)"`
+}
+
+var r0 = &row{}
+
+// QualOK holds any Table's mu.
+func QualOK() {
+	tbl.mu.Lock()
+	r0.vals = append(r0.vals, 1)
+	tbl.mu.Unlock()
+}
+
+// QualBad holds nothing.
+func QualBad() {
+	r0.vals = append(r0.vals, 2) // want "write of .*vals .guarded by .*Table.mu. without holding the lock" "read of .*vals .guarded by .*Table.mu. without holding the lock"
+}
+
+// Owned is externally serialized: the declaring package must not touch
+// it from its own goroutines.
+type Owned struct {
+	n int `sem:"guardedby(owner)"`
+}
+
+// SetOK is a plain call-path write: the owner serializes it.
+func SetOK(o *Owned) { o.n = 2 }
+
+// SpawnBad breaks the owner promise from an internal goroutine.
+func SpawnBad(o *Owned) {
+	go func() {
+		o.n = 1 // want "externally serialized, no internal concurrency allowed"
+	}()
+}
+
+// Counters checks the sem:"atomic" type rule.
+type Counters struct {
+	ops atomic.Int64 `sem:"atomic"`
+	bad int          `sem:"atomic"` // want "is not from sync/atomic"
+}
+
+// PragmaEmpty shows an empty-reason pragma is a finding and suppresses
+// nothing.
+func PragmaEmpty() {
+	//semalint:allow guardedby() // want "empty reason"
+	global.items["p"] = 3 // want "write of .*items .guarded by mu. without holding the lock"
+}

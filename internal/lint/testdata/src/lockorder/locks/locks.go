@@ -1,0 +1,107 @@
+// Package locks is a lockorder fixture: acquisition-order cycles,
+// re-entrant locking and lock-held callback invocation are findings.
+package locks
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+var a A
+var b B
+
+// LockAB establishes A.mu → B.mu; the cycle against LockBA is reported
+// at this first witness edge.
+func LockAB() {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle among"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// LockBA establishes the opposite order.
+func LockBA() {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Reenter takes the same write lock twice on the same instance.
+func Reenter() {
+	a.mu.Lock()
+	a.mu.Lock() // want "acquired while already held .self-deadlock."
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// The E/F cycle closes through a call: eThenF only acquires F.mu inside
+// lockF, but the may-acquire summary carries it across.
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+var eE E
+var fF F
+
+func lockF() {
+	fF.mu.Lock()
+	fF.mu.Unlock()
+}
+
+func eThenF() {
+	eE.mu.Lock()
+	lockF() // want "lock-order cycle among"
+	eE.mu.Unlock()
+}
+
+func fThenE() {
+	fF.mu.Lock()
+	eE.mu.Lock()
+	eE.mu.Unlock()
+	fF.mu.Unlock()
+}
+
+// D is acquired under A in one order only: an edge, not a cycle.
+type D struct{ mu sync.Mutex }
+
+var d D
+
+func holdADoLockD() {
+	a.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// C is the eviction-callback shape: invoking a function-typed field
+// with the lock held hands the lock to arbitrary user code.
+type C struct {
+	mu      sync.Mutex
+	onEvict func(string)
+}
+
+func (c *C) evictLocked(k string) {
+	c.mu.Lock()
+	c.onEvict(k) // want "call into function value .c.onEvict. while holding"
+	c.mu.Unlock()
+}
+
+// evictSafe snapshots the callback under the lock and invokes it after
+// unlock: the sanctioned shape.
+func (c *C) evictSafe(k string) {
+	c.mu.Lock()
+	cb := c.onEvict
+	c.mu.Unlock()
+	if cb != nil {
+		cb(k)
+	}
+}
+
+// PragmaEmpty shows an empty-reason pragma is a finding and suppresses
+// nothing.
+func (c *C) PragmaEmpty(k string) {
+	c.mu.Lock()
+	//semalint:allow lockorder() // want "empty reason"
+	c.onEvict(k) // want "call into function value .c.onEvict. while holding"
+	c.mu.Unlock()
+}

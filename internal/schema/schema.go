@@ -83,12 +83,9 @@ func (s *Schema) Len() int {
 // MaxArity returns the largest arity in the schema (0 when empty).
 func (s *Schema) MaxArity() int {
 	max := 0
-	if s == nil {
-		return 0
-	}
-	for _, a := range s.preds {
-		if a > max {
-			max = a
+	for _, p := range s.Predicates() {
+		if p.Arity > max {
+			max = p.Arity
 		}
 	}
 	return max

@@ -437,6 +437,7 @@ func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 		state = "draining"
 	}
+	//semalint:allow dettaint(health endpoint reports live operational state — queue depth and inflight are nondeterministic on purpose)
 	writeJSON(w, status, map[string]any{
 		"status":    state,
 		"workers":   s.cfg.Workers,

@@ -18,7 +18,7 @@ import (
 // evaluations finish against the version they started with).
 type registry struct {
 	mu           sync.RWMutex
-	m            map[string]*regEntry
+	m            map[string]*regEntry `sem:"guardedby(mu)"`
 	maxInstances int
 	maxAtoms     int
 }
@@ -34,9 +34,9 @@ type regEntry struct {
 	name string
 
 	mu     sync.RWMutex
-	db     *instance.Instance
-	preds  []string
-	counts map[string]int
+	db     *instance.Instance `sem:"guardedby(mu)"`
+	preds  []string           `sem:"guardedby(mu)"`
+	counts map[string]int     `sem:"guardedby(mu)"`
 }
 
 func newRegistry(maxInstances, maxAtoms int) *registry {

@@ -13,10 +13,10 @@ import (
 // per logical cache, not one per shard.
 type lruStats struct {
 	mu           sync.Mutex
-	hits         int64
-	misses       int64
-	evictions    int64
-	evictedAgeNS int64
+	hits         int64 `sem:"guardedby(mu)"`
+	misses       int64 `sem:"guardedby(mu)"`
+	evictions    int64 `sem:"guardedby(mu)"`
+	evictedAgeNS int64 `sem:"guardedby(mu)"`
 }
 
 func (st *lruStats) hit() {
@@ -58,8 +58,8 @@ func (st *lruStats) EvictedAgeNS() int64 { st.mu.Lock(); defer st.mu.Unlock(); r
 type lruCache struct {
 	mu    sync.Mutex
 	max   int
-	ll    *list.List
-	items map[string]*list.Element
+	ll    *list.List               `sem:"guardedby(mu)"`
+	items map[string]*list.Element `sem:"guardedby(mu)"`
 	stats *lruStats
 	// onEvict, when non-nil, observes each capacity eviction (key and
 	// evicted value), called outside the cache lock so a callback may

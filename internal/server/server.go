@@ -150,8 +150,8 @@ type Server struct {
 	// signals Drain when inflight reaches zero.
 	mu       sync.Mutex
 	cond     *sync.Cond
-	inflight int
-	draining bool
+	inflight int  `sem:"nondet,guardedby(mu)"`
+	draining bool `sem:"guardedby(mu)"`
 	closeQ   sync.Once
 
 	// decisions caches marshaled response bytes by decisionKey.

@@ -36,8 +36,8 @@ type ID uint32
 // goroutine interns into it anymore; Intern itself is not safe for
 // concurrent use.
 type Table struct {
-	ids   map[term.Term]ID
-	terms []term.Term
+	ids   map[term.Term]ID `sem:"guardedby(owner)"`
+	terms []term.Term      `sem:"guardedby(owner)"`
 	ln    *lineageNode
 }
 

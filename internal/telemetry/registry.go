@@ -75,10 +75,14 @@ type series struct {
 }
 
 type family struct {
-	name   string
-	help   string
-	kind   string
-	series map[string]*series
+	name string
+	help string
+	kind string
+	// series is mutated by lazy registration under the owning
+	// registry's lock; there is no sibling mutex, so the guard is
+	// qualified: any holder of a Registry.mu may touch it. Scrape paths
+	// must snapshot under the lock and render from the copy.
+	series map[string]*series `sem:"guardedby(Registry.mu)"`
 }
 
 // Registry is a collection of named metric families rendered in
@@ -87,7 +91,7 @@ type family struct {
 // so hot paths register once and observe through the handle.
 type Registry struct {
 	mu       sync.Mutex
-	families map[string]*family
+	families map[string]*family `sem:"guardedby(mu)"`
 }
 
 // NewRegistry returns an empty registry.

@@ -25,8 +25,17 @@ echo "== semalint =="
 # The determinism & cancellation contracts, enforced statically: no raw
 # map ranges in decision packages, every fixpoint loop polls
 # Options.Cancel, no wall-clock input to fingerprints, errors.Is for
-# sentinels, every obs stats field classified. See internal/lint.
-go run ./cmd/semalint ./...
+# sentinels, every obs stats field classified — plus the
+# interprocedural suite: dettaint (nondeterminism-taint dataflow),
+# guardedby (sem:"guardedby(...)" lock discipline) and lockorder
+# (static lock-acquisition cycles). Self-test must be zero findings.
+# See internal/lint and docs/LINT.md.
+#
+# The budget keeps the parallel runner's speedup locked in: the run
+# fails (exit 3) when total analyzer wall time exceeds the budget.
+# Override per machine with SEMALINT_BUDGET_MS; 0 disables.
+# (the suite currently takes ~0.4s of analyzer time on a dev box).
+go run ./cmd/semalint -budget-ms "${SEMALINT_BUDGET_MS:-10000}" ./...
 
 echo "== go build =="
 go build ./...
